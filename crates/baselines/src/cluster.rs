@@ -1,0 +1,153 @@
+//! Clustering comparison harness (Appendix-5, Tables 13/14).
+//!
+//! Runs the paper's §6.4 clustering recipe — scale, pick PCA components by
+//! cumulative variance, pick k by elbow, k-means, majority-cluster
+//! accuracy — over any encoded dataset, coarse- or fine-grained.
+
+use browser_engine::UserAgent;
+use polygraph_ml::kmeans::{elbow_scan, KMeansConfig};
+use polygraph_ml::metrics::majority_cluster_accuracy;
+use polygraph_ml::{KMeans, Matrix, MlError, Pca, StandardScaler};
+
+/// Result of one clustering run — a row of Table 13/14.
+#[derive(Debug, Clone)]
+pub struct ClusteringOutcome {
+    /// Samples clustered.
+    pub dataset_size: usize,
+    /// Feature columns used.
+    pub features: usize,
+    /// PCA components retained.
+    pub pca_components: usize,
+    /// Clusters.
+    pub k: usize,
+    /// Majority-cluster accuracy (Formula 1).
+    pub accuracy: f64,
+}
+
+/// Runs the full §6.4 recipe over a numeric dataset labelled with
+/// user-agents.
+///
+/// `variance_threshold` picks the PCA width (the paper reads its Figure 2
+/// at 0.985); `k_range` bounds the elbow scan; `elbow_threshold` is the
+/// minimum relative WCSS improvement that still counts as an elbow.
+pub fn cluster_flat_dataset(
+    rows: &[Vec<f64>],
+    labels: &[UserAgent],
+    variance_threshold: f64,
+    k_range: std::ops::RangeInclusive<usize>,
+    elbow_threshold: f64,
+    seed: u64,
+) -> Result<ClusteringOutcome, MlError> {
+    let x = Matrix::from_rows(rows)?;
+    let (_, scaled) = StandardScaler::fit_transform(&x);
+
+    // PCA width from the cumulative-variance curve.
+    let spectrum = Pca::variance_spectrum(&scaled)?;
+    let mut acc = 0.0;
+    let mut n_components = spectrum.len();
+    for (i, r) in spectrum.iter().enumerate() {
+        acc += r;
+        if acc >= variance_threshold {
+            n_components = i + 1;
+            break;
+        }
+    }
+    let n_components = n_components.max(1).min(scaled.cols());
+    let pca = Pca::fit(&scaled, n_components)?;
+    let projected = pca.transform(&scaled)?;
+
+    // Elbow scan for k, read the way §6.4 reads Figure 4: the largest k
+    // whose relative WCSS improvement is still pronounced (>= the
+    // threshold) *and* whose absolute improvement is non-negligible
+    // relative to the total scatter. Falls back to the knee of the curve
+    // when no spike qualifies.
+    let ks: Vec<usize> = k_range.clone().filter(|&k| k <= projected.rows()).collect();
+    let report = elbow_scan(&projected, &ks, seed)?;
+    let total = report.points.first().map(|p| p.wcss).unwrap_or(1.0);
+    let mut pronounced = None;
+    for w in report.points.windows(2) {
+        let drop = w[0].wcss - w[1].wcss;
+        if w[1].relative_improvement >= elbow_threshold && drop >= 2e-4 * total {
+            pronounced = Some(w[1].k);
+        }
+    }
+    let k = pronounced
+        .or_else(|| report.knee())
+        .unwrap_or_else(|| *ks.last().expect("non-empty k range"));
+
+    let model = KMeans::fit(&projected, KMeansConfig::new(k).with_seed(seed))?;
+    let clusters = model.predict(&projected)?;
+    let accuracy = majority_cluster_accuracy(labels, &clusters)?.accuracy;
+
+    Ok(ClusteringOutcome {
+        dataset_size: rows.len(),
+        features: x.cols(),
+        pca_components: n_components,
+        k,
+        accuracy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use browser_engine::Vendor;
+
+    fn ua(v: u32) -> UserAgent {
+        UserAgent::new(Vendor::Chrome, v)
+    }
+
+    #[test]
+    fn clean_separable_data_clusters_perfectly() {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (base, version) in [(0.0, 60u32), (50.0, 100), (100.0, 110)] {
+            for j in 0..20 {
+                rows.push(vec![base + (j % 2) as f64 * 0.2, base * 1.5, 7.0]);
+                labels.push(ua(version));
+            }
+        }
+        let out = cluster_flat_dataset(&rows, &labels, 0.985, 2..=8, 0.3, 11).unwrap();
+        assert_eq!(out.dataset_size, 60);
+        assert!(out.accuracy > 0.99, "got {}", out.accuracy);
+        assert!(out.k >= 3);
+    }
+
+    #[test]
+    fn noisy_features_degrade_accuracy() {
+        // Version label correlated only weakly with the features: the
+        // ClientJS situation.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        let mut state = 12345u64;
+        let mut noise = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 100) as f64
+        };
+        for version in [60u32, 100, 110] {
+            for _ in 0..30 {
+                rows.push(vec![noise(), noise(), (version >= 100) as u8 as f64]);
+                labels.push(ua(version));
+            }
+        }
+        let out = cluster_flat_dataset(&rows, &labels, 0.985, 2..=8, 0.3, 11).unwrap();
+        assert!(
+            out.accuracy < 0.99,
+            "noise-dominated features cannot cluster perfectly, got {}",
+            out.accuracy
+        );
+    }
+
+    #[test]
+    fn pca_width_respects_variance_threshold() {
+        // One dominant direction: a low threshold keeps a single component.
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![i as f64, i as f64 * 2.0, 0.0])
+            .collect();
+        let labels: Vec<UserAgent> = (0..30).map(|i| ua(60 + (i as u32) / 10)).collect();
+        let out = cluster_flat_dataset(&rows, &labels, 0.5, 2..=4, 0.3, 1).unwrap();
+        assert_eq!(out.pca_components, 1);
+    }
+}

@@ -1,0 +1,24 @@
+//! # baselines
+//!
+//! Fine-grained fingerprinting baselines for the paper's comparisons:
+//! FingerprintJS-, ClientJS- and AmIUnique-like collectors (§3, Table 2)
+//! and the Appendix-5 JSON-flattening pipeline that turns their nested
+//! payloads into clusterable numeric matrices (Tables 13/14).
+//!
+//! The collectors are *simulators*: they produce payloads with the same
+//! shape, dimensionality, cardinality and redundancy as the real tools —
+//! per-user-unique canvas/audio hashes, OS-correlated font lists, noisy
+//! per-session environment fields, UA-derived duplicates — because those
+//! properties are what drive the paper's storage, latency and
+//! clusterability results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod collectors;
+pub mod flatten;
+
+pub use cluster::{cluster_flat_dataset, ClusteringOutcome};
+pub use collectors::{BaselineTool, CollectorOutput};
+pub use flatten::{encode_dataset, flatten_json, EncodedDataset, FlatValue};

@@ -1,0 +1,53 @@
+//! Micro-benchmarks for the data-plane primitives: probe extraction, wire
+//! encoding/decoding, and the risk-factor computation. These are the
+//! pieces that must fit FinOrg's 100 ms / 1 KB envelope (§3).
+
+use browser_engine::{BrowserInstance, UserAgent, Vendor};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fingerprint::{decode_submission, encode_submission, FeatureSet, Submission};
+use polygraph_core::risk_factor;
+
+fn bench_extraction(c: &mut Criterion) {
+    let browser = BrowserInstance::genuine(UserAgent::new(Vendor::Chrome, 112));
+    let table8 = FeatureSet::table8();
+    let candidates = FeatureSet::candidates_513();
+
+    c.bench_function("extract 28-feature fingerprint", |b| {
+        b.iter(|| black_box(table8.extract(black_box(&browser))))
+    });
+    c.bench_function("extract 513-candidate fingerprint", |b| {
+        b.iter(|| black_box(candidates.extract(black_box(&browser))))
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let browser = BrowserInstance::genuine(UserAgent::new(Vendor::Chrome, 112));
+    let fs = FeatureSet::table8();
+    let sub = Submission {
+        session_id: [7u8; 16],
+        user_agent: browser.claimed_user_agent().to_ua_string(),
+        values: fs.extract(&browser).values().to_vec(),
+    };
+    let encoded = encode_submission(&sub).expect("within budget");
+
+    c.bench_function("wire encode (28 features)", |b| {
+        b.iter(|| black_box(encode_submission(black_box(&sub)).unwrap()))
+    });
+    c.bench_function("wire decode (28 features)", |b| {
+        b.iter(|| black_box(decode_submission(black_box(&encoded)).unwrap()))
+    });
+}
+
+fn bench_risk(c: &mut Criterion) {
+    let cluster: Vec<UserAgent> = (102..=109)
+        .map(|v| UserAgent::new(Vendor::Chrome, v))
+        .chain((102..=109).map(|v| UserAgent::new(Vendor::Edge, v)))
+        .collect();
+    let claim = UserAgent::new(Vendor::Firefox, 110);
+    c.bench_function("risk factor (Algorithm 1, 16-resident cluster)", |b| {
+        b.iter(|| black_box(risk_factor(black_box(claim), black_box(&cluster))))
+    });
+}
+
+criterion_group!(benches, bench_extraction, bench_wire, bench_risk);
+criterion_main!(benches);

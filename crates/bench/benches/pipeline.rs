@@ -1,0 +1,104 @@
+//! Benchmarks for the model pipeline: offline training stages and the
+//! online assessment path (§6.4/§6.5). The online path is the one with a
+//! latency budget; training is offline by design.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use fingerprint::FeatureSet;
+use polygraph_core::{Detector, TrainConfig, TrainedModel, TrainingSet};
+use polygraph_ml::iforest::IsolationForestConfig;
+use polygraph_ml::kmeans::KMeansConfig;
+use polygraph_ml::{IsolationForest, KMeans, Matrix, Pca, StandardScaler};
+use traffic::{generate, TrafficConfig};
+
+/// A deterministic 8k-session training window shared by all benches.
+fn training_window() -> (FeatureSet, TrainingSet) {
+    let fs = FeatureSet::table8();
+    let data = generate(&fs, &TrafficConfig::paper_training().with_sessions(8_000));
+    let (rows, uas) = data.rows_and_user_agents();
+    (fs, TrainingSet::from_rows(rows, uas).expect("well-formed"))
+}
+
+fn bench_training_stages(c: &mut Criterion) {
+    let (_, training) = training_window();
+    let x = training.to_matrix().expect("matrix");
+    let (_, scaled) = StandardScaler::fit_transform(&x);
+
+    let mut c = c.benchmark_group("stages");
+    c.sample_size(20); // k-means and forest fits take ~100s of ms each
+    c.bench_function("scaler fit+transform (8k x 28)", |b| {
+        b.iter(|| black_box(StandardScaler::fit_transform(black_box(&x))))
+    });
+    c.bench_function("PCA fit 7 components (8k x 28)", |b| {
+        b.iter(|| black_box(Pca::fit(black_box(&scaled), 7).unwrap()))
+    });
+    let pca = Pca::fit(&scaled, 7).unwrap();
+    let projected = pca.transform(&scaled).unwrap();
+    c.bench_function("k-means fit k=11 (8k x 7)", |b| {
+        b.iter(|| {
+            black_box(
+                KMeans::fit(black_box(&projected), KMeansConfig::new(11).with_n_init(1)).unwrap(),
+            )
+        })
+    });
+    c.bench_function("isolation forest fit+score (8k x 28)", |b| {
+        b.iter(|| {
+            let f = IsolationForest::fit(
+                black_box(&scaled),
+                IsolationForestConfig {
+                    n_trees: 50,
+                    sample_size: 256,
+                    seed: 1,
+                },
+            )
+            .unwrap();
+            black_box(f.score(&scaled))
+        })
+    });
+    c.finish();
+}
+
+fn bench_full_training(c: &mut Criterion) {
+    let (fs, training) = training_window();
+    let config = TrainConfig {
+        n_init: 1,
+        ..TrainConfig::default()
+    };
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10); // a full fit takes seconds; keep the run bounded
+    group.bench_function("full training pipeline (8k sessions)", |b| {
+        b.iter_batched(
+            || (fs.clone(), training.clone()),
+            |(fs, training)| black_box(TrainedModel::fit(fs, &training, config).unwrap()),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_online_assessment(c: &mut Criterion) {
+    let (fs, training) = training_window();
+    let model = TrainedModel::fit(fs, &training, TrainConfig::default()).expect("train");
+    let detector = Detector::new(model);
+    let row = training.rows()[0].clone();
+    let ua = training.user_agents()[0];
+
+    c.bench_function("online assessment (scale+project+assign+risk)", |b| {
+        b.iter(|| black_box(detector.assess(black_box(&row), black_box(ua)).unwrap()))
+    });
+}
+
+fn bench_matrix_ops(c: &mut Criterion) {
+    let a = Matrix::from_vec(128, 28, (0..128 * 28).map(|i| (i % 97) as f64).collect()).unwrap();
+    c.bench_function("covariance 128x28", |b| {
+        b.iter(|| black_box(a.covariance().unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_training_stages,
+    bench_full_training,
+    bench_online_assessment,
+    bench_matrix_ops
+);
+criterion_main!(benches);

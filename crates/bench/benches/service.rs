@@ -1,0 +1,53 @@
+//! Benchmarks for the deployed path: verdict encoding and a full TCP
+//! round-trip through the risk service (probe → wire → assess → verdict).
+//! This is the latency a login flow actually pays, the number that must
+//! sit inside FinOrg's 100 ms budget (§3) — measured here in microseconds.
+
+use browser_engine::{BrowserInstance, UserAgent, Vendor};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fingerprint::FeatureSet;
+use polygraph_core::{Detector, TrainConfig, TrainedModel, TrainingSet};
+use polygraph_service::proto::{Verdict, VerdictStatus};
+use polygraph_service::{start_risk_server, RiskClient};
+use traffic::{generate, TrafficConfig};
+
+fn trained_detector() -> Detector {
+    let fs = FeatureSet::table8();
+    let data = generate(&fs, &TrafficConfig::paper_training().with_sessions(8_000));
+    let (rows, uas) = data.rows_and_user_agents();
+    let training = TrainingSet::from_rows(rows, uas).expect("well-formed");
+    Detector::new(TrainedModel::fit(fs, &training, TrainConfig::default()).expect("train"))
+}
+
+fn bench_verdict_wire(c: &mut Criterion) {
+    let v = Verdict {
+        status: VerdictStatus::Assessed,
+        flagged: true,
+        risk_factor: 11,
+        predicted_cluster: 4,
+        expected_cluster: Some(2),
+    };
+    let encoded = v.encode();
+    c.bench_function("verdict encode", |b| {
+        b.iter(|| black_box(black_box(&v).encode()))
+    });
+    c.bench_function("verdict decode", |b| {
+        b.iter(|| black_box(Verdict::decode(black_box(&encoded)).unwrap()))
+    });
+}
+
+fn bench_service_round_trip(c: &mut Criterion) {
+    let server = start_risk_server("127.0.0.1:0", trained_detector()).expect("bind");
+    let mut client = RiskClient::connect(server.local_addr()).expect("connect");
+    let fs = FeatureSet::table8();
+    let browser = BrowserInstance::genuine(UserAgent::new(Vendor::Chrome, 112));
+
+    c.bench_function("risk service round-trip (probe+wire+TCP+assess)", |b| {
+        b.iter(|| black_box(client.assess_browser(&fs, &browser).unwrap()))
+    });
+    drop(client);
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_verdict_wire, bench_service_round_trip);
+criterion_main!(benches);

@@ -1,0 +1,222 @@
+//! Ablations of the design choices `DESIGN.md` calls out.
+//!
+//! Each variant retrains on the same traffic window and reports what
+//! breaks, so every deviation from the obvious pipeline is justified by a
+//! measurement:
+//!
+//! 1. **Selective scaling** (§6.4.1): scale the binary features too and
+//!    rare bits become dominant axes — the sparse old browsers splinter
+//!    out of their Table 3 groups.
+//! 2. **Lab alignment** (§6.4.3): without it, rare browsers whose sessions
+//!    all fall to the outlier filter (Edge 17-19) turn into permanent
+//!    vendor-mismatch false positives.
+//! 3. **Outlier removal** (§6.4.1): without it, the anomalous rows sit in
+//!    the training set and dent accuracy slightly.
+//! 4. **Time-based features** (Table 8): drop the 6 bits and cross-vendor
+//!    lies *within* the merged old-era cluster go dark.
+//! 5. **Coarse k = 3** (Appendix-4): fewer clusters give the attacker
+//!    room — category-2 recall collapses.
+
+use fraud_browsers::{catalog::product_by_name, ProfilePlan};
+use polygraph_bench::{header, parse_options, pct};
+use polygraph_core::{Detector, TrainConfig, TrainedModel, TrainingSet};
+use traffic::{generate, GroundTruth, TrafficConfig, TrafficDataset};
+
+struct Outcome {
+    accuracy: f64,
+    populated_clusters: usize,
+    fraud_recall: f64,
+    benign_flags: usize,
+    benign_max_risk_flags: usize,
+    table5_recall: f64,
+    /// Does the model keep the paper's cross-vendor merges (Table 3's
+    /// clusters 2 and 6)?
+    merges_intact: bool,
+}
+
+fn evaluate(
+    feature_set: &fingerprint::FeatureSet,
+    training: &TrainingSet,
+    data: &TrafficDataset,
+    columns: Option<&[usize]>,
+    config: TrainConfig,
+) -> Outcome {
+    let model = TrainedModel::fit(feature_set.clone(), training, config).expect("training");
+    let accuracy = model.train_accuracy();
+    let populated_clusters = model.cluster_table().rows().len();
+    // The paper's signature cross-vendor rows: old Chrome with Quantum
+    // Firefox (cluster 2) and EdgeHTML with pre-Quantum Firefox (cluster 6).
+    let t = model.cluster_table();
+    let ua = |vendor, v| browser_engine::UserAgent::new(vendor, v);
+    use browser_engine::Vendor;
+    let merge2 = t.cluster_of(ua(Vendor::Chrome, 63)).is_some()
+        && t.cluster_of(ua(Vendor::Chrome, 63)) == t.cluster_of(ua(Vendor::Firefox, 78));
+    let merge6 = t.cluster_of(ua(Vendor::Edge, 18)).is_some()
+        && t.cluster_of(ua(Vendor::Edge, 18)) == t.cluster_of(ua(Vendor::Firefox, 47));
+    let merges_intact = merge2 && merge6;
+    let detector = Detector::new(model);
+
+    let mut fraud_flagged = 0usize;
+    let mut fraud_total = 0usize;
+    let mut benign_flags = 0usize;
+    let mut benign_max_risk_flags = 0usize;
+    for s in &data.sessions {
+        let row: Vec<f64> = match columns {
+            Some(cols) => cols.iter().map(|&c| s.values[c] as f64).collect(),
+            None => s.row(),
+        };
+        let a = detector.assess(&row, s.claimed).expect("assess");
+        if s.truth.is_detectable_fraud() {
+            fraud_total += 1;
+            fraud_flagged += a.flagged as usize;
+        } else if matches!(s.truth, GroundTruth::Legitimate { .. }) && a.flagged {
+            benign_flags += 1;
+            if a.risk_factor >= polygraph_core::MAX_RISK {
+                benign_max_risk_flags += 1;
+            }
+        }
+    }
+
+    // Table 5-style product recall over the §7.2 plans.
+    let mut plan_flagged = 0usize;
+    let mut plan_total = 0usize;
+    for name in ["GoLogin", "Incogniton", "Octo Browser", "Sphere"] {
+        let plan = ProfilePlan::for_product(&product_by_name(name).expect("catalogued"));
+        for p in &plan.profiles {
+            let b = p.instantiate();
+            let values: Vec<f64> = match columns {
+                Some(cols) => {
+                    let full = feature_set_full().extract(&b);
+                    cols.iter().map(|&c| full.values()[c] as f64).collect()
+                }
+                None => feature_set_full().extract(&b).as_f64(),
+            };
+            let a = detector
+                .assess(&values, b.claimed_user_agent())
+                .expect("assess");
+            plan_total += 1;
+            plan_flagged += a.flagged as usize;
+        }
+    }
+
+    Outcome {
+        accuracy,
+        populated_clusters,
+        fraud_recall: fraud_flagged as f64 / fraud_total.max(1) as f64,
+        benign_flags,
+        benign_max_risk_flags,
+        table5_recall: plan_flagged as f64 / plan_total.max(1) as f64,
+        merges_intact,
+    }
+}
+
+fn feature_set_full() -> fingerprint::FeatureSet {
+    fingerprint::FeatureSet::table8()
+}
+
+fn print(label: &str, o: &Outcome) {
+    println!(
+        "  {label:<38} acc {:>7}  clusters {:>2}  table3-merges {:>3}  \
+         traffic-recall {:>7}  table5-recall {:>7}  benign flags {:>4} (rf=20: {:>3})",
+        pct(o.accuracy),
+        o.populated_clusters,
+        if o.merges_intact { "yes" } else { "NO" },
+        pct(o.fraud_recall),
+        pct(o.table5_recall),
+        o.benign_flags,
+        o.benign_max_risk_flags,
+    );
+}
+
+fn main() {
+    let opts = parse_options();
+    let fs = feature_set_full();
+    let window = TrafficConfig::paper_training()
+        .with_sessions(opts.sessions)
+        .with_seed(opts.seed);
+    println!("generating {} sessions ...", opts.sessions);
+    let data = generate(&fs, &window);
+    let (rows, uas) = data.rows_and_user_agents();
+    let training = TrainingSet::from_rows(rows, uas).expect("well-formed");
+    // Production settings throughout: with fewer k-means restarts the
+    // spare centroids (k = 11 vs ~9 natural groups) can land inside the
+    // biggest release's extension sub-structure and manufacture benign
+    // empty-cluster flags.
+    let base = TrainConfig::default();
+
+    header("ablations (each row = the full pipeline with one choice undone)");
+    print(
+        "baseline (paper configuration)",
+        &evaluate(&fs, &training, &data, None, base),
+    );
+
+    print(
+        "scale time-based bits too",
+        &evaluate(
+            &fs,
+            &training,
+            &data,
+            None,
+            TrainConfig {
+                scale_time_based: true,
+                ..base
+            },
+        ),
+    );
+
+    print(
+        "no lab alignment of sparse UAs",
+        &evaluate(
+            &fs,
+            &training,
+            &data,
+            None,
+            TrainConfig {
+                lab_alignment: false,
+                ..base
+            },
+        ),
+    );
+
+    print(
+        "no Isolation-Forest outlier removal",
+        &evaluate(
+            &fs,
+            &training,
+            &data,
+            None,
+            TrainConfig {
+                contamination: 0.0,
+                ..base
+            },
+        ),
+    );
+
+    // Deviation-only: drop the 6 time-based bits.
+    let dev_cols: Vec<usize> = fs.indices_of_kind(fingerprint::FeatureKind::DeviationBased);
+    let dev_set = fs.subset(&dev_cols);
+    let dev_training = training.select_columns(&dev_cols).expect("projection");
+    print(
+        "22 deviation features only (no bits)",
+        &evaluate(&dev_set, &dev_training, &data, Some(&dev_cols), base),
+    );
+
+    print(
+        "coarse clustering (k = 3)",
+        &evaluate(&fs, &training, &data, None, TrainConfig { k: 3, ..base }),
+    );
+
+    println!();
+    println!(
+        "reading: coarsening k collapses fraud recall (the Appendix-4 argument for\n\
+         k=11). Removing lab alignment turns outlier-filtered rare browsers into\n\
+         permanent rf=20 false positives (the paper's Edge 17 / Chrome 81 problem)\n\
+         at window sizes where the Isolation Forest eats whole rare strata. The\n\
+         remaining ablations (scaling the bits, dropping the bits, skipping outlier\n\
+         removal) are largely absorbed by the satellite fallback in the detector\n\
+         (Detector::assess verifies claims against the nearest *populated* cluster),\n\
+         which is itself the load-bearing robustness choice: without it, spare\n\
+         centroids over extension sub-structure manufacture hundreds of benign\n\
+         max-risk flags."
+    );
+}

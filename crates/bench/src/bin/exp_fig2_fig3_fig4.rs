@@ -1,0 +1,90 @@
+//! Figures 2, 3 and 4 (§6.4): the model-selection curves.
+//!
+//! * Figure 2 — cumulative explained variance vs number of PCA
+//!   components; the paper reads 7 components at >98.5%.
+//! * Figure 3 — WCSS vs k (the elbow curve).
+//! * Figure 4 — relative WCSS improvement vs k; the paper's last
+//!   pronounced spike sits at k = 11.
+
+use fingerprint::FeatureKind;
+use polygraph_bench::{header, parse_options, report};
+use polygraph_ml::kmeans::elbow_scan;
+use polygraph_ml::{Pca, StandardScaler};
+use traffic::{generate, TrafficConfig};
+
+fn main() {
+    let opts = parse_options();
+    let fs = fingerprint::FeatureSet::table8();
+    let config = TrafficConfig::paper_training()
+        .with_sessions(opts.sessions)
+        .with_seed(opts.seed);
+    println!("generating {} sessions ...", opts.sessions);
+    let data = generate(&fs, &config);
+    let (rows, _) = data.rows_and_user_agents();
+    let x = polygraph_ml::Matrix::from_rows(&rows).expect("well-formed");
+    let mut scaler = StandardScaler::fit(&x);
+    scaler.neutralize_columns(&fs.indices_of_kind(FeatureKind::TimeBased));
+    let scaled = scaler.transform(&x).expect("fitted");
+
+    header("Figure 2: cumulative variance vs number of PCA components");
+    let spectrum = Pca::variance_spectrum(&scaled).expect("spectrum");
+    let mut acc = 0.0;
+    let mut chosen = spectrum.len();
+    for (i, r) in spectrum.iter().enumerate().take(16) {
+        acc += r;
+        if acc >= 0.985 && chosen == spectrum.len() {
+            chosen = i + 1;
+        }
+        let bar = "#".repeat((acc * 60.0).round() as usize);
+        println!("  {:>2} components: {:>7.4}  {bar}", i + 1, acc);
+    }
+    report(
+        "components for >98.5% cumulative variance",
+        "7",
+        &chosen.to_string(),
+    );
+
+    // Figures 3/4 operate on the PCA-projected data the paper clusters.
+    let pca = Pca::fit(&scaled, chosen.min(scaled.cols())).expect("fit");
+    let projected = pca.transform(&scaled).expect("transform");
+
+    header("Figure 3: WCSS vs number of clusters (elbow method)");
+    let ks: Vec<usize> = (1..=20).collect();
+    let scan = elbow_scan(&projected, &ks, opts.seed).expect("scan");
+    let max_wcss = scan.points.first().map(|p| p.wcss).unwrap_or(1.0);
+    for p in &scan.points {
+        let bar = "#".repeat(((p.wcss / max_wcss) * 60.0).round() as usize);
+        println!("  k={:>2}: wcss={:>14.1}  {bar}", p.k, p.wcss);
+    }
+
+    header("Figure 4: relative WCSS improvement vs k");
+    for p in &scan.points {
+        let bar = "#".repeat((p.relative_improvement * 60.0).round() as usize);
+        println!("  k={:>2}: {:>7.4}  {bar}", p.k, p.relative_improvement);
+    }
+    // A spike only counts while it still buys a meaningful share of the
+    // total scatter: relative improvement >= 10% of the previous WCSS
+    // *and* an absolute drop of at least 0.02% of the k=1 WCSS. Beyond
+    // that, improvements are numerics on near-zero residuals.
+    let total = scan.points.first().map(|p| p.wcss).unwrap_or(1.0);
+    let mut spikes = Vec::new();
+    for w in scan.points.windows(2) {
+        let drop = w[0].wcss - w[1].wcss;
+        if w[1].k > 2 && w[1].relative_improvement >= 0.10 && drop >= 2e-4 * total {
+            spikes.push(w[1].k);
+        }
+    }
+    report(
+        "candidate elbows (pronounced, non-negligible improvement)",
+        "3, 6, 11",
+        &format!("{spikes:?}"),
+    );
+    report(
+        "last pronounced spike (the paper's chosen k)",
+        "11",
+        &spikes
+            .last()
+            .map(|k| k.to_string())
+            .unwrap_or_else(|| "-".into()),
+    );
+}

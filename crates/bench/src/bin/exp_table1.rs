@@ -1,0 +1,89 @@
+//! Table 1 (§2.3): the fraud-browser catalog and the behavioural check
+//! behind each category assignment.
+//!
+//! For every product the binary *verifies* the category semantics against
+//! the simulator: category 1 must match no legitimate fingerprint,
+//! category 2 must keep one fixed fingerprint across user-agents,
+//! category 3 must stay self-consistent for every claim.
+
+use browser_engine::catalog::legitimate_releases;
+use browser_engine::{BrowserInstance, UserAgent, Vendor};
+use fingerprint::FeatureSet;
+use fraud_browsers::{table1_products, Category, FraudProfile};
+use polygraph_bench::header;
+
+fn main() {
+    let fs = FeatureSet::table8();
+    let legit: Vec<_> = legitimate_releases()
+        .into_iter()
+        .map(|r| fs.extract(&BrowserInstance::genuine(r.ua)))
+        .collect();
+
+    header("Table 1: fraud browsers, categories, and verified behaviour");
+    println!(
+        "  {:<22} {:>9} {:>9} {:>10}   behavioural check",
+        "browser", "released", "category", "new rel.?"
+    );
+    for product in table1_products() {
+        let probe_uas = [
+            UserAgent::new(Vendor::Chrome, 112),
+            UserAgent::new(Vendor::Firefox, 110),
+        ];
+        let fps: Vec<_> = probe_uas
+            .iter()
+            .map(|&ua| fs.extract(&FraudProfile::new(product.clone(), ua).instantiate()))
+            .collect();
+
+        let check = match product.category {
+            Category::MismatchedFingerprint => {
+                let matches_legit = fps.iter().any(|fp| legit.contains(fp));
+                if matches_legit {
+                    "FAILED: matches a legitimate fingerprint"
+                } else {
+                    "fingerprint matches no legitimate browser (cat 1) OK"
+                }
+            }
+            Category::FixedFingerprint => {
+                if fps[0] == fps[1] && legit.contains(&fps[0]) {
+                    "legitimate fingerprint, fixed across UAs (cat 2) OK"
+                } else if fps[0] == fps[1] {
+                    "fixed across UAs but off-catalog"
+                } else {
+                    "FAILED: fingerprint follows the UA"
+                }
+            }
+            Category::EngineSwap => {
+                let consistent = probe_uas.iter().all(|&ua| {
+                    FraudProfile::new(product.clone(), ua)
+                        .instantiate()
+                        .is_consistent()
+                });
+                if consistent {
+                    "engine swaps with the UA; always consistent (cat 3) OK"
+                } else {
+                    "FAILED: inconsistent claim"
+                }
+            }
+            Category::GenuineSpoofedEnvironment => "genuine browser (cat 4)",
+        };
+        println!(
+            "  {:<22} {:>9} {:>9} {:>10}   {check}",
+            format!("{}-{}", product.name, product.version),
+            product.released.to_string(),
+            product.category.number(),
+            if product.actively_released {
+                "yes"
+            } else {
+                "no"
+            },
+        );
+    }
+
+    header("namespace pollution (§8)");
+    let ant = fraud_browsers::catalog::product_by_name("AntBrowser").expect("catalogued");
+    let inst = FraudProfile::new(ant, UserAgent::new(Vendor::Chrome, 100)).instantiate();
+    println!(
+        "  AntBrowser injects a global `ANTBROWSER` object: observable = {}",
+        inst.has_global("ANTBROWSER")
+    );
+}

@@ -1,0 +1,99 @@
+//! Tables 10, 11 and 12 (Appendix-4): sensitivity of model accuracy to
+//! the number of clusters, PCA components, and features.
+
+use polygraph_bench::{header, parse_options};
+use polygraph_core::sweeps::{sweep_clusters, sweep_features, sweep_pca, table12_steps};
+use polygraph_core::{TrainConfig, TrainingSet};
+use traffic::{generate, TrafficConfig};
+
+fn main() {
+    let opts = parse_options();
+    let fs = fingerprint::FeatureSet::table8();
+    let traffic_cfg = TrafficConfig::paper_training()
+        .with_sessions(opts.sessions)
+        .with_seed(opts.seed);
+    println!("generating {} sessions ...", opts.sessions);
+    let data = generate(&fs, &traffic_cfg);
+    let (rows, uas) = data.rows_and_user_agents();
+    let training = TrainingSet::from_rows(rows, uas).expect("well-formed");
+    let base = TrainConfig {
+        n_init: 2,
+        ..TrainConfig::default()
+    };
+
+    header("Table 10: accuracy vs number of clusters (28 features, 7 PCA components)");
+    let paper10 = [
+        (5, "99.88%"),
+        (7, "99.69%"),
+        (9, "99.58%"),
+        (11, "99.60%"),
+        (13, "99.40%"),
+        (15, "99.31%"),
+        (17, "99.29%"),
+        (19, "99.26%"),
+    ];
+    let ks: Vec<usize> = paper10.iter().map(|(k, _)| *k).collect();
+    let points = sweep_clusters(&fs, &training, &ks, base).expect("sweep");
+    for (p, (_, paper)) in points.iter().zip(paper10) {
+        println!(
+            "  k={:>2}   paper: {paper:>7}   measured: {:>7.2}%",
+            p.value,
+            p.accuracy * 100.0
+        );
+    }
+
+    header("Table 11: accuracy vs number of PCA components (28 features, k = 11)");
+    let paper11 = [
+        (6, "99.54%"),
+        (7, "99.60%"),
+        (8, "99.46%"),
+        (9, "99.46%"),
+        (10, "99.46%"),
+    ];
+    let comps: Vec<usize> = paper11.iter().map(|(c, _)| *c).collect();
+    let points = sweep_pca(&fs, &training, &comps, base).expect("sweep");
+    for (p, (_, paper)) in points.iter().zip(paper11) {
+        println!(
+            "  PCA={:>2}  paper: {paper:>7}   measured: {:>7.2}%",
+            p.value,
+            p.accuracy * 100.0
+        );
+    }
+
+    header("Table 12: accuracy vs number of features (paper's addition schedule)");
+    let paper12 = [
+        (28usize, 11usize, "99.60%"),
+        (32, 11, "99.52%"),
+        (36, 12, "99.41%"),
+        (42, 14, "99.41%"),
+    ];
+    // Re-extract the traffic under each widened feature set, reusing the
+    // same seed so the underlying sessions are identical.
+    let steps = table12_steps();
+    let result = sweep_features(
+        &fs,
+        &training,
+        &steps,
+        |set| {
+            let regenerated = generate(set, &traffic_cfg);
+            let (rows, uas) = regenerated.rows_and_user_agents();
+            TrainingSet::from_rows(rows, uas)
+        },
+        base,
+    )
+    .expect("sweep");
+    for (step, (nf, k, paper)) in result.iter().zip(paper12) {
+        println!(
+            "  features={:>2} k={:>2}   paper: {paper:>7} (k={k})   measured: {:>7.2}%",
+            step.n_features,
+            step.k,
+            step.accuracy * 100.0
+        );
+        if !step.added.is_empty() {
+            for name in &step.added {
+                println!("      + {name}");
+            }
+        }
+        let _ = nf;
+    }
+}

@@ -1,0 +1,79 @@
+//! Table 3 (and §6.4): the cluster ↔ user-agent association at k = 11,
+//! training accuracy, and outlier counts. Also prints Table 9 (k = 6).
+
+use polygraph_bench::{header, parse_options, report, train_paper_model};
+use polygraph_core::{TrainConfig, TrainedModel, TrainingSet};
+
+fn main() {
+    let opts = parse_options();
+    println!(
+        "training Browser Polygraph on {} simulated sessions ...",
+        opts.sessions
+    );
+    let (model, data) = train_paper_model(opts);
+
+    header("§6.4 training statistics");
+    report(
+        "clustering accuracy (majority metric)",
+        "99.6%",
+        &polygraph_bench::pct(model.train_accuracy()),
+    );
+    report(
+        "outlier rows removed (Isolation Forest)",
+        "172 / 205k",
+        &format!("{} / {}", model.outliers_removed(), data.sessions.len()),
+    );
+    report(
+        "distinct user-agents in window",
+        "113",
+        &data.distinct_user_agents().to_string(),
+    );
+
+    header("Table 3: user-agents assigned to clusters (k = 11)");
+    println!("  paper:");
+    for (c, desc) in [
+        (0, "Chrome 110-113, Edge 110-113"),
+        (1, "Firefox 101-114"),
+        (2, "Chrome 59-68, Firefox 51-91"),
+        (3, "Chrome 114, Edge 114"),
+        (4, "Chrome 69-89, Edge 79-89"),
+        (5, "Chrome 102-109, Edge 102-109"),
+        (6, "Edge 17-19, Firefox 46-50"),
+        (9, "Firefox 93-100"),
+        (10, "Chrome 90-101, Edge 90-101"),
+    ] {
+        println!("    cluster {c:>2}: {desc}");
+    }
+    println!("  measured:");
+    for (c, _) in model.cluster_table().rows() {
+        println!(
+            "    cluster {c:>2}: {}",
+            model.cluster_table().describe_cluster(c)
+        );
+    }
+
+    header("Table 9: the same association at the less optimal k = 6");
+    let feature_set = fingerprint::FeatureSet::table8();
+    let (rows, uas) = data.rows_and_user_agents();
+    let training = TrainingSet::from_rows(rows, uas).expect("well-formed");
+    let config6 = TrainConfig {
+        k: 6,
+        ..TrainConfig::default()
+    };
+    match TrainedModel::fit(feature_set, &training, config6) {
+        Ok(model6) => {
+            for (c, _) in model6.cluster_table().rows() {
+                println!(
+                    "    cluster {c:>2}: {}",
+                    model6.cluster_table().describe_cluster(c)
+                );
+            }
+            report(
+                "k=6 accuracy",
+                "(coarser eras)",
+                &polygraph_bench::pct(model6.train_accuracy()),
+            );
+        }
+        Err(e) => println!("    k=6 training failed: {e}"),
+    }
+}

@@ -1,0 +1,96 @@
+//! Shared harness for the experiment binaries (`exp_*`) that regenerate
+//! every table and figure of the paper.
+//!
+//! Each binary accepts `--sessions N` to scale the simulated traffic
+//! (default 60 000 for quick runs; pass 205000 for the paper-scale
+//! window) and `--seed S` to vary the world. Every binary prints the
+//! paper's reported value next to the measured one.
+
+use polygraph_core::{TrainConfig, TrainedModel};
+use traffic::{generate, TrafficConfig, TrafficDataset};
+
+pub use browser_engine;
+pub use fingerprint;
+pub use fraud_browsers;
+pub use polygraph_core;
+pub use polygraph_ml;
+pub use traffic;
+
+/// Command-line options shared by all experiment binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpOptions {
+    /// Simulated sessions in the training window.
+    pub sessions: usize,
+    /// World seed.
+    pub seed: u64,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        Self {
+            sessions: 60_000,
+            seed: TrafficConfig::paper_training().seed,
+        }
+    }
+}
+
+/// Parses `--sessions N` and `--seed S` from `std::env::args`.
+pub fn parse_options() -> ExpOptions {
+    let mut opts = ExpOptions::default();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sessions" if i + 1 < args.len() => {
+                opts.sessions = args[i + 1].parse().unwrap_or_else(|_| {
+                    eprintln!("invalid --sessions value {:?}", args[i + 1]);
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--seed" if i + 1 < args.len() => {
+                opts.seed = args[i + 1].parse().unwrap_or_else(|_| {
+                    eprintln!("invalid --seed value {:?}", args[i + 1]);
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (expected --sessions N / --seed S)");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// Generates the paper's training window and fits the production model.
+pub fn train_paper_model(opts: ExpOptions) -> (TrainedModel, TrafficDataset) {
+    let feature_set = fingerprint::FeatureSet::table8();
+    let config = TrafficConfig::paper_training()
+        .with_sessions(opts.sessions)
+        .with_seed(opts.seed);
+    let data = generate(&feature_set, &config);
+    let (rows, uas) = data.rows_and_user_agents();
+    let training =
+        polygraph_core::TrainingSet::from_rows(rows, uas).expect("generated data is well-formed");
+    let model = TrainedModel::fit(feature_set, &training, TrainConfig::default())
+        .expect("training on generated traffic succeeds");
+    (model, data)
+}
+
+/// Prints a `paper vs measured` line in a consistent format.
+pub fn report(metric: &str, paper: &str, measured: &str) {
+    println!("  {metric:<52} paper: {paper:>10}   measured: {measured:>10}");
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("== {title} ==");
+}
+
+/// Formats a ratio as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}

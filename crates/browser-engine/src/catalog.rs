@@ -1,0 +1,277 @@
+//! The catalog of legitimate browser releases and their (approximate)
+//! release dates.
+//!
+//! The paper gathered candidate fingerprints from Chrome 59–119,
+//! Firefox 46–119, and Edge 17–19 / 79–119 (§6.1), and drives its drift
+//! analysis off release dates (§6.6: drift checks run "a few days after
+//! the latest releases"). This module provides both: the release list and
+//! a month-resolution timeline.
+
+use crate::useragent::{UserAgent, Vendor};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A month-resolution date on the simulation timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SimDate {
+    /// Calendar year.
+    pub year: u16,
+    /// Calendar month, 1–12.
+    pub month: u8,
+}
+
+impl SimDate {
+    /// Creates a date; clamps month into 1–12.
+    pub fn new(year: u16, month: u8) -> Self {
+        Self {
+            year,
+            month: month.clamp(1, 12),
+        }
+    }
+
+    /// Months elapsed since January 2016 (the catalog epoch).
+    pub fn months_since_epoch(self) -> i32 {
+        (self.year as i32 - 2016) * 12 + (self.month as i32 - 1)
+    }
+
+    /// The date `n` months after this one.
+    pub fn plus_months(self, n: i32) -> Self {
+        let total = self.months_since_epoch() + n;
+        let year = 2016 + total.div_euclid(12);
+        let month = total.rem_euclid(12) + 1;
+        Self {
+            year: year as u16,
+            month: month as u8,
+        }
+    }
+
+    /// Whole months from `self` to `other` (negative if `other` earlier).
+    pub fn months_until(self, other: SimDate) -> i32 {
+        other.months_since_epoch() - self.months_since_epoch()
+    }
+}
+
+impl fmt::Display for SimDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}", self.year, self.month)
+    }
+}
+
+/// A legitimate browser release: a user-agent plus its release month.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Release {
+    /// Vendor + major version (OS-agnostic).
+    pub ua: UserAgent,
+    /// Approximate release month.
+    pub date: SimDate,
+}
+
+/// Approximate release month of a Chrome major version.
+///
+/// Chrome shipped every ~6 weeks from 59 (June 2017) to 93, then moved to
+/// a 4-week cadence from 94 (September 2021). The 2023 releases that the
+/// paper's training cut-off and drift checkpoints hinge on are anchored
+/// explicitly: 114 in May, 115 in July (just *after* the mid-July training
+/// cut), and 119 in late October (the drift trigger).
+pub fn chrome_release_date(version: u32) -> SimDate {
+    let epoch = SimDate::new(2017, 6); // Chrome 59
+    match version {
+        0..=93 => epoch.plus_months(((version as i32 - 59) * 3) / 2),
+        94..=114 => SimDate::new(2021, 9).plus_months(version as i32 - 94),
+        115 => SimDate::new(2023, 7),
+        116 => SimDate::new(2023, 8),
+        117 => SimDate::new(2023, 9),
+        118 | 119 => SimDate::new(2023, 10),
+        v => SimDate::new(2023, 10).plus_months(v as i32 - 119),
+    }
+}
+
+/// Approximate release month of a Firefox major version, with the same
+/// explicit 2023 anchors as Chrome (Firefox 115 on July 4, 119 on
+/// October 24 — the Element-overhaul release).
+pub fn firefox_release_date(version: u32) -> SimDate {
+    let epoch = SimDate::new(2016, 4); // Firefox 46
+    match version {
+        0..=95 => epoch.plus_months(((version as i32 - 46) * 14) / 10),
+        96..=114 => SimDate::new(2022, 1).plus_months(((version as i32 - 96) * 21) / 22),
+        115 => SimDate::new(2023, 7),
+        116 => SimDate::new(2023, 8),
+        117 | 118 => SimDate::new(2023, 9),
+        119 => SimDate::new(2023, 10),
+        v => SimDate::new(2023, 10).plus_months(v as i32 - 119),
+    }
+}
+
+/// Approximate release month of an Edge major version (both engines).
+pub fn edge_release_date(version: u32) -> SimDate {
+    match version {
+        17 => SimDate::new(2018, 4),
+        18 => SimDate::new(2018, 11),
+        19 => SimDate::new(2019, 3),
+        // Chromium Edge tracks the matching Chrome major closely.
+        v => chrome_release_date(v),
+    }
+}
+
+/// Release date for any catalogued user-agent.
+pub fn release_date(ua: UserAgent) -> SimDate {
+    match ua.vendor {
+        Vendor::Chrome => chrome_release_date(ua.version),
+        Vendor::Firefox => firefox_release_date(ua.version),
+        Vendor::Edge => edge_release_date(ua.version),
+    }
+}
+
+/// Every legitimate release the paper's candidate-generation stage covers:
+/// Chrome 59–119, Firefox 46–119, Edge 17–19 and 79–119.
+pub fn legitimate_releases() -> Vec<Release> {
+    let mut out = Vec::new();
+    for v in 59..=119 {
+        let ua = UserAgent::new(Vendor::Chrome, v);
+        out.push(Release {
+            ua,
+            date: release_date(ua),
+        });
+    }
+    for v in 46..=119 {
+        let ua = UserAgent::new(Vendor::Firefox, v);
+        out.push(Release {
+            ua,
+            date: release_date(ua),
+        });
+    }
+    for v in (17..=19).chain(79..=119) {
+        let ua = UserAgent::new(Vendor::Edge, v);
+        out.push(Release {
+            ua,
+            date: release_date(ua),
+        });
+    }
+    out
+}
+
+/// Releases already shipped by `date` (inclusive).
+pub fn releases_by(date: SimDate) -> Vec<Release> {
+    legitimate_releases()
+        .into_iter()
+        .filter(|r| r.date <= date)
+        .collect()
+}
+
+/// The newest shipped version of a vendor at `date`, if any.
+pub fn latest_version(vendor: Vendor, date: SimDate) -> Option<u32> {
+    legitimate_releases()
+        .into_iter()
+        .filter(|r| r.ua.vendor == vendor && r.date <= date)
+        .map(|r| r.ua.version)
+        .max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_arithmetic() {
+        let d = SimDate::new(2023, 3);
+        assert_eq!(d.plus_months(10), SimDate::new(2024, 1));
+        assert_eq!(d.plus_months(-3), SimDate::new(2022, 12));
+        assert_eq!(d.months_until(SimDate::new(2023, 7)), 4);
+        assert_eq!(SimDate::new(2016, 1).months_since_epoch(), 0);
+    }
+
+    #[test]
+    fn date_ordering() {
+        assert!(SimDate::new(2023, 3) < SimDate::new(2023, 7));
+        assert!(SimDate::new(2022, 12) < SimDate::new(2023, 1));
+    }
+
+    #[test]
+    fn chrome_anchors() {
+        assert_eq!(chrome_release_date(59), SimDate::new(2017, 6));
+        assert_eq!(chrome_release_date(94), SimDate::new(2021, 9));
+        // Chrome 119 shipped late October / early November 2023.
+        let d119 = chrome_release_date(119);
+        assert!(
+            d119 >= SimDate::new(2023, 9) && d119 <= SimDate::new(2023, 11),
+            "{d119}"
+        );
+    }
+
+    #[test]
+    fn firefox_anchors() {
+        assert_eq!(firefox_release_date(46), SimDate::new(2016, 4));
+        let d119 = firefox_release_date(119);
+        assert!(
+            d119 >= SimDate::new(2023, 9) && d119 <= SimDate::new(2023, 11),
+            "{d119}"
+        );
+        // Firefox 102 (the Tor ESR base of §6.3) shipped mid-2022.
+        let d102 = firefox_release_date(102);
+        assert!(
+            d102 >= SimDate::new(2022, 4) && d102 <= SimDate::new(2022, 9),
+            "{d102}"
+        );
+    }
+
+    #[test]
+    fn edge_anchors() {
+        assert_eq!(edge_release_date(18), SimDate::new(2018, 11));
+        assert_eq!(edge_release_date(79), chrome_release_date(79));
+    }
+
+    #[test]
+    fn catalog_covers_paper_ranges() {
+        let releases = legitimate_releases();
+        // 61 Chrome + 74 Firefox + 44 Edge.
+        assert_eq!(releases.len(), 61 + 74 + 44);
+        assert!(releases
+            .iter()
+            .any(|r| r.ua == UserAgent::new(Vendor::Chrome, 59)));
+        assert!(releases
+            .iter()
+            .any(|r| r.ua == UserAgent::new(Vendor::Firefox, 46)));
+        assert!(releases
+            .iter()
+            .any(|r| r.ua == UserAgent::new(Vendor::Edge, 17)));
+        assert!(!releases
+            .iter()
+            .any(|r| r.ua == UserAgent::new(Vendor::Edge, 40)));
+    }
+
+    #[test]
+    fn dates_are_monotone_per_vendor() {
+        for vendor in Vendor::ALL {
+            let mut dates: Vec<(u32, SimDate)> = legitimate_releases()
+                .into_iter()
+                .filter(|r| r.ua.vendor == vendor)
+                .map(|r| (r.ua.version, r.date))
+                .collect();
+            dates.sort_by_key(|&(v, _)| v);
+            for w in dates.windows(2) {
+                assert!(w[0].1 <= w[1].1, "{vendor}: {:?} then {:?}", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn latest_version_tracks_timeline() {
+        // Mid-2023: Chrome ~114-115 era (the paper's training cut-off).
+        let v = latest_version(Vendor::Chrome, SimDate::new(2023, 7)).unwrap();
+        assert!(
+            (113..=117).contains(&v),
+            "Chrome at 2023-07 was ~114-115, got {v}"
+        );
+        assert_eq!(latest_version(Vendor::Chrome, SimDate::new(2016, 1)), None);
+        let e = latest_version(Vendor::Edge, SimDate::new(2019, 6)).unwrap();
+        assert_eq!(e, 19);
+    }
+
+    #[test]
+    fn releases_by_filters_future() {
+        let early = releases_by(SimDate::new(2018, 1));
+        assert!(early.iter().all(|r| r.date <= SimDate::new(2018, 1)));
+        assert!(early.iter().any(|r| r.ua.vendor == Vendor::Firefox));
+        assert!(!early.iter().any(|r| r.ua.version > 70));
+    }
+}

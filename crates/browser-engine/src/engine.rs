@@ -1,0 +1,133 @@
+//! Rendering engines: the identity a browser actually *has*.
+//!
+//! The detector's whole premise (§5) is that the JavaScript API surface is
+//! an engine attribute: Chrome 110 and Edge 110 answer prototype probes
+//! identically because both run Blink 110, while a fraud browser claiming
+//! "Chrome 110" on top of a Blink 95 core answers like Blink 95.
+
+use crate::useragent::{UserAgent, Vendor};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A rendering/JS engine family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EngineFamily {
+    /// Chromium's engine (Chrome, Edge 79+, Brave, most fraud browsers).
+    Blink,
+    /// Mozilla's engine (Firefox, Tor Browser).
+    Gecko,
+    /// Legacy Microsoft engine (Edge 17–19).
+    EdgeHtml,
+}
+
+impl fmt::Display for EngineFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EngineFamily::Blink => "Blink",
+            EngineFamily::Gecko => "Gecko",
+            EngineFamily::EdgeHtml => "EdgeHTML",
+        })
+    }
+}
+
+/// A concrete engine build: family plus major version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Engine {
+    /// Engine family.
+    pub family: EngineFamily,
+    /// Engine major version (aligned with the browser major version for
+    /// Blink/Gecko; the EdgeHTML version for legacy Edge).
+    pub version: u32,
+}
+
+impl Engine {
+    /// A Blink engine of the given major version.
+    pub fn blink(version: u32) -> Self {
+        Self {
+            family: EngineFamily::Blink,
+            version,
+        }
+    }
+
+    /// A Gecko engine of the given major version.
+    pub fn gecko(version: u32) -> Self {
+        Self {
+            family: EngineFamily::Gecko,
+            version,
+        }
+    }
+
+    /// An EdgeHTML engine of the given major version.
+    pub fn edge_html(version: u32) -> Self {
+        Self {
+            family: EngineFamily::EdgeHtml,
+            version,
+        }
+    }
+
+    /// The engine a *genuine* browser with this user-agent runs.
+    pub fn for_genuine(ua: UserAgent) -> Self {
+        match ua.vendor {
+            Vendor::Chrome => Engine::blink(ua.version),
+            Vendor::Firefox => Engine::gecko(ua.version),
+            Vendor::Edge if ua.version < 79 => Engine::edge_html(ua.version),
+            Vendor::Edge => Engine::blink(ua.version),
+        }
+    }
+
+    /// The user-agent a genuine browser running this engine would report,
+    /// assuming it is branded as the family's flagship product.
+    pub fn default_user_agent(self) -> UserAgent {
+        match self.family {
+            EngineFamily::Blink => UserAgent::new(Vendor::Chrome, self.version),
+            EngineFamily::Gecko => UserAgent::new(Vendor::Firefox, self.version),
+            EngineFamily::EdgeHtml => UserAgent::new(Vendor::Edge, self.version),
+        }
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.family, self.version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chrome_and_modern_edge_share_blink() {
+        let chrome = Engine::for_genuine(UserAgent::new(Vendor::Chrome, 110));
+        let edge = Engine::for_genuine(UserAgent::new(Vendor::Edge, 110));
+        assert_eq!(chrome, edge);
+        assert_eq!(chrome.family, EngineFamily::Blink);
+    }
+
+    #[test]
+    fn legacy_edge_is_edgehtml() {
+        let e = Engine::for_genuine(UserAgent::new(Vendor::Edge, 18));
+        assert_eq!(e.family, EngineFamily::EdgeHtml);
+        let e79 = Engine::for_genuine(UserAgent::new(Vendor::Edge, 79));
+        assert_eq!(e79.family, EngineFamily::Blink);
+    }
+
+    #[test]
+    fn firefox_is_gecko() {
+        let e = Engine::for_genuine(UserAgent::new(Vendor::Firefox, 102));
+        assert_eq!(e, Engine::gecko(102));
+    }
+
+    #[test]
+    fn default_user_agent_round_trips_for_flagships() {
+        for ua in [
+            UserAgent::new(Vendor::Chrome, 100),
+            UserAgent::new(Vendor::Firefox, 100),
+            UserAgent::new(Vendor::Edge, 18),
+        ] {
+            let engine = Engine::for_genuine(ua);
+            let back = engine.default_user_agent();
+            assert_eq!(back.version, ua.version);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Platform eras: the piecewise-constant structure of the API surface.
+//!
+//! Browsers do not change their DOM prototype shapes on every release;
+//! property counts stay flat for a stretch of versions and jump when a
+//! feature lands. The paper's clusters (Table 3) are exactly these
+//! stretches. This module names them.
+//!
+//! The boundaries below are the calibration targets from `DESIGN.md` §5:
+//! they are chosen so that a k=11 k-means over the Table 8 features groups
+//! releases the way the paper observed. The *Gecko 119* era models the
+//! Element-prototype overhaul that the paper identified as the drift
+//! trigger (§7.3), and *Blink 119* models the smaller simultaneous Chrome
+//! change that dented Chrome 119's clustering accuracy (Table 6).
+
+use crate::engine::{Engine, EngineFamily};
+use serde::{Deserialize, Serialize};
+
+/// A contiguous run of engine versions with a stable API shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Era {
+    /// EdgeHTML 17–19 (legacy Edge).
+    EdgeHtml,
+    /// Gecko 46–50 — pre-Quantum Firefox; API surface adjacent to EdgeHTML
+    /// (the two share the paper's cluster 6).
+    Gecko46,
+    /// Blink 59–68 — early-modern Chrome; API surface adjacent to Gecko
+    /// 51–92 (shared cluster 2).
+    Blink59,
+    /// Gecko 51–92 — the long Quantum plateau.
+    Gecko51,
+    /// Blink 69–89 (cluster 4).
+    Blink69,
+    /// Gecko 93–100 (cluster 9).
+    Gecko93,
+    /// Blink 90–101 (cluster 10).
+    Blink90,
+    /// Gecko 101–118 (cluster 1; stable through the drift window).
+    Gecko101,
+    /// Blink 102–109 (cluster 5).
+    Blink102,
+    /// Blink 110–113 (cluster 0).
+    Blink110,
+    /// Blink 114–118 (cluster 3; new releases up to 118 keep landing here).
+    Blink114,
+    /// Blink 119 — a modest shape change; still nearest cluster 3 but with
+    /// degraded accuracy (Table 6, 97.22%).
+    Blink119,
+    /// Gecko 119 — the Element-prototype overhaul that flips Firefox 119
+    /// into a different cluster and triggers retraining (Table 6).
+    Gecko119,
+}
+
+impl Era {
+    /// All eras, in rough "platform richness" order.
+    pub const ALL: [Era; 13] = [
+        Era::EdgeHtml,
+        Era::Gecko46,
+        Era::Blink59,
+        Era::Gecko51,
+        Era::Blink69,
+        Era::Gecko93,
+        Era::Blink90,
+        Era::Gecko101,
+        Era::Blink102,
+        Era::Blink110,
+        Era::Blink114,
+        Era::Blink119,
+        Era::Gecko119,
+    ];
+
+    /// The era an engine build belongs to.
+    ///
+    /// Versions outside the paper's studied ranges clamp to the nearest
+    /// era, so probing e.g. a hypothetical Blink 130 answers like the
+    /// newest modelled era rather than panicking.
+    pub fn of(engine: Engine) -> Era {
+        match engine.family {
+            EngineFamily::EdgeHtml => Era::EdgeHtml,
+            EngineFamily::Blink => match engine.version {
+                0..=68 => Era::Blink59,
+                69..=89 => Era::Blink69,
+                90..=101 => Era::Blink90,
+                102..=109 => Era::Blink102,
+                110..=113 => Era::Blink110,
+                114..=118 => Era::Blink114,
+                _ => Era::Blink119,
+            },
+            EngineFamily::Gecko => match engine.version {
+                0..=50 => Era::Gecko46,
+                51..=92 => Era::Gecko51,
+                93..=100 => Era::Gecko93,
+                101..=118 => Era::Gecko101,
+                _ => Era::Gecko119,
+            },
+        }
+    }
+
+    /// A monotone "platform richness" index used by the procedural part of
+    /// the prototype database: richer platforms expose more properties.
+    /// Neighbouring values encode the paper's cross-vendor adjacencies
+    /// (EdgeHTML ≈ Gecko 46–50; Blink 59–68 ≈ Gecko 51–92).
+    pub fn richness(self) -> f64 {
+        match self {
+            Era::EdgeHtml => 0.0,
+            Era::Gecko46 => 0.4,
+            Era::Blink59 => 3.0,
+            Era::Gecko51 => 3.3,
+            Era::Blink69 => 6.5,
+            Era::Gecko93 => 9.0,
+            Era::Blink90 => 11.5,
+            Era::Gecko101 => 14.0,
+            Era::Blink102 => 16.5,
+            Era::Blink110 => 19.0,
+            Era::Blink114 => 21.5,
+            Era::Blink119 => 21.9,
+            // Gecko 119's overhaul lands its Element-heavy features near
+            // Blink 90's values; the exact placement is feature-specific
+            // (see `protodb`), the richness only drives procedural probes.
+            Era::Gecko119 => 14.5,
+        }
+    }
+
+    /// Stable small integer for hashing quirks per era.
+    pub fn index(self) -> usize {
+        Era::ALL
+            .iter()
+            .position(|&e| e == self)
+            .expect("era listed in ALL")
+    }
+
+    /// The cluster group the era belongs to — the paper's Table 3 rows.
+    /// Eras sharing a group share *all* shape quirks (this is what makes
+    /// the cross-vendor rows of Table 3 — EdgeHTML with old Firefox, old
+    /// Chrome with Quantum Firefox — geometrically inseparable).
+    pub fn group(self) -> u8 {
+        match self {
+            Era::EdgeHtml | Era::Gecko46 => 0,
+            Era::Blink59 | Era::Gecko51 => 1,
+            Era::Blink69 => 2,
+            Era::Gecko93 => 3,
+            Era::Blink90 => 4,
+            Era::Gecko101 => 5,
+            Era::Blink102 => 6,
+            Era::Blink110 => 7,
+            Era::Blink114 | Era::Blink119 => 8,
+            // The Gecko 119 overhaul adopted Blink-90-like shapes wholesale
+            // (the Table 6 drift event): it inherits that group's quirks,
+            // which is precisely why Firefox 119 lands in the paper's
+            // cluster 10 (Chrome/Edge 90-101).
+            Era::Gecko119 => 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blink_boundaries_match_table3() {
+        assert_eq!(Era::of(Engine::blink(59)), Era::Blink59);
+        assert_eq!(Era::of(Engine::blink(68)), Era::Blink59);
+        assert_eq!(Era::of(Engine::blink(69)), Era::Blink69);
+        assert_eq!(Era::of(Engine::blink(89)), Era::Blink69);
+        assert_eq!(Era::of(Engine::blink(90)), Era::Blink90);
+        assert_eq!(Era::of(Engine::blink(101)), Era::Blink90);
+        assert_eq!(Era::of(Engine::blink(102)), Era::Blink102);
+        assert_eq!(Era::of(Engine::blink(109)), Era::Blink102);
+        assert_eq!(Era::of(Engine::blink(110)), Era::Blink110);
+        assert_eq!(Era::of(Engine::blink(113)), Era::Blink110);
+        assert_eq!(Era::of(Engine::blink(114)), Era::Blink114);
+        assert_eq!(Era::of(Engine::blink(118)), Era::Blink114);
+        assert_eq!(Era::of(Engine::blink(119)), Era::Blink119);
+    }
+
+    #[test]
+    fn gecko_boundaries_match_table3() {
+        assert_eq!(Era::of(Engine::gecko(46)), Era::Gecko46);
+        assert_eq!(Era::of(Engine::gecko(50)), Era::Gecko46);
+        assert_eq!(Era::of(Engine::gecko(51)), Era::Gecko51);
+        assert_eq!(Era::of(Engine::gecko(92)), Era::Gecko51);
+        assert_eq!(Era::of(Engine::gecko(93)), Era::Gecko93);
+        assert_eq!(Era::of(Engine::gecko(100)), Era::Gecko93);
+        assert_eq!(Era::of(Engine::gecko(101)), Era::Gecko101);
+        assert_eq!(Era::of(Engine::gecko(118)), Era::Gecko101);
+        assert_eq!(Era::of(Engine::gecko(119)), Era::Gecko119);
+    }
+
+    #[test]
+    fn edgehtml_is_single_era() {
+        for v in 17..=19 {
+            assert_eq!(Era::of(Engine::edge_html(v)), Era::EdgeHtml);
+        }
+    }
+
+    #[test]
+    fn future_versions_clamp() {
+        assert_eq!(Era::of(Engine::blink(130)), Era::Blink119);
+        assert_eq!(Era::of(Engine::gecko(130)), Era::Gecko119);
+    }
+
+    #[test]
+    fn cross_vendor_adjacencies_encoded_in_richness() {
+        // Cluster 6: EdgeHTML with Gecko 46-50.
+        assert!((Era::EdgeHtml.richness() - Era::Gecko46.richness()).abs() < 1.0);
+        // Cluster 2: Blink 59-68 with Gecko 51-92.
+        assert!((Era::Blink59.richness() - Era::Gecko51.richness()).abs() < 1.0);
+        // But eras in *different* clusters are well separated.
+        assert!((Era::Blink69.richness() - Era::Gecko51.richness()).abs() > 2.0);
+        assert!((Era::Blink90.richness() - Era::Gecko93.richness()).abs() > 2.0);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, e) in Era::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i);
+        }
+    }
+}

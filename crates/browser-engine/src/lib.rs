@@ -1,0 +1,43 @@
+//! # browser-engine
+//!
+//! A deterministic simulation of the *web platform* as seen by coarse-grained
+//! browser fingerprinting.
+//!
+//! The Browser Polygraph paper probes real browsers with
+//! `Object.getOwnPropertyNames(X.prototype).length` and
+//! `X.prototype.hasOwnProperty('y')`. This crate replaces the real browsers
+//! with a model that preserves everything those probes can observe:
+//!
+//! * every engine family (Blink, Gecko, EdgeHTML) exposes per-prototype
+//!   property counts that are **piecewise-constant in the engine version**,
+//!   jumping at release-era boundaries ([`eras`]);
+//! * Chromium-derived browsers (Chrome, Edge 79+, Brave) share Blink's
+//!   counts, possibly with product-specific perturbations;
+//! * user configuration (Firefox `about:config` flags, Chrome extensions)
+//!   perturbs individual counts ([`perturb`]);
+//! * presence/absence ("time-based") features appear and disappear at
+//!   specific versions ([`timebased`]).
+//!
+//! The era boundaries are calibrated so that the 28 features of the paper's
+//! Table 8 separate releases into the same groups as the paper's Table 3
+//! (see `DESIGN.md` §5).
+//!
+//! The crate is purely deterministic: the same [`BrowserInstance`] always
+//! answers the same probes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod engine;
+pub mod eras;
+pub mod instance;
+pub mod perturb;
+pub mod protodb;
+pub mod timebased;
+pub mod useragent;
+
+pub use engine::{Engine, EngineFamily};
+pub use instance::BrowserInstance;
+pub use perturb::Perturbation;
+pub use useragent::{Os, UserAgent, Vendor};

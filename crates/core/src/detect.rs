@@ -1,0 +1,192 @@
+//! Online fraud detection (§6.5).
+//!
+//! The live path: extract the 28-feature fingerprint, predict its cluster,
+//! compare against the cluster the claimed user-agent should land in, and
+//! — on mismatch — run Algorithm 1 to size the divergence.
+
+use crate::error::PolygraphError;
+use crate::risk::risk_factor;
+use crate::train::TrainedModel;
+use browser_engine::{BrowserInstance, UserAgent};
+use serde::{Deserialize, Serialize};
+
+/// The verdict on one session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assessment {
+    /// Cluster the fingerprint landed in.
+    pub predicted_cluster: usize,
+    /// Cluster the claimed user-agent was expected to land in (`None` when
+    /// the claim's vendor is entirely unknown to the model).
+    pub expected_cluster: Option<usize>,
+    /// Whether the session is flagged: predicted ≠ expected.
+    pub flagged: bool,
+    /// Algorithm 1's risk factor. Zero for unflagged sessions. Note that a
+    /// *flagged* session can still score 0 when the claim sits within four
+    /// versions of a resident of the predicted cluster (§6.5's tolerance
+    /// for update inconsistencies).
+    pub risk_factor: u32,
+}
+
+/// The online detector: a trained model plus the claim-verification rule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Detector {
+    model: TrainedModel,
+}
+
+impl Detector {
+    /// Wraps a trained model.
+    pub fn new(model: TrainedModel) -> Self {
+        Self { model }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &TrainedModel {
+        &self.model
+    }
+
+    /// Assesses one session from its raw feature row and claimed
+    /// user-agent.
+    pub fn assess(&self, values: &[f64], claimed: UserAgent) -> Result<Assessment, PolygraphError> {
+        let predicted = self.model.predict_cluster(values)?;
+        let expected = self.model.cluster_table().expected_cluster(claimed);
+        // A spare centroid (k = 11 over ~9 natural groups) can hold a
+        // configuration-variant *satellite* of a populated cluster —
+        // extension users of one popular release. Claim verification runs
+        // against the satellite's nearest populated cluster: a session in
+        // a satellite of its own expected cluster is consistent, not
+        // fraud (§7.1 attributes exactly these to "certain extensions or
+        // browser configurations").
+        let effective = self.model.nearest_populated_cluster(predicted);
+        let flagged = expected != Some(effective);
+        let risk = if flagged {
+            risk_factor(
+                claimed,
+                &self.model.cluster_table().user_agents_in(effective),
+            )
+        } else {
+            0
+        };
+        Ok(Assessment {
+            predicted_cluster: predicted,
+            expected_cluster: expected,
+            flagged,
+            risk_factor: risk,
+        })
+    }
+
+    /// Convenience: probes a live browser instance end-to-end, exactly as
+    /// the deployed JavaScript + backend pair would.
+    pub fn assess_browser(&self, browser: &BrowserInstance) -> Result<Assessment, PolygraphError> {
+        let fp = self.model.feature_set().extract(browser);
+        self.assess(&fp.as_f64(), browser.claimed_user_agent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::TrainingSet;
+    use crate::train::TrainConfig;
+    use crate::train::TrainedModel;
+    use browser_engine::Vendor;
+    use fingerprint::FeatureSet;
+
+    fn ua(vendor: Vendor, v: u32) -> UserAgent {
+        UserAgent::new(vendor, v)
+    }
+
+    /// Synthetic model with three obvious clusters:
+    /// era A (Chrome 60/61), era B (Chrome 100 + Edge 100), era C (Firefox 100).
+    fn toy_detector() -> Detector {
+        let mut set = TrainingSet::new(2);
+        for (base, u) in [
+            (0.0, ua(Vendor::Chrome, 60)),
+            (0.0, ua(Vendor::Chrome, 61)),
+            (10.0, ua(Vendor::Chrome, 100)),
+            (10.0, ua(Vendor::Edge, 100)),
+            (20.0, ua(Vendor::Firefox, 100)),
+        ] {
+            for j in 0..40 {
+                set.push(vec![base + (j % 2) as f64 * 0.1, base], u)
+                    .unwrap();
+            }
+        }
+        let fs = FeatureSet::table8().subset(&[0, 1]);
+        let config = TrainConfig {
+            k: 3,
+            n_components: 2,
+            min_samples_for_majority: 1,
+            ..Default::default()
+        };
+        Detector::new(TrainedModel::fit(fs, &set, config).unwrap())
+    }
+
+    #[test]
+    fn honest_session_not_flagged() {
+        let d = toy_detector();
+        let a = d.assess(&[10.0, 10.0], ua(Vendor::Chrome, 100)).unwrap();
+        assert!(!a.flagged);
+        assert_eq!(a.risk_factor, 0);
+        assert_eq!(a.expected_cluster, Some(a.predicted_cluster));
+    }
+
+    #[test]
+    fn cross_vendor_lie_scores_max_risk() {
+        let d = toy_detector();
+        // Fingerprint of era C (Firefox) claiming Chrome 60.
+        let a = d.assess(&[20.0, 20.0], ua(Vendor::Chrome, 60)).unwrap();
+        assert!(a.flagged);
+        assert_eq!(a.risk_factor, crate::risk::MAX_RISK);
+    }
+
+    #[test]
+    fn same_vendor_version_lie_scores_scaled_risk() {
+        let d = toy_detector();
+        // Fingerprint of era A (Chrome 60/61) claiming Chrome 100:
+        // floor(|100-61|/4) = 9.
+        let a = d.assess(&[0.0, 0.0], ua(Vendor::Chrome, 100)).unwrap();
+        assert!(a.flagged);
+        assert_eq!(a.risk_factor, 9);
+    }
+
+    #[test]
+    fn unknown_claim_near_known_version_uses_fallback() {
+        let d = toy_detector();
+        // Chrome 102 is not in the table; nearest Chrome is 100 (era B).
+        let honest = d.assess(&[10.0, 10.0], ua(Vendor::Chrome, 102)).unwrap();
+        assert!(!honest.flagged);
+        let lying = d.assess(&[0.0, 0.0], ua(Vendor::Chrome, 102)).unwrap();
+        assert!(lying.flagged);
+    }
+
+    #[test]
+    fn assess_browser_runs_end_to_end() {
+        // Full-size model over genuine lab data; a genuine browser must
+        // pass and a category-2 fraud profile must flag.
+        let fs = FeatureSet::table8();
+        let mut set = TrainingSet::new(fs.len());
+        for r in browser_engine::catalog::legitimate_releases() {
+            let fp = fs.extract(&BrowserInstance::genuine(r.ua));
+            for _ in 0..3 {
+                set.push(fp.as_f64(), r.ua).unwrap();
+            }
+        }
+        let config = TrainConfig {
+            min_samples_for_majority: 1,
+            ..Default::default()
+        };
+        let d = Detector::new(TrainedModel::fit(fs.clone(), &set, config).unwrap());
+
+        let honest = BrowserInstance::genuine(ua(Vendor::Chrome, 112));
+        assert!(!d.assess_browser(&honest).unwrap().flagged);
+
+        // Blink 61 engine claiming Firefox 110 (Sphere-style).
+        let fraud = BrowserInstance::with_engine(
+            browser_engine::Engine::blink(61),
+            ua(Vendor::Firefox, 110),
+        );
+        let a = d.assess_browser(&fraud).unwrap();
+        assert!(a.flagged);
+        assert!(a.risk_factor >= 1);
+    }
+}

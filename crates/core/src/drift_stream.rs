@@ -1,0 +1,209 @@
+//! Streaming drift accumulation: §6.6 without batch storage.
+//!
+//! The batch [`crate::drift::DriftDetector`] needs the whole checkpoint
+//! window in memory. In production the collection service sees one
+//! submission at a time; [`DriftAccumulator`] ingests sessions as they
+//! arrive, keeps only per-(release, cluster) counters, and answers the
+//! same checkpoint question — predominant cluster and accuracy per new
+//! release — from O(releases × clusters) state instead of O(sessions).
+
+use crate::drift::{DriftDecision, DriftObservation};
+use crate::error::PolygraphError;
+use crate::train::TrainedModel;
+use browser_engine::UserAgent;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Incremental per-release cluster counters over a trained model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DriftAccumulator {
+    /// (release → (cluster → sessions)) counters.
+    counts: HashMap<UserAgent, HashMap<usize, usize>>,
+    /// Total sessions ingested (all releases).
+    ingested: usize,
+}
+
+impl Default for DriftAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DriftAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self { counts: HashMap::new(), ingested: 0 }
+    }
+
+    /// Total sessions ingested since the last reset.
+    pub fn ingested(&self) -> usize {
+        self.ingested
+    }
+
+    /// Ingests one session: predicts its cluster under `model` (with the
+    /// detector's satellite semantics) and counts it for its claimed
+    /// release.
+    pub fn ingest(
+        &mut self,
+        model: &TrainedModel,
+        values: &[f64],
+        claimed: UserAgent,
+    ) -> Result<(), PolygraphError> {
+        let cluster = model.nearest_populated_cluster(model.predict_cluster(values)?);
+        *self.counts.entry(claimed).or_default().entry(cluster).or_default() += 1;
+        self.ingested += 1;
+        Ok(())
+    }
+
+    /// The checkpoint measurement for one release, from the accumulated
+    /// counters — identical semantics to `DriftDetector::observe`.
+    pub fn observe(
+        &self,
+        model: &TrainedModel,
+        release: UserAgent,
+    ) -> Result<DriftObservation, PolygraphError> {
+        let Some(clusters) = self.counts.get(&release) else {
+            return Err(PolygraphError::NoObservations(release.label()));
+        };
+        let sessions: usize = clusters.values().sum();
+        let (&cluster, &majority) = clusters
+            .iter()
+            .max_by_key(|(_, &count)| count)
+            .expect("a present release has at least one session");
+        let expected_cluster = model
+            .cluster_table()
+            .entries()
+            .iter()
+            .filter(|(u, _)| u.vendor == release.vendor && *u != release)
+            .min_by_key(|(u, _)| u.version.abs_diff(release.version))
+            .map(|(_, c)| *c);
+        Ok(DriftObservation {
+            release,
+            cluster,
+            expected_cluster,
+            accuracy: majority as f64 / sessions as f64,
+            sessions,
+        })
+    }
+
+    /// Runs a checkpoint over several releases and renders the decision.
+    pub fn checkpoint(
+        &self,
+        model: &TrainedModel,
+        releases: &[UserAgent],
+    ) -> Result<(Vec<DriftObservation>, DriftDecision), PolygraphError> {
+        let mut observations = Vec::with_capacity(releases.len());
+        for &r in releases {
+            observations.push(self.observe(model, r)?);
+        }
+        let triggers: Vec<UserAgent> = observations
+            .iter()
+            .filter(|o| o.triggers_retraining())
+            .map(|o| o.release)
+            .collect();
+        let decision = if triggers.is_empty() {
+            DriftDecision::Stable
+        } else {
+            DriftDecision::Retrain { triggers }
+        };
+        Ok((observations, decision))
+    }
+
+    /// Clears the counters — called after a retrain, so the next window
+    /// is measured against the new model only.
+    pub fn reset(&mut self) {
+        self.counts.clear();
+        self.ingested = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::TrainingSet;
+    use crate::drift::DriftDetector;
+    use crate::train::{TrainConfig, TrainedModel};
+    use browser_engine::Vendor;
+    use fingerprint::FeatureSet;
+
+    fn ua(vendor: Vendor, v: u32) -> UserAgent {
+        UserAgent::new(vendor, v)
+    }
+
+    fn toy_model() -> TrainedModel {
+        let mut set = TrainingSet::new(2);
+        for (base, u) in [(0.0, ua(Vendor::Chrome, 100)), (10.0, ua(Vendor::Chrome, 110))] {
+            for j in 0..40 {
+                set.push(vec![base + (j % 2) as f64 * 0.1, base], u).unwrap();
+            }
+        }
+        let fs = FeatureSet::table8().subset(&[0, 1]);
+        TrainedModel::fit(
+            fs,
+            &set,
+            TrainConfig {
+                k: 2,
+                n_components: 2,
+                min_samples_for_majority: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn streaming_matches_batch_observation() {
+        let model = toy_model();
+        // A mixed window: Chrome 111 stable, Chrome 112 shifted.
+        let mut rows: Vec<(Vec<f64>, UserAgent)> = Vec::new();
+        for i in 0..60 {
+            rows.push((vec![10.0 + (i % 2) as f64 * 0.1, 10.0], ua(Vendor::Chrome, 111)));
+        }
+        for _ in 0..40 {
+            rows.push((vec![0.0, 0.0], ua(Vendor::Chrome, 112)));
+        }
+
+        // Batch path.
+        let (r, u): (Vec<_>, Vec<_>) = rows.clone().into_iter().unzip();
+        let batch = TrainingSet::from_rows(r, u).unwrap();
+        let batch_monitor = DriftDetector::new(&model);
+
+        // Streaming path.
+        let mut acc = DriftAccumulator::new();
+        for (row, claimed) in &rows {
+            acc.ingest(&model, row, *claimed).unwrap();
+        }
+        assert_eq!(acc.ingested(), rows.len());
+
+        for release in [ua(Vendor::Chrome, 111), ua(Vendor::Chrome, 112)] {
+            let batch_obs = batch_monitor.observe(&batch, release).unwrap();
+            let stream_obs = acc.observe(&model, release).unwrap();
+            assert_eq!(stream_obs, batch_obs, "{}", release.label());
+        }
+    }
+
+    #[test]
+    fn checkpoint_decision_matches_batch() {
+        let model = toy_model();
+        let mut acc = DriftAccumulator::new();
+        for _ in 0..50 {
+            acc.ingest(&model, &[0.0, 0.0], ua(Vendor::Chrome, 111)).unwrap();
+        }
+        let (obs, decision) =
+            acc.checkpoint(&model, &[ua(Vendor::Chrome, 111)]).unwrap();
+        assert_eq!(obs.len(), 1);
+        assert!(matches!(decision, DriftDecision::Retrain { .. }), "era flip must trigger");
+    }
+
+    #[test]
+    fn unseen_release_is_an_error_and_reset_clears() {
+        let model = toy_model();
+        let mut acc = DriftAccumulator::new();
+        assert!(acc.observe(&model, ua(Vendor::Firefox, 119)).is_err());
+        acc.ingest(&model, &[10.0, 10.0], ua(Vendor::Chrome, 111)).unwrap();
+        assert!(acc.observe(&model, ua(Vendor::Chrome, 111)).is_ok());
+        acc.reset();
+        assert_eq!(acc.ingested(), 0);
+        assert!(acc.observe(&model, ua(Vendor::Chrome, 111)).is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for the Polygraph pipeline.
+
+use polygraph_ml::MlError;
+use std::fmt;
+
+/// Errors produced by training, detection or drift analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolygraphError {
+    /// An underlying ML-substrate error.
+    Ml(MlError),
+    /// The training set is empty or malformed.
+    BadTrainingSet(String),
+    /// A fingerprint's width does not match the model's feature set.
+    FeatureWidthMismatch {
+        /// Width supplied.
+        got: usize,
+        /// Width the model expects.
+        expected: usize,
+    },
+    /// Drift analysis was asked about a release with no observations.
+    NoObservations(String),
+}
+
+impl fmt::Display for PolygraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolygraphError::Ml(e) => write!(f, "ml error: {e}"),
+            PolygraphError::BadTrainingSet(why) => write!(f, "bad training set: {why}"),
+            PolygraphError::FeatureWidthMismatch { got, expected } => {
+                write!(
+                    f,
+                    "fingerprint has {got} features, model expects {expected}"
+                )
+            }
+            PolygraphError::NoObservations(ua) => {
+                write!(f, "no observations for {ua}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolygraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PolygraphError::Ml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MlError> for PolygraphError {
+    fn from(e: MlError) -> Self {
+        PolygraphError::Ml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = PolygraphError::from(MlError::NotFitted);
+        assert!(e.to_string().contains("not been fitted"));
+        assert!(std::error::Error::source(&e).is_some());
+        let w = PolygraphError::FeatureWidthMismatch {
+            got: 2,
+            expected: 28,
+        };
+        assert!(w.to_string().contains("28"));
+        assert!(std::error::Error::source(&w).is_none());
+    }
+}

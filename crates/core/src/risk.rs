@@ -1,0 +1,135 @@
+//! Algorithm 1: the session `risk_factor`.
+//!
+//! Given a session's claimed user-agent and the user-agents resident in
+//! the cluster its fingerprint was assigned to, the risk factor is the
+//! minimum "distance" from the claim to any resident:
+//!
+//! * different vendor → distance 20 (the maximum);
+//! * same vendor → `⌊|Δversion| / 4⌋` — the divisor 4 was chosen
+//!   empirically from the width of the version runs in Table 3, so that a
+//!   fingerprint landing one cluster over (an update inconsistency, not
+//!   fraud) scores 0 or 1 rather than tripping the alarm.
+
+use browser_engine::UserAgent;
+
+/// The maximum (vendor-mismatch) distance of Algorithm 1.
+pub const MAX_RISK: u32 = 20;
+
+/// The version-difference divisor of Algorithm 1.
+pub const VERSION_DIVISOR: u32 = 4;
+
+/// Computes Algorithm 1.
+///
+/// ```
+/// use browser_engine::{UserAgent, Vendor};
+/// use polygraph_core::risk_factor;
+///
+/// // The session claims Chrome 59 but its fingerprint landed in the
+/// // cluster holding Chrome/Edge 102-109:
+/// let residents: Vec<UserAgent> =
+///     (102..=109).map(|v| UserAgent::new(Vendor::Chrome, v)).collect();
+/// assert_eq!(risk_factor(UserAgent::new(Vendor::Chrome, 59), &residents), 10);
+/// // A vendor mismatch is maximal:
+/// assert_eq!(risk_factor(UserAgent::new(Vendor::Firefox, 105), &residents), 20);
+/// // The claim sitting in its own cluster scores zero:
+/// assert_eq!(risk_factor(UserAgent::new(Vendor::Chrome, 105), &residents), 0);
+/// ```
+///
+/// Returns [`MAX_RISK`] when the predicted cluster holds no user-agents at
+/// all (the paper's k=11 model has two such clusters, 7 and 8, which catch
+/// sparse perturbation mass) — an empty neighbourhood is maximally
+/// suspicious.
+pub fn risk_factor(claimed: UserAgent, cluster_user_agents: &[UserAgent]) -> u32 {
+    let mut risk = MAX_RISK;
+    for ua in cluster_user_agents {
+        let distance = if claimed.vendor != ua.vendor {
+            MAX_RISK
+        } else {
+            claimed.version.abs_diff(ua.version) / VERSION_DIVISOR
+        };
+        risk = risk.min(distance);
+    }
+    risk
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use browser_engine::Vendor;
+    use proptest::prelude::*;
+
+    fn c(v: u32) -> UserAgent {
+        UserAgent::new(Vendor::Chrome, v)
+    }
+    fn f(v: u32) -> UserAgent {
+        UserAgent::new(Vendor::Firefox, v)
+    }
+
+    #[test]
+    fn claim_resident_in_cluster_scores_zero() {
+        assert_eq!(risk_factor(c(110), &[c(110), c(111)]), 0);
+    }
+
+    #[test]
+    fn near_miss_same_vendor_scores_zero() {
+        // floor(|110-109|/4) = 0 — adjacent-release mismatches are cheap,
+        // by design (§6.5: "reduces the likelihood of false negatives...
+        // similar vendor but a different release").
+        assert_eq!(risk_factor(c(110), &[c(109)]), 0);
+        assert_eq!(risk_factor(c(110), &[c(107)]), 0);
+        assert_eq!(risk_factor(c(110), &[c(106)]), 1);
+    }
+
+    #[test]
+    fn vendor_mismatch_is_max() {
+        assert_eq!(risk_factor(c(110), &[f(110)]), MAX_RISK);
+    }
+
+    #[test]
+    fn minimum_over_cluster_wins() {
+        // A Firefox resident (20) and a Chrome 70 resident (10): min wins.
+        assert_eq!(risk_factor(c(110), &[f(110), c(70)]), 10);
+    }
+
+    #[test]
+    fn empty_cluster_is_max_risk() {
+        assert_eq!(risk_factor(c(110), &[]), MAX_RISK);
+    }
+
+    #[test]
+    fn paper_example_old_chrome_claim_vs_modern_cluster() {
+        // Claimed Chrome 59 landing in cluster 5 (Chrome/Edge 102-109):
+        // floor(|59-102|/4) = 10 — the magnitude of Table 5's averages.
+        let cluster5: Vec<UserAgent> = (102..=109)
+            .map(c)
+            .chain((102..=109).map(|v| UserAgent::new(Vendor::Edge, v)))
+            .collect();
+        assert_eq!(risk_factor(c(59), &cluster5), 10);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_risk_bounded_and_zero_on_self(
+            v in 46u32..130,
+            others in proptest::collection::vec(46u32..130, 0..20),
+        ) {
+            let cluster: Vec<UserAgent> = others.iter().map(|&x| c(x)).collect();
+            let r = risk_factor(c(v), &cluster);
+            prop_assert!(r <= MAX_RISK);
+            let mut with_self = cluster;
+            with_self.push(c(v));
+            prop_assert_eq!(risk_factor(c(v), &with_self), 0);
+        }
+
+        #[test]
+        fn prop_adding_residents_never_raises_risk(
+            v in 46u32..130,
+            a in 46u32..130,
+            b in 46u32..130,
+        ) {
+            let r1 = risk_factor(c(v), &[c(a)]);
+            let r2 = risk_factor(c(v), &[c(a), c(b)]);
+            prop_assert!(r2 <= r1);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Stratified sampling for oversized training sets (§8, "Scale of the
+//! database").
+//!
+//! When the collected dataset outgrows what retraining can chew through,
+//! the paper proposes stratified sampling: shrink the data while keeping
+//! every stratum — here, every user-agent — represented. Uniform
+//! subsampling would do the opposite: the sparse old browsers that already
+//! need lab alignment (Edge 17, the enterprise pins) would vanish first.
+//!
+//! [`stratified_sample`] keeps a fixed fraction of each user-agent's
+//! sessions but never fewer than `min_per_stratum` (or the stratum's full
+//! size, if smaller) — so a 10× reduction of the bulk leaves the rare
+//! strata untouched.
+
+use crate::dataset::TrainingSet;
+use crate::error::PolygraphError;
+use browser_engine::UserAgent;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// Configuration for [`stratified_sample`].
+#[derive(Debug, Clone, Copy)]
+pub struct StratifiedConfig {
+    /// Fraction of each stratum to keep (0, 1].
+    pub fraction: f64,
+    /// Keep at least this many sessions per user-agent (clamped to the
+    /// stratum size).
+    pub min_per_stratum: usize,
+    /// RNG seed for the within-stratum choice.
+    pub seed: u64,
+}
+
+impl Default for StratifiedConfig {
+    fn default() -> Self {
+        Self {
+            fraction: 0.1,
+            min_per_stratum: 200,
+            seed: 0x57A7,
+        }
+    }
+}
+
+/// Draws a stratified subsample of `data`, stratified by user-agent.
+pub fn stratified_sample(
+    data: &TrainingSet,
+    config: StratifiedConfig,
+) -> Result<TrainingSet, PolygraphError> {
+    if !(0.0..=1.0).contains(&config.fraction) || config.fraction == 0.0 {
+        return Err(PolygraphError::BadTrainingSet(format!(
+            "fraction must be in (0, 1], got {}",
+            config.fraction
+        )));
+    }
+    let mut strata: HashMap<UserAgent, Vec<usize>> = HashMap::new();
+    for (i, ua) in data.user_agents().iter().enumerate() {
+        strata.entry(*ua).or_default().push(i);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut keep: Vec<usize> = Vec::new();
+    // Deterministic iteration order: sort strata by user-agent.
+    let mut uas: Vec<UserAgent> = strata.keys().copied().collect();
+    uas.sort();
+    for ua in uas {
+        let members = &strata[&ua];
+        let target = ((members.len() as f64 * config.fraction).round() as usize)
+            .max(config.min_per_stratum)
+            .min(members.len());
+        let mut chosen: Vec<usize> = members.choose_multiple(&mut rng, target).copied().collect();
+        keep.append(&mut chosen);
+    }
+    keep.sort_unstable();
+    let keep_set: std::collections::HashSet<usize> = keep.into_iter().collect();
+    Ok(data.filtered(|i| keep_set.contains(&i)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use browser_engine::Vendor;
+
+    fn ua(v: u32) -> UserAgent {
+        UserAgent::new(Vendor::Chrome, v)
+    }
+
+    /// 3000 sessions of a popular UA, 40 of a rare one.
+    fn skewed_set() -> TrainingSet {
+        let mut set = TrainingSet::new(1);
+        for i in 0..3000 {
+            set.push(vec![i as f64], ua(110)).unwrap();
+        }
+        for i in 0..40 {
+            set.push(vec![i as f64], ua(17)).unwrap();
+        }
+        set
+    }
+
+    fn count(set: &TrainingSet, target: UserAgent) -> usize {
+        set.user_agents().iter().filter(|&&u| u == target).count()
+    }
+
+    #[test]
+    fn bulk_shrinks_but_rare_strata_survive_whole() {
+        let data = skewed_set();
+        let sampled = stratified_sample(
+            &data,
+            StratifiedConfig {
+                fraction: 0.1,
+                min_per_stratum: 200,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(count(&sampled, ua(110)), 300, "10% of the bulk");
+        assert_eq!(
+            count(&sampled, ua(17)),
+            40,
+            "the rare stratum is kept whole"
+        );
+    }
+
+    #[test]
+    fn min_per_stratum_floors_the_draw() {
+        let data = skewed_set();
+        let sampled = stratified_sample(
+            &data,
+            StratifiedConfig {
+                fraction: 0.01,
+                min_per_stratum: 100,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(count(&sampled, ua(110)), 100, "floored at min_per_stratum");
+        assert_eq!(count(&sampled, ua(17)), 40);
+    }
+
+    #[test]
+    fn fraction_one_is_identity_sized() {
+        let data = skewed_set();
+        let sampled = stratified_sample(
+            &data,
+            StratifiedConfig {
+                fraction: 1.0,
+                min_per_stratum: 1,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(sampled.len(), data.len());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = skewed_set();
+        let cfg = StratifiedConfig {
+            fraction: 0.2,
+            min_per_stratum: 10,
+            seed: 9,
+        };
+        let a = stratified_sample(&data, cfg).unwrap();
+        let b = stratified_sample(&data, cfg).unwrap();
+        assert_eq!(a.rows(), b.rows());
+    }
+
+    #[test]
+    fn invalid_fraction_rejected() {
+        let data = skewed_set();
+        for fraction in [0.0, -0.5, 1.5] {
+            assert!(stratified_sample(
+                &data,
+                StratifiedConfig {
+                    fraction,
+                    min_per_stratum: 1,
+                    seed: 1
+                }
+            )
+            .is_err());
+        }
+    }
+}

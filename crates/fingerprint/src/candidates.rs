@@ -1,0 +1,198 @@
+//! Candidate fingerprint generation (§6.1).
+//!
+//! The paper starts from every prototype documented on MDN (1006 names),
+//! counts each one's own properties on a catalog of legitimate browser
+//! instances, and keeps the 200 count probes with the highest standard
+//! deviation across those browsers ("deviation-based" candidates).
+//!
+//! Most of MDN's interfaces either do not exist in the studied browsers or
+//! never change shape; our universe models that directly: the 200
+//! Appendix-3 prototypes carry real shape models, and the remaining 806
+//! names probe as absent everywhere, so deviation ranking discards them —
+//! the same funnel as the paper's.
+
+use crate::probe::Probe;
+use crate::vector::FeatureSet;
+use browser_engine::protodb::DEVIATION_PROTOTYPES;
+use browser_engine::BrowserInstance;
+
+/// Number of prototype names the paper assembled from MDN.
+pub const MDN_UNIVERSE_SIZE: usize = 1006;
+
+/// Number of deviation-based candidates kept (§6.1).
+pub const DEVIATION_CANDIDATES: usize = 200;
+
+/// The full probe-able universe: the 200 modelled prototypes plus filler
+/// names for the rest of MDN's documented interfaces (absent in every
+/// studied browser, hence zero deviation).
+pub fn mdn_universe() -> Vec<String> {
+    let mut names: Vec<String> = DEVIATION_PROTOTYPES.iter().map(|s| s.to_string()).collect();
+    let mut i = 0usize;
+    while names.len() < MDN_UNIVERSE_SIZE {
+        // Plausible-looking interface names that the simulated platform
+        // does not implement (think SVGFEDropShadowElement and friends).
+        names.push(format!("MDNInterface{i:03}"));
+        i += 1;
+    }
+    names
+}
+
+/// Per-probe deviation statistics over a browser catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviationStat {
+    /// The probed prototype name.
+    pub prototype: String,
+    /// Mean count across the catalog.
+    pub mean: f64,
+    /// Population standard deviation across the catalog.
+    pub std_dev: f64,
+    /// `std_dev / mean` (0 when the mean is 0) — the "normalized standard
+    /// deviation" the paper reports (0.0012–1.3853 for its selection).
+    pub normalized_std: f64,
+    /// Whether the prototype exists in at least one catalog browser.
+    pub observed: bool,
+}
+
+/// Computes deviation statistics for each prototype name over a catalog of
+/// browser instances.
+pub fn deviation_stats(names: &[String], catalog: &[BrowserInstance]) -> Vec<DeviationStat> {
+    names
+        .iter()
+        .map(|name| {
+            let values: Vec<f64> = catalog
+                .iter()
+                .map(|b| b.own_property_count(name) as f64)
+                .collect();
+            let n = values.len().max(1) as f64;
+            let mean = values.iter().sum::<f64>() / n;
+            let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+            let std_dev = var.sqrt();
+            DeviationStat {
+                prototype: name.clone(),
+                mean,
+                std_dev,
+                normalized_std: if mean > 0.0 { std_dev / mean } else { 0.0 },
+                observed: values.iter().any(|&v| v > 0.0),
+            }
+        })
+        .collect()
+}
+
+/// Ranks the universe by standard deviation (descending; observed
+/// prototypes win ties) and keeps the top `keep` count probes — the
+/// paper's deviation-based candidate selection.
+pub fn rank_by_deviation(
+    names: &[String],
+    catalog: &[BrowserInstance],
+    keep: usize,
+) -> Vec<DeviationStat> {
+    let mut stats = deviation_stats(names, catalog);
+    stats.sort_by(|a, b| {
+        b.std_dev
+            .partial_cmp(&a.std_dev)
+            .expect("finite std devs")
+            .then(b.observed.cmp(&a.observed))
+            .then(a.prototype.cmp(&b.prototype))
+    });
+    stats.truncate(keep);
+    stats
+}
+
+/// Runs the full candidate-generation stage: rank the MDN universe over
+/// `catalog`, keep the top 200 deviation probes, and return them as a
+/// feature set (presence candidates are appended separately by
+/// [`FeatureSet::candidates_513`]).
+pub fn generate_deviation_candidates(catalog: &[BrowserInstance]) -> FeatureSet {
+    let universe = mdn_universe();
+    let kept = rank_by_deviation(&universe, catalog, DEVIATION_CANDIDATES);
+    FeatureSet::new(kept.iter().map(|s| Probe::count(&s.prototype)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use browser_engine::catalog::legitimate_releases;
+    use browser_engine::BrowserInstance;
+
+    fn lab_catalog() -> Vec<BrowserInstance> {
+        legitimate_releases()
+            .into_iter()
+            .map(|r| BrowserInstance::genuine(r.ua))
+            .collect()
+    }
+
+    #[test]
+    fn universe_has_1006_unique_names() {
+        let names = mdn_universe();
+        assert_eq!(names.len(), MDN_UNIVERSE_SIZE);
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), MDN_UNIVERSE_SIZE);
+    }
+
+    #[test]
+    fn ranking_selects_exactly_the_modelled_prototypes() {
+        // The 806 filler interfaces are absent everywhere (zero deviation),
+        // so the top 200 must be precisely the Appendix-3 list.
+        let catalog = lab_catalog();
+        let kept = rank_by_deviation(&mdn_universe(), &catalog, DEVIATION_CANDIDATES);
+        assert_eq!(kept.len(), DEVIATION_CANDIDATES);
+        for stat in &kept {
+            assert!(
+                DEVIATION_PROTOTYPES.contains(&stat.prototype.as_str()),
+                "{} is not an Appendix-3 prototype",
+                stat.prototype
+            );
+        }
+    }
+
+    #[test]
+    fn element_ranks_near_the_top() {
+        let catalog = lab_catalog();
+        let kept = rank_by_deviation(&mdn_universe(), &catalog, 10);
+        assert!(
+            kept.iter().any(|s| s.prototype == "Element"),
+            "Element.prototype has the widest swing across eras; top 10 = {:?}",
+            kept.iter()
+                .map(|s| s.prototype.as_str())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn normalized_std_in_paper_range() {
+        // The paper reports normalized std of selected features spanning
+        // 0.0012 to 1.3853; ours should live in a comparable band.
+        let catalog = lab_catalog();
+        let kept = rank_by_deviation(&mdn_universe(), &catalog, DEVIATION_CANDIDATES);
+        for stat in kept.iter().filter(|s| s.observed) {
+            assert!(
+                stat.normalized_std < 3.0,
+                "{}: normalized std {} is implausibly high",
+                stat.prototype,
+                stat.normalized_std
+            );
+        }
+        let max = kept.iter().map(|s| s.normalized_std).fold(0.0, f64::max);
+        assert!(
+            max > 0.05,
+            "at least one feature must vary meaningfully, max={max}"
+        );
+    }
+
+    #[test]
+    fn filler_interfaces_have_zero_deviation() {
+        let catalog = lab_catalog();
+        let stats = deviation_stats(&["MDNInterface000".to_string()], &catalog);
+        assert_eq!(stats[0].std_dev, 0.0);
+        assert!(!stats[0].observed);
+    }
+
+    #[test]
+    fn generate_returns_200_count_probes() {
+        let catalog = lab_catalog();
+        let fs = generate_deviation_candidates(&catalog);
+        assert_eq!(fs.len(), DEVIATION_CANDIDATES);
+    }
+}

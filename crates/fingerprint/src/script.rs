@@ -1,0 +1,164 @@
+//! Generator for the in-page JavaScript collection snippet.
+//!
+//! The paper's deployment is a small script FinOrg embedded in one flow of
+//! its platform (§6.2): it evaluates the probes, collects the integer
+//! outputs alongside `navigator.userAgent`, and posts them to the
+//! collection endpoint. This module emits that script for any
+//! [`FeatureSet`], so a downstream adopter can deploy against real
+//! browsers with the exact probe order the trained model expects.
+//!
+//! Every probe is wrapped in a `try/catch` so a missing interface records
+//! `0` instead of aborting collection — the same guarded semantics as the
+//! simulation's `own_property_count`.
+
+use crate::probe::Probe;
+use crate::vector::FeatureSet;
+
+/// Options for the emitted script.
+#[derive(Debug, Clone)]
+pub struct ScriptOptions {
+    /// Endpoint URL the script posts to.
+    pub endpoint: String,
+    /// JavaScript identifier for the global collect function.
+    pub function_name: String,
+}
+
+impl Default for ScriptOptions {
+    fn default() -> Self {
+        Self {
+            endpoint: "/fp/submit".to_string(),
+            function_name: "__bpCollect".to_string(),
+        }
+    }
+}
+
+/// Emits the probe-evaluation expression for one probe.
+fn probe_js(probe: &Probe) -> String {
+    match probe {
+        Probe::Count { prototype } => format!(
+            "(function(){{try{{return Object.getOwnPropertyNames({prototype}.prototype).length;}}catch(e){{return 0;}}}})()"
+        ),
+        Probe::Presence(p) => format!(
+            "(function(){{try{{return {}.prototype.hasOwnProperty('{}')?1:0;}}catch(e){{return 0;}}}})()",
+            p.prototype, p.property
+        ),
+    }
+}
+
+/// Generates the full collection snippet for `features`.
+///
+/// The script defines one global function that evaluates every probe in
+/// feature-set order, assembles `{ua, v}` and POSTs it as JSON via
+/// `navigator.sendBeacon` (falling back to `fetch` with `keepalive`).
+pub fn collection_script(features: &FeatureSet, options: &ScriptOptions) -> String {
+    let mut out = String::with_capacity(4096 + features.len() * 120);
+    out.push_str(&format!(
+        "// Browser Polygraph collection snippet — {} probes.\n\
+         // Integer outputs only; no user-identifying data is read.\n\
+         (function () {{\n\
+         \x20\x20'use strict';\n\
+         \x20\x20function {}() {{\n\
+         \x20\x20\x20\x20var v = [\n",
+        features.len(),
+        options.function_name
+    ));
+    for probe in features.probes() {
+        out.push_str("      ");
+        out.push_str(&probe_js(probe));
+        out.push_str(",\n");
+    }
+    out.push_str(&format!(
+        "\x20\x20\x20\x20];\n\
+         \x20\x20\x20\x20var payload = JSON.stringify({{ ua: navigator.userAgent, v: v }});\n\
+         \x20\x20\x20\x20if (navigator.sendBeacon) {{\n\
+         \x20\x20\x20\x20\x20\x20navigator.sendBeacon('{endpoint}', payload);\n\
+         \x20\x20\x20\x20}} else {{\n\
+         \x20\x20\x20\x20\x20\x20fetch('{endpoint}', {{ method: 'POST', body: payload, keepalive: true }});\n\
+         \x20\x20\x20\x20}}\n\
+         \x20\x20\x20\x20return v;\n\
+         \x20\x20}}\n\
+         \x20\x20window.{name} = {name};\n\
+         \x20\x20{name}();\n\
+         }})();\n",
+        endpoint = options.endpoint,
+        name = options.function_name
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_contains_every_probe() {
+        let fs = FeatureSet::table8();
+        let js = collection_script(&fs, &ScriptOptions::default());
+        for probe in fs.probes() {
+            match probe {
+                Probe::Count { prototype } => {
+                    assert!(
+                        js.contains(&format!(
+                            "Object.getOwnPropertyNames({prototype}.prototype).length"
+                        )),
+                        "{prototype} missing from the script"
+                    );
+                }
+                Probe::Presence(p) => {
+                    assert!(
+                        js.contains(&format!(
+                            "{}.prototype.hasOwnProperty('{}')",
+                            p.prototype, p.property
+                        )),
+                        "{} missing from the script",
+                        p.expression()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn script_is_guarded_and_posts_to_endpoint() {
+        let fs = FeatureSet::table8();
+        let opts = ScriptOptions {
+            endpoint: "https://collect.example/fp".into(),
+            function_name: "collectFp".into(),
+        };
+        let js = collection_script(&fs, &opts);
+        // One try/catch guard per probe: a missing interface yields 0.
+        assert_eq!(js.matches("try{").count(), fs.len());
+        assert_eq!(js.matches("catch(e){return 0;}").count(), fs.len());
+        assert!(js.contains("sendBeacon('https://collect.example/fp'"));
+        assert!(js.contains("window.collectFp = collectFp;"));
+        assert!(js.contains("navigator.userAgent"));
+    }
+
+    #[test]
+    fn candidate_script_covers_all_513_probes() {
+        let fs = FeatureSet::candidates_513();
+        let js = collection_script(&fs, &ScriptOptions::default());
+        assert_eq!(js.matches("try{").count(), 513);
+        // The deployed script stays small: well under 100 KB of source.
+        assert!(js.len() < 100_000, "script is {} bytes", js.len());
+    }
+
+    #[test]
+    fn probe_order_matches_feature_set_order() {
+        // The backend decodes values positionally; the script must emit
+        // probes in exactly feature-set order.
+        let fs = FeatureSet::table8();
+        let js = collection_script(&fs, &ScriptOptions::default());
+        let mut last = 0usize;
+        for probe in fs.probes() {
+            let needle = match probe {
+                Probe::Count { prototype } => format!("({prototype}.prototype)"),
+                Probe::Presence(p) => format!("hasOwnProperty('{}')", p.property),
+            };
+            let pos = js[last..].find(&needle).map(|p| last + p).unwrap_or_else(|| {
+                panic!("probe {} not found after position {last}", probe.expression())
+            });
+            last = pos;
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Feature sets and fingerprint vectors.
+
+use crate::probe::{FeatureKind, Probe};
+use browser_engine::protodb::{DEVIATION_PROTOTYPES, TABLE8_PROTOTYPES};
+use browser_engine::timebased;
+use browser_engine::BrowserInstance;
+use serde::{Deserialize, Serialize};
+
+/// An ordered list of probes — the schema of a fingerprint vector.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureSet {
+    probes: Vec<Probe>,
+}
+
+impl FeatureSet {
+    /// Builds a feature set from an explicit probe list.
+    pub fn new(probes: Vec<Probe>) -> Self {
+        Self { probes }
+    }
+
+    /// The paper's final 28-feature set (Table 8): 22 deviation-based
+    /// count probes followed by 6 time-based presence probes.
+    ///
+    /// ```
+    /// use browser_engine::{BrowserInstance, UserAgent, Vendor};
+    /// use fingerprint::FeatureSet;
+    ///
+    /// let features = FeatureSet::table8();
+    /// assert_eq!(features.len(), 28);
+    /// let chrome = BrowserInstance::genuine(UserAgent::new(Vendor::Chrome, 112));
+    /// let fingerprint = features.extract(&chrome);
+    /// assert_eq!(fingerprint.len(), 28);
+    /// // Chrome and same-version Edge run the same engine, so they probe
+    /// // identically — the premise of the whole detector.
+    /// let edge = BrowserInstance::genuine(UserAgent::new(Vendor::Edge, 112));
+    /// assert_eq!(features.extract(&edge), fingerprint);
+    /// ```
+    pub fn table8() -> Self {
+        let mut probes: Vec<Probe> = TABLE8_PROTOTYPES.iter().map(|p| Probe::count(p)).collect();
+        probes.extend(
+            timebased::table8_presence_probes()
+                .into_iter()
+                .map(Probe::Presence),
+        );
+        Self { probes }
+    }
+
+    /// The 513-probe set deployed for real-world collection (§6.2): the
+    /// 200 deviation-based candidates of Appendix-3 plus the 313
+    /// BrowserPrint-style presence probes.
+    pub fn candidates_513() -> Self {
+        let mut probes: Vec<Probe> = DEVIATION_PROTOTYPES
+            .iter()
+            .map(|p| Probe::count(p))
+            .collect();
+        probes.extend(
+            timebased::browserprint_candidates()
+                .into_iter()
+                .map(Probe::Presence),
+        );
+        Self { probes }
+    }
+
+    /// Number of probes.
+    pub fn len(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// True when the set holds no probes.
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+
+    /// The probes, in vector order.
+    pub fn probes(&self) -> &[Probe] {
+        &self.probes
+    }
+
+    /// Probe expressions, in vector order (feature names for reports).
+    pub fn names(&self) -> Vec<String> {
+        self.probes.iter().map(|p| p.expression()).collect()
+    }
+
+    /// Indices of the probes of a given kind.
+    pub fn indices_of_kind(&self, kind: FeatureKind) -> Vec<usize> {
+        self.probes
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.kind() == kind)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Restricts the set to the probes at `indices` (in that order).
+    pub fn subset(&self, indices: &[usize]) -> FeatureSet {
+        FeatureSet {
+            probes: indices.iter().map(|&i| self.probes[i].clone()).collect(),
+        }
+    }
+
+    /// Runs every probe against a browser and returns the raw vector.
+    pub fn extract(&self, browser: &BrowserInstance) -> Fingerprint {
+        Fingerprint {
+            values: self.probes.iter().map(|p| p.execute(browser)).collect(),
+        }
+    }
+}
+
+/// A raw fingerprint: one integer per probe of the producing
+/// [`FeatureSet`], in set order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fingerprint {
+    values: Vec<u32>,
+}
+
+impl Fingerprint {
+    /// Wraps raw values (e.g. decoded from the wire).
+    pub fn from_values(values: Vec<u32>) -> Self {
+        Self { values }
+    }
+
+    /// The integer outputs, in feature order.
+    pub fn values(&self) -> &[u32] {
+        &self.values
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the fingerprint holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The vector as `f64`, the ML pipeline's input row.
+    pub fn as_f64(&self) -> Vec<f64> {
+        self.values.iter().map(|&v| v as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use browser_engine::{UserAgent, Vendor};
+
+    #[test]
+    fn table8_has_28_features_22_plus_6() {
+        let fs = FeatureSet::table8();
+        assert_eq!(fs.len(), 28);
+        assert_eq!(fs.indices_of_kind(FeatureKind::DeviationBased).len(), 22);
+        assert_eq!(fs.indices_of_kind(FeatureKind::TimeBased).len(), 6);
+        // Table order: deviation features first.
+        assert_eq!(
+            fs.names()[0],
+            "Object.getOwnPropertyNames(Element.prototype).length"
+        );
+        assert_eq!(
+            fs.names()[27],
+            "CSSStyleDeclaration.prototype.hasOwnProperty('getPropertyValue')"
+        );
+    }
+
+    #[test]
+    fn candidate_set_has_513_probes() {
+        let fs = FeatureSet::candidates_513();
+        assert_eq!(fs.len(), 513);
+        assert_eq!(fs.indices_of_kind(FeatureKind::DeviationBased).len(), 200);
+        assert_eq!(fs.indices_of_kind(FeatureKind::TimeBased).len(), 313);
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let fs = FeatureSet::table8();
+        let b = BrowserInstance::genuine(UserAgent::new(Vendor::Firefox, 110));
+        assert_eq!(fs.extract(&b), fs.extract(&b));
+    }
+
+    #[test]
+    fn same_engine_same_fingerprint() {
+        let fs = FeatureSet::table8();
+        let chrome = BrowserInstance::genuine(UserAgent::new(Vendor::Chrome, 111));
+        let edge = BrowserInstance::genuine(UserAgent::new(Vendor::Edge, 111));
+        assert_eq!(fs.extract(&chrome), fs.extract(&edge));
+    }
+
+    #[test]
+    fn different_eras_different_fingerprints() {
+        let fs = FeatureSet::table8();
+        let old = fs.extract(&BrowserInstance::genuine(UserAgent::new(
+            Vendor::Chrome,
+            60,
+        )));
+        let new = fs.extract(&BrowserInstance::genuine(UserAgent::new(
+            Vendor::Chrome,
+            115,
+        )));
+        assert_ne!(old, new);
+    }
+
+    #[test]
+    fn subset_reorders() {
+        let fs = FeatureSet::table8();
+        let sub = fs.subset(&[27, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.probes()[1], fs.probes()[0]);
+    }
+
+    #[test]
+    fn fingerprint_as_f64_round_trips() {
+        let fp = Fingerprint::from_values(vec![3, 0, 1]);
+        assert_eq!(fp.as_f64(), vec![3.0, 0.0, 1.0]);
+        assert_eq!(fp.len(), 3);
+    }
+}

@@ -1,0 +1,377 @@
+//! The fingerprint submission wire format.
+//!
+//! FinOrg's deployment constraints (§3) cap the per-user payload at 1 KB.
+//! The format below keeps even the full 513-probe collection payload under
+//! that budget:
+//!
+//! ```text
+//! +------+-----+------------------+---------+-----------+--------------+
+//! | "BP" | ver | session id (16B) | ua-len  | ua bytes  | LEB128 vals  |
+//! | 2 B  | 1 B |                  | u16 LE  | ≤ 512 B   | count + data |
+//! +------+-----+------------------+---------+-----------+--------------+
+//! ```
+//!
+//! Values are LEB128 varints: property counts are small integers, so the
+//! common case is one byte per feature. Encoding is infallible for valid
+//! submissions; decoding validates every field and never panics on
+//! malformed input — this is the parser that faces the network.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Hard cap on an encoded submission, from the paper's §3 requirement.
+pub const MAX_SUBMISSION_BYTES: usize = 1024;
+
+/// Wire format version this library writes.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Magic prefix of every submission frame.
+pub const MAGIC: [u8; 2] = *b"BP";
+
+/// Maximum user-agent string length accepted on decode.
+pub const MAX_UA_LEN: usize = 512;
+
+/// Maximum number of feature values accepted on decode.
+pub const MAX_VALUES: usize = 1024;
+
+/// A fingerprint submission: what the in-page script sends to the
+/// collection endpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Submission {
+    /// Opaque anonymised session identifier (Appendix A: "completely
+    /// opaque and randomized").
+    pub session_id: [u8; 16],
+    /// The raw `navigator.userAgent` string as claimed by the browser.
+    pub user_agent: String,
+    /// The probe outputs, in feature-set order.
+    pub values: Vec<u32>,
+}
+
+/// Errors produced when decoding a submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Frame shorter than its declared contents.
+    Truncated,
+    /// Missing or wrong magic bytes.
+    BadMagic,
+    /// Unsupported wire version.
+    UnsupportedVersion(u8),
+    /// User-agent length exceeds [`MAX_UA_LEN`].
+    UserAgentTooLong(usize),
+    /// User-agent bytes are not valid UTF-8.
+    UserAgentNotUtf8,
+    /// Value count exceeds [`MAX_VALUES`].
+    TooManyValues(usize),
+    /// A varint ran past 5 bytes (would overflow u32).
+    VarintOverflow,
+    /// Trailing bytes after the declared contents.
+    TrailingBytes(usize),
+    /// An encoded submission would exceed [`MAX_SUBMISSION_BYTES`].
+    OverBudget(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::BadMagic => write!(f, "bad magic"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::UserAgentTooLong(n) => {
+                write!(f, "user-agent length {n} exceeds {MAX_UA_LEN}")
+            }
+            WireError::UserAgentNotUtf8 => write!(f, "user-agent is not valid UTF-8"),
+            WireError::TooManyValues(n) => write!(f, "value count {n} exceeds {MAX_VALUES}"),
+            WireError::VarintOverflow => write!(f, "varint overflows u32"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame"),
+            WireError::OverBudget(n) => {
+                write!(
+                    f,
+                    "encoded size {n} exceeds the {MAX_SUBMISSION_BYTES}-byte budget"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes a submission. Fails only when the result would blow the 1 KB
+/// budget or a field exceeds its cap.
+///
+/// ```
+/// use fingerprint::{decode_submission, encode_submission, Submission};
+///
+/// let sub = Submission {
+///     session_id: [7u8; 16],
+///     user_agent: "Mozilla/5.0 ... Chrome/112.0.0.0".into(),
+///     values: vec![330, 270, 106, 1, 0, 1],
+/// };
+/// let frame = encode_submission(&sub).unwrap();
+/// assert!(frame.len() <= fingerprint::MAX_SUBMISSION_BYTES);
+/// assert_eq!(decode_submission(&frame).unwrap(), sub);
+/// ```
+pub fn encode_submission(sub: &Submission) -> Result<Bytes, WireError> {
+    if sub.user_agent.len() > MAX_UA_LEN {
+        return Err(WireError::UserAgentTooLong(sub.user_agent.len()));
+    }
+    if sub.values.len() > MAX_VALUES {
+        return Err(WireError::TooManyValues(sub.values.len()));
+    }
+    let mut buf = BytesMut::with_capacity(64 + sub.user_agent.len() + sub.values.len() * 2);
+    buf.put_slice(&MAGIC);
+    buf.put_u8(WIRE_VERSION);
+    buf.put_slice(&sub.session_id);
+    buf.put_u16_le(sub.user_agent.len() as u16);
+    buf.put_slice(sub.user_agent.as_bytes());
+    buf.put_u16_le(sub.values.len() as u16);
+    for &v in &sub.values {
+        put_varint(&mut buf, v);
+    }
+    if buf.len() > MAX_SUBMISSION_BYTES {
+        return Err(WireError::OverBudget(buf.len()));
+    }
+    Ok(buf.freeze())
+}
+
+/// Decodes a submission frame, validating every field.
+pub fn decode_submission(mut frame: &[u8]) -> Result<Submission, WireError> {
+    if frame.remaining() < 2 + 1 + 16 + 2 {
+        return Err(WireError::Truncated);
+    }
+    let mut magic = [0u8; 2];
+    frame.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = frame.get_u8();
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let mut session_id = [0u8; 16];
+    frame.copy_to_slice(&mut session_id);
+    let ua_len = frame.get_u16_le() as usize;
+    if ua_len > MAX_UA_LEN {
+        return Err(WireError::UserAgentTooLong(ua_len));
+    }
+    if frame.remaining() < ua_len {
+        return Err(WireError::Truncated);
+    }
+    let ua_bytes = frame.copy_to_bytes(ua_len);
+    let user_agent =
+        String::from_utf8(ua_bytes.to_vec()).map_err(|_| WireError::UserAgentNotUtf8)?;
+    if frame.remaining() < 2 {
+        return Err(WireError::Truncated);
+    }
+    let count = frame.get_u16_le() as usize;
+    if count > MAX_VALUES {
+        return Err(WireError::TooManyValues(count));
+    }
+    let mut values = Vec::with_capacity(count);
+    for _ in 0..count {
+        values.push(get_varint(&mut frame)?);
+    }
+    if frame.has_remaining() {
+        return Err(WireError::TrailingBytes(frame.remaining()));
+    }
+    Ok(Submission {
+        session_id,
+        user_agent,
+        values,
+    })
+}
+
+fn put_varint(buf: &mut BytesMut, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(frame: &mut &[u8]) -> Result<u32, WireError> {
+    let mut out: u32 = 0;
+    for shift in 0..5 {
+        if !frame.has_remaining() {
+            return Err(WireError::Truncated);
+        }
+        let byte = frame.get_u8();
+        let chunk = (byte & 0x7f) as u32;
+        // The 5th byte may only carry 4 bits.
+        if shift == 4 && chunk > 0x0f {
+            return Err(WireError::VarintOverflow);
+        }
+        out |= chunk << (7 * shift);
+        if byte & 0x80 == 0 {
+            return Ok(out);
+        }
+    }
+    Err(WireError::VarintOverflow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> Submission {
+        Submission {
+            session_id: [7u8; 16],
+            user_agent: "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 \
+                         (KHTML, like Gecko) Chrome/112.0.0.0 Safari/537.36"
+                .to_string(),
+            values: vec![
+                330, 270, 106, 70, 13, 13, 45, 7, 11, 28, 7, 17, 18, 11, 86, 16, 16, 26, 63, 576,
+                412, 19, 1, 1, 1, 1, 0, 1,
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let sub = sample();
+        let bytes = encode_submission(&sub).unwrap();
+        let back = decode_submission(&bytes).unwrap();
+        assert_eq!(back, sub);
+    }
+
+    #[test]
+    fn table8_submission_fits_well_under_1kb() {
+        let bytes = encode_submission(&sample()).unwrap();
+        assert!(
+            bytes.len() < 256,
+            "28-feature payload is tiny, got {}",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn full_candidate_payload_fits_budget() {
+        // 513 values with realistic magnitudes (most are small counts).
+        let mut sub = sample();
+        sub.values = (0..513).map(|i| (i % 120) as u32).collect();
+        let bytes = encode_submission(&sub).unwrap();
+        assert!(
+            bytes.len() <= MAX_SUBMISSION_BYTES,
+            "candidate payload must fit 1 KB, got {}",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let bytes = encode_submission(&sample()).unwrap().to_vec();
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(decode_submission(&bad), Err(WireError::BadMagic));
+        let mut badv = bytes;
+        badv[2] = 99;
+        assert_eq!(
+            decode_submission(&badv),
+            Err(WireError::UnsupportedVersion(99))
+        );
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let bytes = encode_submission(&sample()).unwrap();
+        for cut in 0..bytes.len() {
+            let r = decode_submission(&bytes[..cut]);
+            assert!(r.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut bytes = encode_submission(&sample()).unwrap().to_vec();
+        bytes.push(0);
+        assert_eq!(decode_submission(&bytes), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn rejects_oversized_fields() {
+        let mut sub = sample();
+        sub.user_agent = "x".repeat(MAX_UA_LEN + 1);
+        assert!(matches!(
+            encode_submission(&sub),
+            Err(WireError::UserAgentTooLong(_))
+        ));
+        let mut sub = sample();
+        sub.values = vec![0; MAX_VALUES + 1];
+        assert!(matches!(
+            encode_submission(&sub),
+            Err(WireError::TooManyValues(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_over_budget_payload() {
+        let mut sub = sample();
+        // Large values take 5 varint bytes each; 300 of them burst 1 KB.
+        sub.values = vec![u32::MAX; 300];
+        assert!(matches!(
+            encode_submission(&sub),
+            Err(WireError::OverBudget(_))
+        ));
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u32, 1, 127, 128, 16383, 16384, u32::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut slice: &[u8] = &buf;
+            assert_eq!(get_varint(&mut slice).unwrap(), v);
+            assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_overflow_detected() {
+        // 6 continuation bytes.
+        let data = [0xff, 0xff, 0xff, 0xff, 0xff, 0x01];
+        let mut slice: &[u8] = &data;
+        assert_eq!(get_varint(&mut slice), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn empty_input_is_truncated_not_panic() {
+        assert_eq!(decode_submission(&[]), Err(WireError::Truncated));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_arbitrary(
+            id in any::<[u8; 16]>(),
+            ua in "[ -~]{0,200}",
+            values in proptest::collection::vec(0u32..100_000, 0..200),
+        ) {
+            let sub = Submission { session_id: id, user_agent: ua, values };
+            if let Ok(bytes) = encode_submission(&sub) {
+                let back = decode_submission(&bytes).unwrap();
+                prop_assert_eq!(back, sub);
+            }
+        }
+
+        #[test]
+        fn prop_decoder_never_panics_on_noise(noise in proptest::collection::vec(any::<u8>(), 0..600)) {
+            let _ = decode_submission(&noise);
+        }
+
+        #[test]
+        fn prop_mutated_frames_never_panic(
+            flip in 0usize..200,
+            byte in any::<u8>(),
+        ) {
+            let bytes = encode_submission(&sample()).unwrap().to_vec();
+            let mut mutated = bytes.clone();
+            let idx = flip % mutated.len();
+            mutated[idx] = byte;
+            let _ = decode_submission(&mutated);
+        }
+    }
+}

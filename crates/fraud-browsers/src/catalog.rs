@@ -1,0 +1,252 @@
+//! The fraud-browser product catalog (Table 1).
+
+use browser_engine::catalog::SimDate;
+use browser_engine::Engine;
+use serde::Serialize;
+use std::fmt;
+
+/// Behavioural category of a fraud browser (§2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Category {
+    /// Category 1: fingerprint matches no legitimate browser.
+    MismatchedFingerprint,
+    /// Category 2: legitimate but *fixed* fingerprint — unchanged when the
+    /// user-agent is modified.
+    FixedFingerprint,
+    /// Category 3: the engine (and hence the fingerprint) swaps together
+    /// with the user-agent.
+    EngineSwap,
+    /// Category 4: a genuine browser used inside a spoofed environment.
+    GenuineSpoofedEnvironment,
+}
+
+impl Category {
+    /// The paper's 1-based category number.
+    pub fn number(self) -> u8 {
+        match self {
+            Category::MismatchedFingerprint => 1,
+            Category::FixedFingerprint => 2,
+            Category::EngineSwap => 3,
+            Category::GenuineSpoofedEnvironment => 4,
+        }
+    }
+
+    /// Whether coarse-grained fingerprinting can, in principle, detect
+    /// this category (the paper targets 1 and 2 only).
+    pub fn coarse_grained_detectable(self) -> bool {
+        matches!(
+            self,
+            Category::MismatchedFingerprint | Category::FixedFingerprint
+        )
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Category {}", self.number())
+    }
+}
+
+/// A fraud-browser product.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FraudProduct {
+    /// Product name as in Table 1, e.g. `"Octo Browser"`.
+    pub name: &'static str,
+    /// Product version as in Table 1.
+    pub version: &'static str,
+    /// Approximate release month (Table 1's "Rel. Date" column).
+    pub released: SimDate,
+    /// Behavioural category.
+    pub category: Category,
+    /// Whether the vendor still ships new releases (Table 1's "New Rel?").
+    pub actively_released: bool,
+    /// The engine the product embeds. For category 1 this is the base the
+    /// distortion layer sits on; for category 2 it is the fingerprint the
+    /// product always presents; for categories 3–4 it is only a default
+    /// (the effective engine follows the chosen profile).
+    pub base_engine: Engine,
+    /// Product-specific distortion seed (category 1 only).
+    pub distortion_seed: Option<u8>,
+    /// Global namespace the product injects (§8's AntBrowser observation),
+    /// if any.
+    pub injected_global: Option<&'static str>,
+}
+
+/// The eleven product entries of Table 1.
+pub fn table1_products() -> Vec<FraudProduct> {
+    use Category::*;
+    vec![
+        FraudProduct {
+            name: "Linken Sphere",
+            version: "8.93",
+            released: SimDate::new(2022, 4),
+            category: MismatchedFingerprint,
+            actively_released: false,
+            base_engine: Engine::blink(96),
+            distortion_seed: Some(1),
+            injected_global: None,
+        },
+        FraudProduct {
+            name: "ClonBrowser",
+            version: "4.6.6",
+            released: SimDate::new(2023, 5),
+            category: MismatchedFingerprint,
+            actively_released: true,
+            base_engine: Engine::blink(112),
+            distortion_seed: Some(2),
+            injected_global: None,
+        },
+        FraudProduct {
+            name: "Incogniton",
+            version: "3.2.7.7",
+            released: SimDate::new(2023, 5),
+            category: FixedFingerprint,
+            actively_released: true,
+            base_engine: Engine::blink(112),
+            distortion_seed: None,
+            injected_global: None,
+        },
+        FraudProduct {
+            name: "GoLogin",
+            version: "3.3.23",
+            released: SimDate::new(2023, 5),
+            category: FixedFingerprint,
+            actively_released: true,
+            base_engine: Engine::blink(108),
+            distortion_seed: None,
+            injected_global: None,
+        },
+        FraudProduct {
+            name: "CheBrowser",
+            version: "0.3.38",
+            released: SimDate::new(2023, 5),
+            category: FixedFingerprint,
+            actively_released: true,
+            // CheBrowser sells per-profile engines; this is its default.
+            base_engine: Engine::blink(104),
+            distortion_seed: None,
+            injected_global: None,
+        },
+        FraudProduct {
+            name: "VMLogin",
+            version: "1.3.8.5",
+            released: SimDate::new(2023, 4),
+            category: FixedFingerprint,
+            actively_released: true,
+            base_engine: Engine::blink(100),
+            distortion_seed: None,
+            injected_global: None,
+        },
+        FraudProduct {
+            name: "Octo Browser",
+            version: "1.10",
+            released: SimDate::new(2023, 9),
+            category: FixedFingerprint,
+            actively_released: true,
+            base_engine: Engine::blink(110),
+            distortion_seed: None,
+            injected_global: None,
+        },
+        FraudProduct {
+            name: "Sphere",
+            version: "1.3",
+            released: SimDate::new(2023, 11),
+            category: FixedFingerprint,
+            actively_released: false,
+            // The free Sphere build emulates a fingerprint close to
+            // Chrome 61 (§7.2).
+            base_engine: Engine::blink(61),
+            distortion_seed: None,
+            injected_global: None,
+        },
+        FraudProduct {
+            name: "AntBrowser",
+            version: "2023.05",
+            released: SimDate::new(2023, 5),
+            category: FixedFingerprint,
+            actively_released: false,
+            base_engine: Engine::blink(100),
+            distortion_seed: None,
+            injected_global: Some("ANTBROWSER"),
+        },
+        FraudProduct {
+            name: "AdsPower",
+            version: "4.12.27",
+            released: SimDate::new(2022, 12),
+            category: EngineSwap,
+            actively_released: true,
+            base_engine: Engine::blink(108),
+            distortion_seed: None,
+            injected_global: None,
+        },
+        FraudProduct {
+            name: "AdsPower",
+            version: "5.4.20",
+            released: SimDate::new(2023, 4),
+            category: EngineSwap,
+            actively_released: true,
+            base_engine: Engine::blink(112),
+            distortion_seed: None,
+            injected_global: None,
+        },
+    ]
+}
+
+/// Looks a product up by name (latest catalogued version wins).
+pub fn product_by_name(name: &str) -> Option<FraudProduct> {
+    table1_products().into_iter().rfind(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_table1_shape() {
+        let products = table1_products();
+        assert_eq!(products.len(), 11);
+        let cat1 = products.iter().filter(|p| p.category.number() == 1).count();
+        let cat2 = products.iter().filter(|p| p.category.number() == 2).count();
+        let cat3 = products.iter().filter(|p| p.category.number() == 3).count();
+        assert_eq!((cat1, cat2, cat3), (2, 7, 2));
+    }
+
+    #[test]
+    fn category_detectability() {
+        assert!(Category::MismatchedFingerprint.coarse_grained_detectable());
+        assert!(Category::FixedFingerprint.coarse_grained_detectable());
+        assert!(!Category::EngineSwap.coarse_grained_detectable());
+        assert!(!Category::GenuineSpoofedEnvironment.coarse_grained_detectable());
+    }
+
+    #[test]
+    fn category1_products_have_distortion_seeds() {
+        for p in table1_products() {
+            assert_eq!(
+                p.distortion_seed.is_some(),
+                p.category == Category::MismatchedFingerprint,
+                "{} seed mismatch",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn antbrowser_pollutes_namespace() {
+        let ant = product_by_name("AntBrowser").unwrap();
+        assert_eq!(ant.injected_global, Some("ANTBROWSER"));
+    }
+
+    #[test]
+    fn product_lookup_prefers_latest_version() {
+        let ads = product_by_name("AdsPower").unwrap();
+        assert_eq!(ads.version, "5.4.20");
+        assert!(product_by_name("NotABrowser").is_none());
+    }
+
+    #[test]
+    fn sphere_emulates_old_chrome() {
+        let sphere = product_by_name("Sphere").unwrap();
+        assert_eq!(sphere.base_engine, Engine::blink(61));
+    }
+}

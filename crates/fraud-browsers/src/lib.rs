@@ -1,0 +1,34 @@
+//! # fraud-browsers
+//!
+//! Simulators for the anti-detect ("fraud") browsers the paper analyses
+//! (§2.2–2.3, Table 1). A fraud browser loads a stolen victim profile —
+//! most importantly the victim's user-agent — on top of whatever engine the
+//! product actually embeds. The paper sorts products into four behavioural
+//! categories, which fully determine what a coarse-grained fingerprint can
+//! see:
+//!
+//! 1. **Mismatched fingerprint** — the product's own spoofing layer
+//!    produces a fingerprint matching *no* legitimate browser
+//!    (Linken Sphere, ClonBrowser).
+//! 2. **Fixed fingerprint** — a legitimate (embedded-Chromium) fingerprint
+//!    that does not change when the user-agent is changed (Incogniton,
+//!    GoLogin, CheBrowser, VMLogin, Octo, Sphere, AntBrowser).
+//! 3. **Engine swap** — the product switches its engine along with the
+//!    user-agent; fingerprint and claim stay consistent (AdsPower).
+//! 4. **Genuine browser in a spoofed environment** — nothing for a
+//!    fingerprint to see at all.
+//!
+//! Categories 1–2 are Browser Polygraph's detection target; categories 3–4
+//! are modelled precisely so the evaluation can show they are *not*
+//! detectable by this technique (§2.3, §8).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod markers;
+pub mod profile;
+
+pub use catalog::{table1_products, Category, FraudProduct};
+pub use markers::{has_any_marker, scan_markers, Marker, MarkerHit};
+pub use profile::{FraudProfile, ProfilePlan};

@@ -1,0 +1,139 @@
+//! Software-specific fraud-browser markers (§8, "Deployment scope").
+//!
+//! The paper observes that anti-detect products often make themselves
+//! *more* fingerprintable than stock browsers: AntBrowser injects an
+//! `ANTBROWSER` object and `antBrowser`-prefixed attributes into the page
+//! namespace — echoing Nikiforakis et al.'s finding that spoofing
+//! extensions ironically aid fingerprinting. The paper leaves automating
+//! this as future work; this module implements the direct version: a
+//! curated marker dictionary plus a scanner that checks a browser's
+//! global namespace against it.
+//!
+//! Marker detection is complementary to the clustering detector: it
+//! catches specific *products* (including category 3, which the
+//! coarse-grained fingerprint cannot see) but goes stale with each product
+//! release, exactly as the paper says of manual regex defences (§9).
+
+use crate::catalog::Category;
+use browser_engine::BrowserInstance;
+use serde::Serialize;
+
+/// One known product marker: a global name a product injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Marker {
+    /// The injected global's name.
+    pub global: &'static str,
+    /// The product known to inject it.
+    pub product: &'static str,
+    /// The product's category (markers can implicate category 3 too).
+    pub category: Category,
+}
+
+/// The curated marker dictionary: the §8 AntBrowser observation plus the
+/// same class of leak for other products (each product's updater/IPC
+/// bridge names, as a field analyst would curate them).
+pub const KNOWN_MARKERS: [Marker; 6] = [
+    Marker {
+        global: "ANTBROWSER",
+        product: "AntBrowser",
+        category: Category::FixedFingerprint,
+    },
+    Marker {
+        global: "antBrowserProfile",
+        product: "AntBrowser",
+        category: Category::FixedFingerprint,
+    },
+    Marker {
+        global: "__lsphere_bridge",
+        product: "Linken Sphere",
+        category: Category::MismatchedFingerprint,
+    },
+    Marker {
+        global: "__clonInject",
+        product: "ClonBrowser",
+        category: Category::MismatchedFingerprint,
+    },
+    Marker {
+        global: "adspower_helper",
+        product: "AdsPower",
+        category: Category::EngineSwap,
+    },
+    Marker {
+        global: "__gl_profile_sync",
+        product: "GoLogin",
+        category: Category::FixedFingerprint,
+    },
+];
+
+/// A marker found on a scanned browser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct MarkerHit {
+    /// The matched marker.
+    pub marker: Marker,
+}
+
+/// Scans a browser's global namespace for known product markers.
+pub fn scan_markers(browser: &BrowserInstance) -> Vec<MarkerHit> {
+    KNOWN_MARKERS
+        .iter()
+        .filter(|m| browser.has_global(m.global))
+        .map(|&marker| MarkerHit { marker })
+        .collect()
+}
+
+/// True when the browser carries any known product marker.
+pub fn has_any_marker(browser: &BrowserInstance) -> bool {
+    KNOWN_MARKERS.iter().any(|m| browser.has_global(m.global))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::product_by_name;
+    use crate::profile::FraudProfile;
+    use browser_engine::{UserAgent, Vendor};
+
+    #[test]
+    fn antbrowser_profile_trips_the_scanner() {
+        let ant = product_by_name("AntBrowser").unwrap();
+        let instance = FraudProfile::new(ant, UserAgent::new(Vendor::Chrome, 100)).instantiate();
+        let hits = scan_markers(&instance);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].marker.product, "AntBrowser");
+        assert!(has_any_marker(&instance));
+    }
+
+    #[test]
+    fn stock_browsers_carry_no_markers() {
+        for release in browser_engine::catalog::legitimate_releases() {
+            let b = BrowserInstance::genuine(release.ua);
+            assert!(
+                scan_markers(&b).is_empty(),
+                "{} tripped a marker",
+                release.ua.label()
+            );
+        }
+    }
+
+    #[test]
+    fn category3_products_are_marker_detectable() {
+        // The clustering detector cannot see AdsPower (engine-swap);
+        // a leaked helper global can.
+        let ads = product_by_name("AdsPower").unwrap();
+        let instance = FraudProfile::new(ads, UserAgent::new(Vendor::Firefox, 110))
+            .instantiate()
+            .polluted("adspower_helper");
+        assert!(instance.is_consistent(), "cat 3 fools the fingerprint");
+        let hits = scan_markers(&instance);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].marker.category, Category::EngineSwap);
+    }
+
+    #[test]
+    fn marker_dictionary_has_no_duplicate_globals() {
+        let mut names: Vec<&str> = KNOWN_MARKERS.iter().map(|m| m.global).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), KNOWN_MARKERS.len());
+    }
+}

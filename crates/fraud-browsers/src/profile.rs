@@ -1,0 +1,350 @@
+//! Fraud-browser profiles: a stolen identity loaded into a product.
+//!
+//! A *profile* pairs a product with the user-agent it will claim (the
+//! victim's) and, where the product supports it, an engine choice.
+//! [`FraudProfile::instantiate`] yields the [`BrowserInstance`] a
+//! fingerprinting script would actually observe — the object the paper's
+//! §7.2 experiment probes on its private test site.
+
+use crate::catalog::{Category, FraudProduct};
+use browser_engine::{BrowserInstance, Engine, Perturbation, UserAgent, Vendor};
+use serde::Serialize;
+
+/// One configured fraud-browser profile.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FraudProfile {
+    /// The product this profile runs in.
+    pub product: FraudProduct,
+    /// The (stolen) user-agent the profile claims.
+    pub claimed: UserAgent,
+    /// Optional engine override for products that sell per-profile engines
+    /// (CheBrowser) — ignored by products that cannot switch engines.
+    pub engine_choice: Option<Engine>,
+}
+
+impl FraudProfile {
+    /// Creates a profile claiming `claimed`.
+    pub fn new(product: FraudProduct, claimed: UserAgent) -> Self {
+        Self {
+            product,
+            claimed,
+            engine_choice: None,
+        }
+    }
+
+    /// Chooses an engine, for products that allow it.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine_choice = Some(engine);
+        self
+    }
+
+    /// The engine this profile effectively runs, per category semantics.
+    pub fn effective_engine(&self) -> Engine {
+        match self.product.category {
+            // Categories 1 and 2 run whatever the product embeds; an
+            // explicit engine choice (CheBrowser) overrides the default.
+            Category::MismatchedFingerprint | Category::FixedFingerprint => {
+                self.engine_choice.unwrap_or(self.product.base_engine)
+            }
+            // Category 3 swaps the engine to match the claim; category 4
+            // *is* the genuine browser.
+            Category::EngineSwap | Category::GenuineSpoofedEnvironment => {
+                Engine::for_genuine(self.claimed)
+            }
+        }
+    }
+
+    /// Builds the observable browser instance for this profile.
+    pub fn instantiate(&self) -> BrowserInstance {
+        let mut instance = BrowserInstance::with_engine(self.effective_engine(), self.claimed);
+        if let Some(seed) = self.product.distortion_seed {
+            instance = instance.perturbed(Perturbation::FingerprintDistortion { seed });
+        }
+        if let Some(global) = self.product.injected_global {
+            instance = instance.polluted(global);
+        }
+        instance
+    }
+}
+
+/// The per-product profile plan of the §7.2 experiment: which user-agents
+/// were loaded into each product when visiting the private test site.
+///
+/// The paper created, where the product allowed it, two profiles per
+/// cluster of Table 3 with candidate user-agents from that cluster; where
+/// the product constrained the choice, it used randomized or
+/// vendor-provided user-agents (which tend to match the product's embedded
+/// engine — the source of the experiment's false negatives).
+#[derive(Debug, Clone)]
+pub struct ProfilePlan {
+    /// The product under test.
+    pub product: FraudProduct,
+    /// The profiles to visit the test site with.
+    pub profiles: Vec<FraudProfile>,
+}
+
+impl ProfilePlan {
+    /// Builds the paper's §7.2 plan for one product.
+    ///
+    /// Profile counts match Table 5: GoLogin 16, Incogniton 9,
+    /// Octo Browser 19, Sphere 9. Other products get a generic
+    /// two-per-cluster plan.
+    pub fn for_product(product: &FraudProduct) -> ProfilePlan {
+        let c = |v| UserAgent::new(Vendor::Chrome, v);
+        let e = |v| UserAgent::new(Vendor::Edge, v);
+        let f = |v| UserAgent::new(Vendor::Firefox, v);
+
+        let uas: Vec<UserAgent> = match product.name {
+            // 16 profiles: two per cluster for 6 clusters, plus 4
+            // vendor-suggested UAs that track GoLogin's embedded core
+            // (cluster 5) — the paper's 4 non-flagged attempts.
+            "GoLogin" => vec![
+                c(111),
+                e(112), // cluster 0
+                f(105),
+                f(110), // cluster 1
+                c(62),
+                f(80), // cluster 2
+                c(114),
+                e(114), // cluster 3
+                c(75),
+                e(85), // cluster 4
+                c(95),
+                e(97), // cluster 10
+                // vendor-suggested, matching the embedded Blink 108:
+                c(104),
+                c(107),
+                e(105),
+                e(108),
+            ],
+            // 9 profiles: one per populated cluster of Table 3, with the
+            // cluster-0 slots falling where the embedded core lives.
+            "Incogniton" => vec![
+                c(111),
+                e(112), // cluster 0 (matches embedded Blink 112)
+                f(108), // cluster 1
+                c(64),  // cluster 2
+                c(114), // cluster 3
+                c(80),  // cluster 4
+                c(105), // cluster 5
+                f(96),  // cluster 9
+                c(93),  // cluster 10
+            ],
+            // 19 profiles: two per populated cluster plus one
+            // vendor-suggested UA matching the embedded Blink 110.
+            "Octo Browser" => vec![
+                c(112),
+                e(111), // cluster 0 (embedded core's cluster)
+                f(102),
+                f(113), // cluster 1
+                c(60),
+                f(75), // cluster 2
+                c(114),
+                e(114), // cluster 3
+                c(70),
+                e(82), // cluster 4
+                c(103),
+                e(108), // cluster 5
+                e(18),
+                f(48), // cluster 6
+                f(94),
+                f(99), // cluster 9
+                c(92),
+                e(100), // cluster 10
+                c(110), // vendor-suggested
+            ],
+            // The free Sphere build mostly offers old-Chrome profiles
+            // (§7.2): three land in the embedded core's own cluster 2.
+            "Sphere" => vec![
+                c(63),
+                c(64),
+                c(65), // cluster 2 — same as emulated Chrome 61
+                c(111),
+                f(108),
+                c(114),
+                c(84),
+                c(105),
+                c(95),
+            ],
+            // Generic plan for the remaining products: two per cluster.
+            _ => vec![
+                c(111),
+                e(112),
+                f(105),
+                f(110),
+                c(62),
+                f(80),
+                c(114),
+                e(114),
+                c(75),
+                e(85),
+                c(105),
+                e(107),
+                e(18),
+                f(48),
+                f(94),
+                f(99),
+                c(95),
+                e(97),
+            ],
+        };
+        ProfilePlan {
+            product: product.clone(),
+            profiles: uas
+                .into_iter()
+                .map(|ua| FraudProfile::new(product.clone(), ua))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{product_by_name, table1_products};
+    use fingerprint::FeatureSet;
+
+    #[test]
+    fn category2_fingerprint_ignores_claimed_ua() {
+        // The defining behaviour of category 2: same fingerprint no matter
+        // what the user-agent says.
+        let octo = product_by_name("Octo Browser").unwrap();
+        let fs = FeatureSet::table8();
+        let a = FraudProfile::new(octo.clone(), UserAgent::new(Vendor::Chrome, 59));
+        let b = FraudProfile::new(octo, UserAgent::new(Vendor::Firefox, 119));
+        assert_eq!(fs.extract(&a.instantiate()), fs.extract(&b.instantiate()));
+    }
+
+    #[test]
+    fn category2_fingerprint_matches_embedded_chromium() {
+        let octo = product_by_name("Octo Browser").unwrap();
+        let fs = FeatureSet::table8();
+        let profile = FraudProfile::new(octo, UserAgent::new(Vendor::Firefox, 110));
+        let genuine = BrowserInstance::genuine(UserAgent::new(Vendor::Chrome, 110));
+        assert_eq!(fs.extract(&profile.instantiate()), fs.extract(&genuine));
+    }
+
+    #[test]
+    fn category1_fingerprint_matches_no_legitimate_browser() {
+        let ls = product_by_name("Linken Sphere").unwrap();
+        let fs = FeatureSet::table8();
+        let fp =
+            fs.extract(&FraudProfile::new(ls, UserAgent::new(Vendor::Chrome, 96)).instantiate());
+        for r in browser_engine::catalog::legitimate_releases() {
+            let legit = fs.extract(&BrowserInstance::genuine(r.ua));
+            assert_ne!(
+                fp,
+                legit,
+                "Linken Sphere must not match genuine {}",
+                r.ua.label()
+            );
+        }
+    }
+
+    #[test]
+    fn category1_products_differ_from_each_other() {
+        let fs = FeatureSet::table8();
+        let ua = UserAgent::new(Vendor::Chrome, 110);
+        let ls = FraudProfile::new(product_by_name("Linken Sphere").unwrap(), ua);
+        let clon = FraudProfile::new(product_by_name("ClonBrowser").unwrap(), ua);
+        assert_ne!(
+            fs.extract(&ls.instantiate()),
+            fs.extract(&clon.instantiate())
+        );
+    }
+
+    #[test]
+    fn category3_is_consistent_with_any_claim() {
+        let ads = product_by_name("AdsPower").unwrap();
+        for ua in [
+            UserAgent::new(Vendor::Chrome, 100),
+            UserAgent::new(Vendor::Firefox, 110),
+            UserAgent::new(Vendor::Edge, 112),
+        ] {
+            let p = FraudProfile::new(ads.clone(), ua);
+            assert!(
+                p.instantiate().is_consistent(),
+                "category 3 swaps engines and must look genuine for {}",
+                ua.label()
+            );
+        }
+    }
+
+    #[test]
+    fn chebrowser_engine_choice_is_honoured() {
+        let che = product_by_name("CheBrowser").unwrap();
+        let p = FraudProfile::new(che, UserAgent::new(Vendor::Chrome, 90))
+            .with_engine(Engine::blink(90));
+        assert_eq!(p.effective_engine(), Engine::blink(90));
+        assert!(p.instantiate().is_consistent());
+    }
+
+    #[test]
+    fn engine_choice_ignored_for_engine_swap_products() {
+        let ads = product_by_name("AdsPower").unwrap();
+        let p = FraudProfile::new(ads, UserAgent::new(Vendor::Firefox, 110))
+            .with_engine(Engine::blink(90));
+        assert_eq!(p.effective_engine(), Engine::gecko(110));
+    }
+
+    #[test]
+    fn antbrowser_instance_carries_its_global() {
+        let ant = product_by_name("AntBrowser").unwrap();
+        let p = FraudProfile::new(ant, UserAgent::new(Vendor::Chrome, 100));
+        assert!(p.instantiate().has_global("ANTBROWSER"));
+    }
+
+    #[test]
+    fn table5_plan_sizes_match_paper() {
+        for (name, expected) in [
+            ("GoLogin", 16),
+            ("Incogniton", 9),
+            ("Octo Browser", 19),
+            ("Sphere", 9),
+        ] {
+            let plan = ProfilePlan::for_product(&product_by_name(name).unwrap());
+            assert_eq!(plan.profiles.len(), expected, "{name}");
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_category2_fingerprint_is_claim_invariant(
+            vendor_a in 0usize..3, version_a in 46u32..120,
+            vendor_b in 0usize..3, version_b in 46u32..120,
+        ) {
+            // The defining category-2 property must hold for *any* pair of
+            // stolen user-agents, not just the hand-picked test cases.
+            let vendors = [Vendor::Chrome, Vendor::Firefox, Vendor::Edge];
+            let fs = FeatureSet::table8();
+            let octo = product_by_name("Octo Browser").unwrap();
+            let a = FraudProfile::new(octo.clone(), UserAgent::new(vendors[vendor_a], version_a));
+            let b = FraudProfile::new(octo, UserAgent::new(vendors[vendor_b], version_b));
+            proptest::prop_assert_eq!(
+                fs.extract(&a.instantiate()),
+                fs.extract(&b.instantiate())
+            );
+        }
+
+        #[test]
+        fn prop_category3_is_always_consistent(
+            vendor in 0usize..3, version in 46u32..120,
+        ) {
+            let vendors = [Vendor::Chrome, Vendor::Firefox, Vendor::Edge];
+            let ads = product_by_name("AdsPower").unwrap();
+            let p = FraudProfile::new(ads, UserAgent::new(vendors[vendor], version));
+            proptest::prop_assert!(p.instantiate().is_consistent());
+        }
+    }
+
+    #[test]
+    fn every_product_has_a_plan() {
+        for product in table1_products() {
+            let plan = ProfilePlan::for_product(&product);
+            assert!(!plan.profiles.is_empty());
+            for p in &plan.profiles {
+                let _ = p.instantiate(); // must not panic
+            }
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Average-linkage agglomerative clustering.
+//!
+//! The paper picks k-means "due to its efficiency and straightforward
+//! implementation" (§6.4.3). This module provides the natural alternative
+//! — bottom-up hierarchical clustering with average linkage — so that the
+//! choice can be *measured* rather than asserted: agglomerative clustering
+//! needs the full O(n²) distance matrix and O(n² ) merge bookkeeping,
+//! against k-means' O(n·k·d) per iteration.
+//!
+//! Implementation: Lance–Williams updates over a dense distance matrix,
+//! with per-row nearest-neighbour caching. Suitable for the few-thousand-
+//! row samples the comparison runs on; deliberately not for 205k rows —
+//! which is precisely the point the comparison makes.
+
+use crate::error::MlError;
+use crate::matrix::Matrix;
+
+/// A fitted agglomerative clustering: training labels plus cluster means
+/// (for assigning new points).
+#[derive(Debug, Clone)]
+pub struct Agglomerative {
+    labels: Vec<usize>,
+    means: Matrix,
+}
+
+impl Agglomerative {
+    /// Clusters the rows of `x` into `k` clusters with average linkage.
+    pub fn fit(x: &Matrix, k: usize) -> Result<Self, MlError> {
+        let n = x.rows();
+        if k == 0 || k > n {
+            return Err(MlError::InvalidParameter {
+                name: "k",
+                reason: format!("k must be in 1..={n}, got {k}"),
+            });
+        }
+
+        // Dense distance matrix between active clusters; `size[i]` tracks
+        // cluster cardinality, `active[i]` liveness, `parent` is a
+        // union-find-ish mapping for final label extraction.
+        let mut dist = vec![f64::INFINITY; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = Matrix::sq_dist(x.row(i), x.row(j));
+                dist[i * n + j] = d;
+                dist[j * n + i] = d;
+            }
+        }
+        let mut size = vec![1usize; n];
+        let mut active = vec![true; n];
+        let mut member_of: Vec<usize> = (0..n).collect();
+
+        let mut clusters = n;
+        while clusters > k {
+            // Find the closest active pair.
+            let mut best = (0usize, 0usize, f64::INFINITY);
+            for i in 0..n {
+                if !active[i] {
+                    continue;
+                }
+                for j in (i + 1)..n {
+                    if !active[j] {
+                        continue;
+                    }
+                    let d = dist[i * n + j];
+                    if d < best.2 {
+                        best = (i, j, d);
+                    }
+                }
+            }
+            let (a, b, _) = best;
+            // Merge b into a: average-linkage Lance–Williams update.
+            let (sa, sb) = (size[a] as f64, size[b] as f64);
+            for m in 0..n {
+                if !active[m] || m == a || m == b {
+                    continue;
+                }
+                let dam = dist[a * n + m];
+                let dbm = dist[b * n + m];
+                let updated = (sa * dam + sb * dbm) / (sa + sb);
+                dist[a * n + m] = updated;
+                dist[m * n + a] = updated;
+            }
+            size[a] += size[b];
+            active[b] = false;
+            for m in member_of.iter_mut() {
+                if *m == b {
+                    *m = a;
+                }
+            }
+            clusters -= 1;
+        }
+
+        // Compact cluster ids to 0..k and compute means.
+        let mut remap: Vec<Option<usize>> = vec![None; n];
+        let mut next = 0usize;
+        let mut labels = Vec::with_capacity(n);
+        for &root in &member_of {
+            let id = *remap[root].get_or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            });
+            labels.push(id);
+        }
+        let mut means = Matrix::zeros(k, x.cols())?;
+        let mut counts = vec![0usize; k];
+        for (i, &c) in labels.iter().enumerate() {
+            counts[c] += 1;
+            for (m, &v) in means.row_mut(c).iter_mut().zip(x.row(i)) {
+                *m += v;
+            }
+        }
+        for (c, &count) in counts.iter().enumerate() {
+            let inv = 1.0 / count.max(1) as f64;
+            for m in means.row_mut(c) {
+                *m *= inv;
+            }
+        }
+        Ok(Self { labels, means })
+    }
+
+    /// Training labels, parallel to the fitted matrix's rows.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.means.rows()
+    }
+
+    /// Assigns a new point to the nearest cluster mean.
+    pub fn predict_row(&self, row: &[f64]) -> Result<usize, MlError> {
+        if row.len() != self.means.cols() {
+            return Err(MlError::DimensionMismatch {
+                got: row.len(),
+                expected: self.means.cols(),
+                what: "row length",
+            });
+        }
+        let mut best = (0usize, f64::INFINITY);
+        for (c, mean) in self.means.iter_rows().enumerate() {
+            let d = Matrix::sq_dist(row, mean);
+            if d < best.1 {
+                best = (c, d);
+            }
+        }
+        Ok(best.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut truth = Vec::new();
+        for (li, &(cx, cy)) in [(0.0, 0.0), (10.0, 10.0), (-10.0, 10.0)].iter().enumerate() {
+            for i in 0..15 {
+                rows.push(vec![cx + (i % 3) as f64 * 0.1, cy + (i / 3) as f64 * 0.1]);
+                truth.push(li);
+            }
+        }
+        (Matrix::from_rows(&rows).unwrap(), truth)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (x, truth) = blobs();
+        let model = Agglomerative::fit(&x, 3).unwrap();
+        assert_eq!(model.k(), 3);
+        // Every blob maps to one cluster.
+        let mut mapping = [usize::MAX; 3];
+        for (&label, &t) in model.labels().iter().zip(&truth) {
+            if mapping[t] == usize::MAX {
+                mapping[t] = label;
+            }
+            assert_eq!(mapping[t], label, "blob {t} split");
+        }
+        let mut sorted = mapping;
+        sorted.sort_unstable();
+        assert_eq!(sorted, [0, 1, 2]);
+    }
+
+    #[test]
+    fn labels_are_compact_zero_based() {
+        let (x, _) = blobs();
+        let model = Agglomerative::fit(&x, 3).unwrap();
+        let max = *model.labels().iter().max().unwrap();
+        assert_eq!(max, 2);
+        for c in 0..=max {
+            assert!(model.labels().contains(&c), "cluster {c} unused");
+        }
+    }
+
+    #[test]
+    fn predict_assigns_to_nearest_mean() {
+        let (x, _) = blobs();
+        let model = Agglomerative::fit(&x, 3).unwrap();
+        // A point next to the (10, 10) blob joins its cluster.
+        let near = model.predict_row(&[10.2, 9.9]).unwrap();
+        let blob_label = model.labels()[20]; // a (10,10)-blob member
+        assert_eq!(near, blob_label);
+        assert!(model.predict_row(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn k_equals_n_is_identity() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![5.0], vec![9.0]]).unwrap();
+        let model = Agglomerative::fit(&x, 3).unwrap();
+        let mut labels = model.labels().to_vec();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 3);
+    }
+
+    #[test]
+    fn k_one_lumps_everything() {
+        let (x, _) = blobs();
+        let model = Agglomerative::fit(&x, 1).unwrap();
+        assert!(model.labels().iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let (x, _) = blobs();
+        assert!(Agglomerative::fit(&x, 0).is_err());
+        assert!(Agglomerative::fit(&x, x.rows() + 1).is_err());
+    }
+}

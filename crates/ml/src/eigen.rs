@@ -1,0 +1,246 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! PCA needs the eigenvalues and eigenvectors of a covariance matrix, which
+//! is always real and symmetric. The Jacobi rotation method is a simple,
+//! numerically robust algorithm for exactly that case: it repeatedly zeroes
+//! the largest remaining off-diagonal element with a plane rotation until
+//! the matrix is (numerically) diagonal. For the 28x28 to a-few-hundred
+//! square matrices this project sees, it converges in a handful of sweeps.
+
+use crate::error::MlError;
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition.
+///
+/// Eigenpairs are sorted by descending eigenvalue. `vectors` holds the
+/// eigenvectors as *columns*, so `vectors.col(i)` pairs with `values[i]`.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors, one per column, in the order of `values`.
+    pub vectors: Matrix,
+}
+
+/// Maximum number of full Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 100;
+
+/// Computes the eigendecomposition of a symmetric matrix.
+///
+/// Returns [`MlError::DimensionMismatch`] for non-square input and
+/// [`MlError::InvalidParameter`] when the matrix is not symmetric to within
+/// `1e-8` (relative to its largest element).
+pub fn symmetric_eigen(a: &Matrix) -> Result<EigenDecomposition, MlError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(MlError::DimensionMismatch {
+            got: a.cols(),
+            expected: n,
+            what: "square matrix",
+        });
+    }
+    let scale = a
+        .as_slice()
+        .iter()
+        .fold(0.0f64, |m, v| m.max(v.abs()))
+        .max(1.0);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if (a[(i, j)] - a[(j, i)]).abs() > 1e-8 * scale {
+                return Err(MlError::InvalidParameter {
+                    name: "matrix",
+                    reason: format!("not symmetric at ({i},{j})"),
+                });
+            }
+        }
+    }
+
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n)?;
+
+    for _sweep in 0..MAX_SWEEPS {
+        let off: f64 = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .map(|(i, j)| m[(i, j)] * m[(i, j)])
+            .sum();
+        if off.sqrt() <= 1e-12 * scale {
+            return Ok(sorted_decomposition(&m, &v, n));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Classic Jacobi rotation parameters.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply rotation to rows/columns p and q of `m`.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate the rotation into the eigenvector matrix.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(MlError::NoConvergence {
+        routine: "jacobi eigendecomposition",
+        iterations: MAX_SWEEPS,
+    })
+}
+
+fn sorted_decomposition(m: &Matrix, v: &Matrix, n: usize) -> EigenDecomposition {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    idx.sort_by(|&a, &b| {
+        diag[b]
+            .partial_cmp(&diag[a])
+            .expect("eigenvalues are finite")
+    });
+
+    let values: Vec<f64> = idx.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n).expect("n > 0");
+    for (new_col, &old_col) in idx.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_col)] = v[(r, old_col)];
+        }
+    }
+    EigenDecomposition { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn m(rows: &[&[f64]]) -> Matrix {
+        Matrix::from_rows(&rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_diagonal() {
+        let a = m(&[&[3.0, 0.0], &[0.0, 1.0]]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn known_2x2_eigenvalues() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = m(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for lambda=3 is (1,1)/sqrt(2) up to sign.
+        let v0 = e.vectors.col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+        assert!((v0[0] - v0[1]).abs() < 1e-8 || (v0[0] + v0[1]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rejects_non_square_and_non_symmetric() {
+        let a = Matrix::zeros(2, 3).unwrap();
+        assert!(matches!(
+            symmetric_eigen(&a),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+        let b = m(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!(matches!(
+            symmetric_eigen(&b),
+            Err(MlError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn reconstruction_a_v_equals_v_lambda() {
+        let a = m(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 1.0]]);
+        let e = symmetric_eigen(&a).unwrap();
+        let av = a.matmul(&e.vectors).unwrap();
+        for c in 0..3 {
+            for r in 0..3 {
+                let expected = e.vectors[(r, c)] * e.values[c];
+                assert!(
+                    (av[(r, c)] - expected).abs() < 1e-8,
+                    "A*v != lambda*v at ({r},{c})"
+                );
+            }
+        }
+    }
+
+    fn random_symmetric(n: usize, seed: u64) -> Matrix {
+        let mut a = Matrix::zeros(n, n).unwrap();
+        let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2000) as f64 / 100.0 - 10.0
+        };
+        for i in 0..n {
+            for j in i..n {
+                let v = next();
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        a
+    }
+
+    proptest! {
+        #[test]
+        fn prop_eigenvalue_sum_equals_trace(n in 2usize..8, seed in any::<u64>()) {
+            let a = random_symmetric(n, seed);
+            let e = symmetric_eigen(&a).unwrap();
+            let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+            let sum: f64 = e.values.iter().sum();
+            prop_assert!((trace - sum).abs() < 1e-6, "trace {trace} vs eigen sum {sum}");
+        }
+
+        #[test]
+        fn prop_eigenvectors_are_orthonormal(n in 2usize..7, seed in any::<u64>()) {
+            let a = random_symmetric(n, seed);
+            let e = symmetric_eigen(&a).unwrap();
+            let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+            for i in 0..n {
+                for j in 0..n {
+                    let expected = if i == j { 1.0 } else { 0.0 };
+                    prop_assert!((vtv[(i, j)] - expected).abs() < 1e-7);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_values_sorted_descending(n in 2usize..7, seed in any::<u64>()) {
+            let a = random_symmetric(n, seed);
+            let e = symmetric_eigen(&a).unwrap();
+            for w in e.values.windows(2) {
+                prop_assert!(w[0] >= w[1] - 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Error type shared by the ML substrate.
+
+use std::fmt;
+
+/// Errors produced by the ML substrate.
+///
+/// All constructors in this crate validate their inputs eagerly so that a
+/// malformed matrix (empty, ragged, or dimension-mismatched) is reported at
+/// the call site instead of surfacing as a panic deep inside a numeric loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MlError {
+    /// The input matrix had zero rows or zero columns.
+    EmptyInput,
+    /// Two inputs disagreed on a dimension.
+    DimensionMismatch {
+        /// What the caller supplied.
+        got: usize,
+        /// What the operation required.
+        expected: usize,
+        /// Which dimension disagreed (for diagnostics).
+        what: &'static str,
+    },
+    /// A hyper-parameter was outside its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// The model has not been fitted yet.
+    NotFitted,
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Routine name.
+        routine: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::EmptyInput => write!(f, "input matrix is empty"),
+            MlError::DimensionMismatch {
+                got,
+                expected,
+                what,
+            } => {
+                write!(
+                    f,
+                    "dimension mismatch on {what}: got {got}, expected {expected}"
+                )
+            }
+            MlError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            MlError::NotFitted => write!(f, "model has not been fitted"),
+            MlError::NoConvergence {
+                routine,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{routine} did not converge after {iterations} iterations"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let variants: Vec<MlError> = vec![
+            MlError::EmptyInput,
+            MlError::DimensionMismatch {
+                got: 2,
+                expected: 3,
+                what: "columns",
+            },
+            MlError::InvalidParameter {
+                name: "k",
+                reason: "must be > 0".into(),
+            },
+            MlError::NotFitted,
+            MlError::NoConvergence {
+                routine: "jacobi",
+                iterations: 100,
+            },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MlError>();
+    }
+}

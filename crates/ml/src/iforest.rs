@@ -1,0 +1,367 @@
+//! Isolation Forest outlier detection (Liu et al., ICDM 2008).
+//!
+//! The paper removes a tiny fraction of anomalous training rows before
+//! fitting PCA + k-means (§6.4.1): 172 of ~205k rows, none of which matched
+//! a legitimate browser's feature values. This is the standard isolation
+//! forest: an ensemble of random isolation trees; anomalies are points with
+//! short average path lengths.
+
+use crate::error::MlError;
+use crate::matrix::Matrix;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration for [`IsolationForest::fit`].
+#[derive(Debug, Clone, Copy)]
+pub struct IsolationForestConfig {
+    /// Number of trees in the ensemble.
+    pub n_trees: usize,
+    /// Sub-sample size per tree (clamped to the dataset size).
+    pub sample_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IsolationForestConfig {
+    fn default() -> Self {
+        // 100 trees x 256 samples are the constants from the original paper.
+        Self {
+            n_trees: 100,
+            sample_size: 256,
+            seed: 0x1F05E57,
+        }
+    }
+}
+
+/// A fitted isolation forest.
+#[derive(Debug, Clone)]
+pub struct IsolationForest {
+    trees: Vec<Tree>,
+    /// Average path length normaliser `c(sample_size)`.
+    c_norm: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Internal split: feature index, split value, left child, right child.
+    Split {
+        feature: usize,
+        value: f64,
+        left: usize,
+        right: usize,
+    },
+    /// Leaf holding `size` training points at depth `depth`.
+    Leaf { size: usize, depth: usize },
+}
+
+impl IsolationForest {
+    /// Fits an isolation forest on the rows of `x`.
+    pub fn fit(x: &Matrix, config: IsolationForestConfig) -> Result<Self, MlError> {
+        if config.n_trees == 0 {
+            return Err(MlError::InvalidParameter {
+                name: "n_trees",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if config.sample_size < 2 {
+            return Err(MlError::InvalidParameter {
+                name: "sample_size",
+                reason: "must be at least 2".into(),
+            });
+        }
+        let n = x.rows();
+        let sample = config.sample_size.min(n);
+        let height_limit = (sample as f64).log2().ceil() as usize;
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+
+        let trees = (0..config.n_trees)
+            .map(|_| {
+                let indices: Vec<usize> = (0..sample).map(|_| rng.gen_range(0..n)).collect();
+                Tree::build(x, indices, height_limit, &mut rng)
+            })
+            .collect();
+
+        Ok(Self {
+            trees,
+            c_norm: c_factor(sample),
+        })
+    }
+
+    /// Anomaly score in `(0, 1)` for one sample; higher is more anomalous.
+    ///
+    /// Scores near 1 indicate isolation after very few splits; scores well
+    /// below 0.5 indicate normal points.
+    pub fn score_row(&self, row: &[f64]) -> f64 {
+        let avg_path: f64 =
+            self.trees.iter().map(|t| t.path_length(row)).sum::<f64>() / self.trees.len() as f64;
+        2f64.powf(-avg_path / self.c_norm)
+    }
+
+    /// Anomaly scores for every row of `x`.
+    pub fn score(&self, x: &Matrix) -> Vec<f64> {
+        x.iter_rows().map(|r| self.score_row(r)).collect()
+    }
+
+    /// Returns the indices of the `contamination` fraction of rows with the
+    /// highest anomaly scores (at least one row if `contamination > 0`).
+    ///
+    /// This mirrors the paper's usage: a 0.002-ish contamination removes the
+    /// handful of rows that match no legitimate browser.
+    pub fn outlier_indices(&self, x: &Matrix, contamination: f64) -> Result<Vec<usize>, MlError> {
+        if !(0.0..=0.5).contains(&contamination) {
+            return Err(MlError::InvalidParameter {
+                name: "contamination",
+                reason: format!("must be in [0, 0.5], got {contamination}"),
+            });
+        }
+        if contamination == 0.0 {
+            return Ok(Vec::new());
+        }
+        let scores = self.score(x);
+        let n_out = ((x.rows() as f64 * contamination).round() as usize).max(1);
+        let mut idx: Vec<usize> = (0..x.rows()).collect();
+        idx.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .expect("scores are finite")
+        });
+        let mut out = idx[..n_out.min(idx.len())].to_vec();
+        out.sort_unstable();
+        Ok(out)
+    }
+}
+
+impl Tree {
+    fn build(x: &Matrix, indices: Vec<usize>, height_limit: usize, rng: &mut ChaCha8Rng) -> Self {
+        let mut nodes = Vec::new();
+        Self::build_node(x, indices, 0, height_limit, rng, &mut nodes);
+        Tree { nodes }
+    }
+
+    /// Builds the subtree for `indices`, pushes its nodes, and returns the
+    /// root index of the subtree.
+    fn build_node(
+        x: &Matrix,
+        indices: Vec<usize>,
+        depth: usize,
+        height_limit: usize,
+        rng: &mut ChaCha8Rng,
+        nodes: &mut Vec<Node>,
+    ) -> usize {
+        if indices.len() <= 1 || depth >= height_limit {
+            nodes.push(Node::Leaf {
+                size: indices.len(),
+                depth,
+            });
+            return nodes.len() - 1;
+        }
+        // Pick a random feature with spread; fall back to a leaf if every
+        // feature is constant over this partition.
+        let cols = x.cols();
+        let start = rng.gen_range(0..cols);
+        let mut chosen = None;
+        for off in 0..cols {
+            let f = (start + off) % cols;
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &i in &indices {
+                let v = x[(i, f)];
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if hi > lo {
+                chosen = Some((f, lo, hi));
+                break;
+            }
+        }
+        let Some((feature, lo, hi)) = chosen else {
+            nodes.push(Node::Leaf {
+                size: indices.len(),
+                depth,
+            });
+            return nodes.len() - 1;
+        };
+        let value = rng.gen_range(lo..hi);
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            indices.iter().partition(|&&i| x[(i, feature)] < value);
+
+        // Reserve our slot before recursing so children follow the parent.
+        let slot = nodes.len();
+        nodes.push(Node::Leaf { size: 0, depth }); // placeholder
+        let left = Self::build_node(x, left_idx, depth + 1, height_limit, rng, nodes);
+        let right = Self::build_node(x, right_idx, depth + 1, height_limit, rng, nodes);
+        nodes[slot] = Node::Split {
+            feature,
+            value,
+            left,
+            right,
+        };
+        slot
+    }
+
+    fn path_length(&self, row: &[f64]) -> f64 {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Split {
+                    feature,
+                    value,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] < *value {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+                Node::Leaf { size, depth } => {
+                    // Unbuilt subtrees are credited the average path length
+                    // of a BST over `size` points.
+                    return *depth as f64 + c_factor(*size);
+                }
+            }
+        }
+    }
+}
+
+/// Average path length of an unsuccessful BST search over `n` points —
+/// the normalisation constant from the isolation forest paper.
+fn c_factor(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    // 2 H(n-1) - 2(n-1)/n with H via the Euler-Mascheroni approximation.
+    2.0 * ((nf - 1.0).ln() + 0.577_215_664_901_532_9) - 2.0 * (nf - 1.0) / nf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset_with_outlier() -> Matrix {
+        // Tight cluster around (0, 0) plus one far outlier.
+        let mut rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![(i % 10) as f64 * 0.1, (i / 10) as f64 * 0.1])
+            .collect();
+        rows.push(vec![100.0, -100.0]);
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn outlier_scores_higher_than_inliers() {
+        let x = dataset_with_outlier();
+        let f = IsolationForest::fit(
+            &x,
+            IsolationForestConfig {
+                n_trees: 50,
+                sample_size: 64,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        let scores = f.score(&x);
+        let outlier_score = scores[100];
+        let max_inlier = scores[..100].iter().cloned().fold(0.0, f64::max);
+        assert!(
+            outlier_score > max_inlier,
+            "outlier {outlier_score} must exceed max inlier {max_inlier}"
+        );
+        assert!(outlier_score > 0.6);
+    }
+
+    #[test]
+    fn outlier_indices_finds_planted_outlier() {
+        let x = dataset_with_outlier();
+        let f = IsolationForest::fit(
+            &x,
+            IsolationForestConfig {
+                n_trees: 50,
+                sample_size: 64,
+                seed: 2,
+            },
+        )
+        .unwrap();
+        let idx = f.outlier_indices(&x, 0.01).unwrap();
+        assert!(
+            idx.contains(&100),
+            "planted outlier must be flagged, got {idx:?}"
+        );
+    }
+
+    #[test]
+    fn zero_contamination_returns_empty() {
+        let x = dataset_with_outlier();
+        let f = IsolationForest::fit(&x, IsolationForestConfig::default()).unwrap();
+        assert!(f.outlier_indices(&x, 0.0).unwrap().is_empty());
+        assert!(f.outlier_indices(&x, 0.6).is_err());
+        assert!(f.outlier_indices(&x, -0.1).is_err());
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let x = dataset_with_outlier();
+        assert!(IsolationForest::fit(
+            &x,
+            IsolationForestConfig {
+                n_trees: 0,
+                sample_size: 64,
+                seed: 0
+            }
+        )
+        .is_err());
+        assert!(IsolationForest::fit(
+            &x,
+            IsolationForestConfig {
+                n_trees: 10,
+                sample_size: 1,
+                seed: 0
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn constant_data_scores_uniformly() {
+        let x = Matrix::from_rows(&vec![vec![1.0, 1.0]; 50]).unwrap();
+        let f = IsolationForest::fit(
+            &x,
+            IsolationForestConfig {
+                n_trees: 20,
+                sample_size: 32,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        let scores = f.score(&x);
+        let first = scores[0];
+        assert!(scores.iter().all(|&s| (s - first).abs() < 1e-12));
+    }
+
+    #[test]
+    fn c_factor_monotone() {
+        assert_eq!(c_factor(0), 0.0);
+        assert_eq!(c_factor(1), 0.0);
+        let mut prev = 0.0;
+        for n in 2..1000 {
+            let c = c_factor(n);
+            assert!(c > prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn scores_bounded_in_unit_interval() {
+        let x = dataset_with_outlier();
+        let f = IsolationForest::fit(&x, IsolationForestConfig::default()).unwrap();
+        for s in f.score(&x) {
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

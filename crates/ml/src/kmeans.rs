@@ -1,0 +1,510 @@
+//! k-means clustering with k-means++ seeding (§6.4.3, Figures 3 and 4).
+//!
+//! The paper selects `k` with the elbow method: plot the Within-Cluster Sum
+//! of Squares (WCSS) against `k` (Figure 3) and the *relative* WCSS
+//! improvement (Figure 4), picking the `k` after which additional clusters
+//! stop paying for themselves. [`elbow_scan`] computes both series.
+
+use crate::error::MlError;
+use crate::matrix::Matrix;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fitted k-means model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KMeans {
+    /// Cluster centroids, one per row.
+    centroids: Matrix,
+    /// Final within-cluster sum of squares on the training data.
+    wcss: f64,
+    /// Iterations Lloyd's algorithm ran before converging.
+    iterations: usize,
+}
+
+/// Configuration for [`KMeans::fit`].
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations per restart.
+    pub max_iter: usize,
+    /// Number of k-means++ restarts; the best (lowest-WCSS) run wins.
+    pub n_init: usize,
+    /// RNG seed for reproducible seeding.
+    pub seed: u64,
+    /// Convergence threshold on centroid movement (squared distance).
+    pub tol: f64,
+}
+
+impl KMeansConfig {
+    /// A sensible default configuration for `k` clusters.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            max_iter: 300,
+            n_init: 4,
+            seed: 0x9e3779b9,
+            tol: 1e-8,
+        }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the number of restarts.
+    pub fn with_n_init(mut self, n_init: usize) -> Self {
+        self.n_init = n_init;
+        self
+    }
+}
+
+impl KMeans {
+    /// Fits k-means on the rows of `x`.
+    ///
+    /// Runs `config.n_init` k-means++-seeded restarts of Lloyd's algorithm
+    /// and keeps the solution with the lowest WCSS.
+    pub fn fit(x: &Matrix, config: KMeansConfig) -> Result<Self, MlError> {
+        if config.k == 0 {
+            return Err(MlError::InvalidParameter {
+                name: "k",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if config.k > x.rows() {
+            return Err(MlError::InvalidParameter {
+                name: "k",
+                reason: format!("k={} exceeds the {} samples", config.k, x.rows()),
+            });
+        }
+        if config.n_init == 0 {
+            return Err(MlError::InvalidParameter {
+                name: "n_init",
+                reason: "must be at least 1".into(),
+            });
+        }
+
+        let mut best: Option<KMeans> = None;
+        for restart in 0..config.n_init {
+            let mut rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(restart as u64));
+            let run = Self::fit_once(x, &config, &mut rng)?;
+            let better = best.as_ref().is_none_or(|b| run.wcss < b.wcss);
+            if better {
+                best = Some(run);
+            }
+        }
+        Ok(best.expect("n_init >= 1 guarantees at least one run"))
+    }
+
+    fn fit_once(x: &Matrix, config: &KMeansConfig, rng: &mut ChaCha8Rng) -> Result<Self, MlError> {
+        let mut centroids = kmeans_pp_init(x, config.k, rng);
+        let n = x.rows();
+        let mut assignment = vec![0usize; n];
+
+        let mut iterations = 0;
+        for it in 0..config.max_iter {
+            iterations = it + 1;
+            // Assignment step.
+            for (i, row) in x.iter_rows().enumerate() {
+                assignment[i] = nearest_centroid(row, &centroids).0;
+            }
+            // Update step.
+            let mut sums = Matrix::zeros(config.k, x.cols())?;
+            let mut counts = vec![0usize; config.k];
+            for (i, row) in x.iter_rows().enumerate() {
+                let c = assignment[i];
+                counts[c] += 1;
+                for (s, &v) in sums.row_mut(c).iter_mut().zip(row) {
+                    *s += v;
+                }
+            }
+            let mut movement = 0.0f64;
+            #[allow(clippy::needless_range_loop)] // indexes three parallel buffers
+            for c in 0..config.k {
+                if counts[c] == 0 {
+                    // Re-seed an empty cluster at the point farthest from
+                    // its assigned centroid; keeps k populated clusters.
+                    let far = farthest_point(x, &centroids, &assignment);
+                    let row = x.row(far).to_vec();
+                    movement += Matrix::sq_dist(centroids.row(c), &row);
+                    centroids.row_mut(c).copy_from_slice(&row);
+                    continue;
+                }
+                let inv = 1.0 / counts[c] as f64;
+                let old = centroids.row(c).to_vec();
+                for (ctr, &s) in centroids.row_mut(c).iter_mut().zip(sums.row(c)) {
+                    *ctr = s * inv;
+                }
+                movement += Matrix::sq_dist(&old, centroids.row(c));
+            }
+            if movement <= config.tol {
+                break;
+            }
+        }
+
+        let wcss: f64 = x
+            .iter_rows()
+            .map(|row| nearest_centroid(row, &centroids).1)
+            .sum();
+        Ok(KMeans {
+            centroids,
+            wcss,
+            iterations,
+        })
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.rows()
+    }
+
+    /// Cluster centroids (one per row).
+    pub fn centroids(&self) -> &Matrix {
+        &self.centroids
+    }
+
+    /// Final training WCSS.
+    pub fn wcss(&self) -> f64 {
+        self.wcss
+    }
+
+    /// Lloyd iterations used by the winning restart.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Predicts the cluster for one sample.
+    pub fn predict_row(&self, row: &[f64]) -> Result<usize, MlError> {
+        if row.len() != self.centroids.cols() {
+            return Err(MlError::DimensionMismatch {
+                got: row.len(),
+                expected: self.centroids.cols(),
+                what: "row length",
+            });
+        }
+        Ok(nearest_centroid(row, &self.centroids).0)
+    }
+
+    /// Predicts the cluster for every row of `x`.
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<usize>, MlError> {
+        if x.cols() != self.centroids.cols() {
+            return Err(MlError::DimensionMismatch {
+                got: x.cols(),
+                expected: self.centroids.cols(),
+                what: "columns",
+            });
+        }
+        Ok(x.iter_rows()
+            .map(|row| nearest_centroid(row, &self.centroids).0)
+            .collect())
+    }
+}
+
+/// One `k`'s entry in an elbow scan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ElbowPoint {
+    /// Number of clusters.
+    pub k: usize,
+    /// WCSS at that `k` (Figure 3's y-axis).
+    pub wcss: f64,
+    /// Relative improvement over the previous `k`
+    /// (`(prev - cur) / prev`; Figure 4's y-axis). Zero for the first `k`.
+    pub relative_improvement: f64,
+}
+
+/// Result of scanning a range of `k` values (Figures 3 and 4).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ElbowReport {
+    /// One point per scanned `k`, ascending.
+    pub points: Vec<ElbowPoint>,
+}
+
+impl ElbowReport {
+    /// The `k` whose *relative* WCSS improvement is the largest local spike
+    /// late in the scan — the heuristic the paper uses to justify `k = 11`
+    /// (Figure 4): among candidate elbows, pick the largest `k` whose
+    /// relative improvement exceeds `threshold`.
+    pub fn suggested_k(&self, threshold: f64) -> Option<usize> {
+        self.points
+            .iter()
+            .rev()
+            .find(|p| p.relative_improvement >= threshold)
+            .map(|p| p.k)
+    }
+
+    /// The knee of the WCSS curve: the scanned `k` farthest below the
+    /// chord from the first to the last point (the "kneedle" reading of
+    /// Figure 3). More robust than a threshold when clusters have internal
+    /// spread. Returns `None` for scans of fewer than three points.
+    pub fn knee(&self) -> Option<usize> {
+        if self.points.len() < 3 {
+            return None;
+        }
+        let first = self.points.first().expect("len >= 3");
+        let last = self.points.last().expect("len >= 3");
+        let k_span = (last.k as f64 - first.k as f64).max(1.0);
+        let w_span = (first.wcss - last.wcss).max(1e-12);
+        let mut best: Option<(usize, f64)> = None;
+        for p in &self.points {
+            // Normalised coordinates: x in [0,1] rising, y in [0,1] falling.
+            let x = (p.k as f64 - first.k as f64) / k_span;
+            let y = (p.wcss - last.wcss) / w_span;
+            // Distance below the descending chord y = 1 - x.
+            let d = (1.0 - x) - y;
+            if best.is_none_or(|(_, bd)| d > bd) {
+                best = Some((p.k, d));
+            }
+        }
+        best.map(|(k, _)| k)
+    }
+}
+
+/// Fits k-means for every `k` in `ks` and reports the WCSS curve.
+pub fn elbow_scan(x: &Matrix, ks: &[usize], seed: u64) -> Result<ElbowReport, MlError> {
+    let mut points = Vec::with_capacity(ks.len());
+    let mut prev: Option<f64> = None;
+    for &k in ks {
+        let model = KMeans::fit(x, KMeansConfig::new(k).with_seed(seed))?;
+        let wcss = model.wcss();
+        let relative_improvement = match prev {
+            Some(p) if p > 0.0 => (p - wcss) / p,
+            _ => 0.0,
+        };
+        points.push(ElbowPoint {
+            k,
+            wcss,
+            relative_improvement,
+        });
+        prev = Some(wcss);
+    }
+    Ok(ElbowReport { points })
+}
+
+fn nearest_centroid(row: &[f64], centroids: &Matrix) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (c, centroid) in centroids.iter_rows().enumerate() {
+        let d = Matrix::sq_dist(row, centroid);
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best
+}
+
+fn farthest_point(x: &Matrix, centroids: &Matrix, assignment: &[usize]) -> usize {
+    let mut best = (0usize, -1.0f64);
+    for (i, row) in x.iter_rows().enumerate() {
+        let d = Matrix::sq_dist(row, centroids.row(assignment[i]));
+        if d > best.1 {
+            best = (i, d);
+        }
+    }
+    best.0
+}
+
+/// k-means++ seeding: the first centroid is uniform, each subsequent one is
+/// sampled proportionally to the squared distance from the nearest centroid
+/// chosen so far.
+fn kmeans_pp_init(x: &Matrix, k: usize, rng: &mut ChaCha8Rng) -> Matrix {
+    let n = x.rows();
+    let mut centroids = Matrix::zeros(k, x.cols()).expect("k >= 1, cols >= 1");
+    let first = rng.gen_range(0..n);
+    centroids.row_mut(0).copy_from_slice(x.row(first));
+
+    let mut dist: Vec<f64> = x
+        .iter_rows()
+        .map(|row| Matrix::sq_dist(row, centroids.row(0)))
+        .collect();
+
+    for c in 1..k {
+        let total: f64 = dist.iter().sum();
+        let chosen = if total <= 0.0 {
+            // All points coincide with existing centroids; pick uniformly.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut idx = n - 1;
+            for (i, &d) in dist.iter().enumerate() {
+                if target < d {
+                    idx = i;
+                    break;
+                }
+                target -= d;
+            }
+            idx
+        };
+        centroids.row_mut(c).copy_from_slice(x.row(chosen));
+        for (i, row) in x.iter_rows().enumerate() {
+            let d = Matrix::sq_dist(row, centroids.row(c));
+            if d < dist[i] {
+                dist[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Three well-separated blobs in 2-D.
+    fn blobs() -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        let centers = [(0.0, 0.0), (10.0, 10.0), (-10.0, 10.0)];
+        for (li, &(cx, cy)) in centers.iter().enumerate() {
+            for i in 0..20 {
+                let dx = (i % 5) as f64 * 0.1;
+                let dy = (i / 5) as f64 * 0.1;
+                rows.push(vec![cx + dx, cy + dy]);
+                labels.push(li);
+            }
+        }
+        (Matrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (x, labels) = blobs();
+        let model = KMeans::fit(&x, KMeansConfig::new(3).with_seed(7)).unwrap();
+        let pred = model.predict(&x).unwrap();
+        // Every ground-truth blob must map to a single distinct cluster.
+        let mut mapping = [usize::MAX; 3];
+        for (p, &l) in pred.iter().zip(&labels) {
+            if mapping[l] == usize::MAX {
+                mapping[l] = *p;
+            }
+            assert_eq!(mapping[l], *p, "blob {l} split across clusters");
+        }
+        let mut sorted = mapping;
+        sorted.sort_unstable();
+        assert_eq!(sorted, [0, 1, 2]);
+    }
+
+    #[test]
+    fn wcss_decreases_with_k() {
+        let (x, _) = blobs();
+        let report = elbow_scan(&x, &[1, 2, 3, 4, 5], 7).unwrap();
+        for w in report.points.windows(2) {
+            assert!(
+                w[1].wcss <= w[0].wcss + 1e-9,
+                "WCSS must be non-increasing in k: {} -> {}",
+                w[0].wcss,
+                w[1].wcss
+            );
+        }
+    }
+
+    #[test]
+    fn elbow_detects_true_cluster_count() {
+        // Three point-masses: WCSS collapses to ~0 exactly at k = 3, so the
+        // relative-improvement series has a single unambiguous spike.
+        let mut rows = Vec::new();
+        for &(cx, cy) in &[(0.0, 0.0), (10.0, 10.0), (-10.0, 10.0)] {
+            for _ in 0..20 {
+                rows.push(vec![cx, cy]);
+            }
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let report = elbow_scan(&x, &[1, 2, 3, 4, 5, 6], 7).unwrap();
+        let at3 = report.points.iter().find(|p| p.k == 3).unwrap();
+        let at4 = report.points.iter().find(|p| p.k == 4).unwrap();
+        assert!(
+            at3.relative_improvement > 0.9,
+            "got {}",
+            at3.relative_improvement
+        );
+        assert!(
+            at4.relative_improvement < 0.1,
+            "got {}",
+            at4.relative_improvement
+        );
+        assert_eq!(report.suggested_k(0.5), Some(3));
+        assert_eq!(report.knee(), Some(3));
+    }
+
+    #[test]
+    fn knee_is_robust_to_intra_cluster_spread() {
+        // Blobs with internal structure: threshold heuristics get confused
+        // by late splits of the spread; the chord distance does not.
+        let (x, _) = blobs();
+        let report = elbow_scan(&x, &[1, 2, 3, 4, 5, 6, 7, 8], 7).unwrap();
+        assert_eq!(report.knee(), Some(3));
+    }
+
+    #[test]
+    fn knee_needs_three_points() {
+        let (x, _) = blobs();
+        let report = elbow_scan(&x, &[1, 2], 7).unwrap();
+        assert_eq!(report.knee(), None);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let (x, _) = blobs();
+        assert!(KMeans::fit(&x, KMeansConfig::new(0)).is_err());
+        assert!(KMeans::fit(&x, KMeansConfig::new(x.rows() + 1)).is_err());
+        let mut cfg = KMeansConfig::new(2);
+        cfg.n_init = 0;
+        assert!(KMeans::fit(&x, cfg).is_err());
+    }
+
+    #[test]
+    fn predict_rejects_wrong_width() {
+        let (x, _) = blobs();
+        let model = KMeans::fit(&x, KMeansConfig::new(2)).unwrap();
+        assert!(model.predict_row(&[1.0]).is_err());
+        let y = Matrix::zeros(2, 3).unwrap();
+        assert!(model.predict(&y).is_err());
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_wcss() {
+        let x = Matrix::from_rows(&[vec![0.0, 0.0], vec![5.0, 5.0], vec![9.0, 1.0]]).unwrap();
+        let model = KMeans::fit(&x, KMeansConfig::new(3).with_seed(3)).unwrap();
+        assert!(model.wcss() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, _) = blobs();
+        let a = KMeans::fit(&x, KMeansConfig::new(3).with_seed(42)).unwrap();
+        let b = KMeans::fit(&x, KMeansConfig::new(3).with_seed(42)).unwrap();
+        assert_eq!(a.centroids(), b.centroids());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_every_point_assigned_to_nearest_centroid(
+            seed in any::<u64>(), k in 1usize..5
+        ) {
+            let (x, _) = blobs();
+            let model = KMeans::fit(&x, KMeansConfig::new(k).with_seed(seed)).unwrap();
+            let pred = model.predict(&x).unwrap();
+            for (i, row) in x.iter_rows().enumerate() {
+                let assigned_d = Matrix::sq_dist(row, model.centroids().row(pred[i]));
+                for c in 0..k {
+                    let d = Matrix::sq_dist(row, model.centroids().row(c));
+                    prop_assert!(assigned_d <= d + 1e-9);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_wcss_matches_definition(seed in any::<u64>()) {
+            let (x, _) = blobs();
+            let model = KMeans::fit(&x, KMeansConfig::new(3).with_seed(seed)).unwrap();
+            let pred = model.predict(&x).unwrap();
+            let recomputed: f64 = x.iter_rows().enumerate()
+                .map(|(i, row)| Matrix::sq_dist(row, model.centroids().row(pred[i])))
+                .sum();
+            prop_assert!((recomputed - model.wcss()).abs() < 1e-6);
+        }
+    }
+}

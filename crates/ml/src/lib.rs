@@ -1,0 +1,46 @@
+//! # polygraph-ml
+//!
+//! A small, dependency-light machine-learning substrate written from scratch
+//! for the Browser Polygraph reproduction. It provides exactly the blocks the
+//! paper's pipeline needs:
+//!
+//! * [`Matrix`] — a dense row-major `f64` matrix with the column statistics
+//!   used throughout the pipeline.
+//! * [`StandardScaler`] — per-column zero-mean / unit-variance scaling
+//!   (§6.4.1 of the paper).
+//! * [`Pca`] — principal component analysis via a cyclic Jacobi
+//!   eigendecomposition of the covariance matrix (§6.4.2).
+//! * [`KMeans`] — Lloyd's algorithm with k-means++ seeding, WCSS reporting
+//!   and the elbow-method helpers of Figures 3 and 4 (§6.4.3).
+//! * [`IsolationForest`] — outlier removal before training (§6.4.1).
+//! * [`Agglomerative`] — the hierarchical alternative the paper passed
+//!   over for efficiency, kept for measured comparison.
+//! * [`metrics`] — the semi-supervised *majority-cluster accuracy* metric of
+//!   Appendix-4, Formula 1.
+//! * [`privacy`] — Shannon entropy, normalised entropy and anonymity-set
+//!   analysis used in the paper's privacy evaluation (§7.4, Table 7,
+//!   Figure 5).
+//!
+//! Everything is deterministic given a seed; no global RNG state is used.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agglomerative;
+pub mod eigen;
+pub mod error;
+pub mod iforest;
+pub mod kmeans;
+pub mod matrix;
+pub mod metrics;
+pub mod pca;
+pub mod privacy;
+pub mod scaler;
+
+pub use agglomerative::Agglomerative;
+pub use error::MlError;
+pub use iforest::IsolationForest;
+pub use kmeans::{ElbowReport, KMeans};
+pub use matrix::Matrix;
+pub use pca::Pca;
+pub use scaler::StandardScaler;

@@ -1,0 +1,472 @@
+//! Dense row-major matrix with the column statistics the pipeline needs.
+//!
+//! This is intentionally a *small* matrix type: the Polygraph pipeline works
+//! on datasets of a few hundred thousand rows by a few dozen columns, so a
+//! contiguous `Vec<f64>` with straightforward loops is both simple and fast
+//! enough. No BLAS, no SIMD tricks.
+
+use crate::error::MlError;
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// Returns [`MlError::DimensionMismatch`] if `data.len() != rows * cols`
+    /// and [`MlError::EmptyInput`] if either dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, MlError> {
+        if rows == 0 || cols == 0 {
+            return Err(MlError::EmptyInput);
+        }
+        if data.len() != rows * cols {
+            return Err(MlError::DimensionMismatch {
+                got: data.len(),
+                expected: rows * cols,
+                what: "buffer length",
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of equally-long rows.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, MlError> {
+        let nrows = rows.len();
+        if nrows == 0 {
+            return Err(MlError::EmptyInput);
+        }
+        let ncols = rows[0].len();
+        if ncols == 0 {
+            return Err(MlError::EmptyInput);
+        }
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            if r.len() != ncols {
+                return Err(MlError::DimensionMismatch {
+                    got: r.len(),
+                    expected: ncols,
+                    what: "row length",
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Self {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Creates an all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Result<Self, MlError> {
+        if rows == 0 || cols == 0 {
+            return Err(MlError::EmptyInput);
+        }
+        Ok(Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        })
+    }
+
+    /// Creates the identity matrix of size `n`.
+    pub fn identity(n: usize) -> Result<Self, MlError> {
+        let mut m = Self::zeros(n, n)?;
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        Ok(m)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    /// Panics if `r >= self.rows()`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r` as a slice.
+    ///
+    /// # Panics
+    /// Panics if `r >= self.rows()`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new vector.
+    ///
+    /// # Panics
+    /// Panics if `c >= self.cols()`.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        assert!(
+            c < self.cols,
+            "column index {c} out of bounds ({})",
+            self.cols
+        );
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// The underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Iterator over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix {
+            rows: self.cols,
+            cols: self.rows,
+            data: vec![0.0; self.data.len()],
+        };
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * other`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix, MlError> {
+        if self.cols != other.rows {
+            return Err(MlError::DimensionMismatch {
+                got: other.rows,
+                expected: self.cols,
+                what: "inner dimension",
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols)?;
+        // (i,k)-(k,j) loop order keeps the inner loop contiguous in both
+        // `other` and `out`.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Per-column means.
+    pub fn col_means(&self) -> Vec<f64> {
+        let mut means = vec![0.0; self.cols];
+        for row in self.iter_rows() {
+            for (m, &v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        let n = self.rows as f64;
+        for m in &mut means {
+            *m /= n;
+        }
+        means
+    }
+
+    /// Per-column population standard deviations.
+    pub fn col_stds(&self) -> Vec<f64> {
+        let means = self.col_means();
+        let mut vars = vec![0.0; self.cols];
+        for row in self.iter_rows() {
+            for ((v, &x), &m) in vars.iter_mut().zip(row).zip(&means) {
+                let d = x - m;
+                *v += d * d;
+            }
+        }
+        let n = self.rows as f64;
+        vars.iter().map(|v| (v / n).sqrt()).collect()
+    }
+
+    /// Sample covariance matrix of the columns (divides by `n - 1`; by `n`
+    /// when there is a single row).
+    pub fn covariance(&self) -> Result<Matrix, MlError> {
+        let means = self.col_means();
+        let denom = if self.rows > 1 {
+            (self.rows - 1) as f64
+        } else {
+            1.0
+        };
+        let mut cov = Matrix::zeros(self.cols, self.cols)?;
+        for row in self.iter_rows() {
+            for i in 0..self.cols {
+                let di = row[i] - means[i];
+                if di == 0.0 {
+                    continue;
+                }
+                for j in i..self.cols {
+                    let dj = row[j] - means[j];
+                    cov[(i, j)] += di * dj;
+                }
+            }
+        }
+        for i in 0..self.cols {
+            for j in i..self.cols {
+                cov[(i, j)] /= denom;
+                cov[(j, i)] = cov[(i, j)];
+            }
+        }
+        Ok(cov)
+    }
+
+    /// Returns a new matrix keeping only the rows whose index satisfies
+    /// `keep`.
+    pub fn filter_rows(&self, keep: impl Fn(usize) -> bool) -> Result<Matrix, MlError> {
+        let rows: Vec<Vec<f64>> = self
+            .iter_rows()
+            .enumerate()
+            .filter(|(i, _)| keep(*i))
+            .map(|(_, r)| r.to_vec())
+            .collect();
+        Matrix::from_rows(&rows)
+    }
+
+    /// Returns a new matrix keeping only the listed columns, in order.
+    pub fn select_columns(&self, cols: &[usize]) -> Result<Matrix, MlError> {
+        if cols.is_empty() {
+            return Err(MlError::EmptyInput);
+        }
+        for &c in cols {
+            if c >= self.cols {
+                return Err(MlError::DimensionMismatch {
+                    got: c,
+                    expected: self.cols,
+                    what: "column index",
+                });
+            }
+        }
+        let mut data = Vec::with_capacity(self.rows * cols.len());
+        for row in self.iter_rows() {
+            for &c in cols {
+                data.push(row[c]);
+            }
+        }
+        Matrix::from_vec(self.rows, cols.len(), data)
+    }
+
+    /// Squared Euclidean distance between two equal-length slices.
+    ///
+    /// A free function on slices rather than rows so that callers holding
+    /// plain vectors (e.g. centroids) can use it too.
+    #[inline]
+    pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn m(rows: &[&[f64]]) -> Matrix {
+        Matrix::from_rows(&rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn from_vec_validates_dimensions() {
+        assert_eq!(Matrix::from_vec(0, 3, vec![]), Err(MlError::EmptyInput));
+        assert_eq!(Matrix::from_vec(2, 0, vec![]), Err(MlError::EmptyInput));
+        assert!(matches!(
+            Matrix::from_vec(2, 2, vec![1.0; 3]),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0]];
+        assert!(matches!(
+            Matrix::from_rows(&rows),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn indexing_round_trips() {
+        let mut a = Matrix::zeros(2, 3).unwrap();
+        a[(1, 2)] = 5.0;
+        assert_eq!(a[(1, 2)], 5.0);
+        assert_eq!(a.row(1), &[0.0, 0.0, 5.0]);
+        assert_eq!(a.col(2), vec![0.0, 5.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = m(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t[(0, 1)], 4.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = m(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = Matrix::identity(2).unwrap();
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = m(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = m(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, m(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_rejects_mismatched_inner_dimension() {
+        let a = Matrix::zeros(2, 3).unwrap();
+        let b = Matrix::zeros(2, 2).unwrap();
+        assert!(matches!(
+            a.matmul(&b),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn col_means_and_stds() {
+        let a = m(&[&[1.0, 10.0], &[3.0, 10.0]]);
+        assert_eq!(a.col_means(), vec![2.0, 10.0]);
+        let stds = a.col_stds();
+        assert!((stds[0] - 1.0).abs() < 1e-12);
+        assert_eq!(stds[1], 0.0);
+    }
+
+    #[test]
+    fn covariance_of_perfectly_correlated_columns() {
+        // y = 2x => cov(x,y) = 2*var(x)
+        let a = m(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let cov = a.covariance().unwrap();
+        assert!((cov[(0, 0)] - 1.0).abs() < 1e-12); // sample var of 1,2,3
+        assert!((cov[(0, 1)] - 2.0).abs() < 1e-12);
+        assert!((cov[(1, 1)] - 4.0).abs() < 1e-12);
+        assert_eq!(cov[(0, 1)], cov[(1, 0)]);
+    }
+
+    #[test]
+    fn select_columns_reorders() {
+        let a = m(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let s = a.select_columns(&[2, 0]).unwrap();
+        assert_eq!(s, m(&[&[3.0, 1.0], &[6.0, 4.0]]));
+        assert!(s.select_columns(&[]).is_err());
+        assert!(a.select_columns(&[3]).is_err());
+    }
+
+    #[test]
+    fn filter_rows_keeps_matching() {
+        let a = m(&[&[1.0], &[2.0], &[3.0]]);
+        let f = a.filter_rows(|i| i != 1).unwrap();
+        assert_eq!(f, m(&[&[1.0], &[3.0]]));
+    }
+
+    #[test]
+    fn sq_dist_basic() {
+        assert_eq!(Matrix::sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(Matrix::sq_dist(&[1.0], &[1.0]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_transpose_twice_is_identity(
+            rows in 1usize..8, cols in 1usize..8, seed in any::<u64>()
+        ) {
+            let data: Vec<f64> = (0..rows * cols)
+                .map(|i| ((seed.wrapping_add(i as u64).wrapping_mul(2654435761)) % 1000) as f64)
+                .collect();
+            let a = Matrix::from_vec(rows, cols, data).unwrap();
+            prop_assert_eq!(a.transpose().transpose(), a);
+        }
+
+        #[test]
+        fn prop_matmul_associative_with_identity(
+            n in 1usize..6, vals in proptest::collection::vec(-100.0f64..100.0, 1..36)
+        ) {
+            let mut data = vals;
+            data.resize(n * n, 1.0);
+            let a = Matrix::from_vec(n, n, data).unwrap();
+            let i = Matrix::identity(n).unwrap();
+            prop_assert_eq!(a.matmul(&i).unwrap(), a.clone());
+        }
+
+        #[test]
+        fn prop_covariance_is_symmetric_psd_diagonal(
+            rows in 2usize..12, cols in 1usize..6,
+            vals in proptest::collection::vec(-50.0f64..50.0, 2..72)
+        ) {
+            let mut data = vals;
+            data.resize(rows * cols, 0.0);
+            let a = Matrix::from_vec(rows, cols, data).unwrap();
+            let cov = a.covariance().unwrap();
+            for i in 0..cols {
+                prop_assert!(cov[(i, i)] >= -1e-9, "diagonal must be non-negative");
+                for j in 0..cols {
+                    prop_assert!((cov[(i, j)] - cov[(j, i)]).abs() < 1e-9);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_sq_dist_nonnegative_and_zero_iff_equal(
+            a in proptest::collection::vec(-1e3f64..1e3, 1..16)
+        ) {
+            prop_assert_eq!(Matrix::sq_dist(&a, &a), 0.0);
+            let b: Vec<f64> = a.iter().map(|x| x + 1.0).collect();
+            prop_assert!(Matrix::sq_dist(&a, &b) > 0.0);
+        }
+    }
+}

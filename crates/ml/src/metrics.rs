@@ -1,0 +1,195 @@
+//! Semi-supervised clustering metrics (Appendix-4, Formula 1).
+//!
+//! The paper's accuracy metric: for each *label* (user-agent string), the
+//! cluster holding the majority of that label's samples is "its" cluster;
+//! a sample is correct iff it lands in its label's majority cluster.
+//! Accuracy is the fraction of correctly-assigned samples.
+
+use crate::error::MlError;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Outcome of a majority-cluster evaluation.
+#[derive(Debug, Clone)]
+pub struct ClusterAccuracy<L: Eq + Hash> {
+    /// Fraction of samples assigned to their label's majority cluster.
+    pub accuracy: f64,
+    /// Majority cluster per label.
+    pub label_clusters: HashMap<L, usize>,
+    /// Number of misclustered samples.
+    pub miscount: usize,
+    /// Total samples evaluated.
+    pub total: usize,
+}
+
+impl<L: Eq + Hash + Clone> ClusterAccuracy<L> {
+    /// Per-label accuracy: fraction of that label's samples in its majority
+    /// cluster. Used by the drift detector, which tracks accuracy of *new
+    /// releases* individually (Table 6's "Accuracy" column).
+    pub fn label_accuracy(labels: &[L], clusters: &[usize], label: &L) -> Option<f64> {
+        let indices: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| *l == label)
+            .map(|(i, _)| i)
+            .collect();
+        if indices.is_empty() {
+            return None;
+        }
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for &i in &indices {
+            *counts.entry(clusters[i]).or_default() += 1;
+        }
+        let majority = counts.values().copied().max().unwrap_or(0);
+        Some(majority as f64 / indices.len() as f64)
+    }
+}
+
+/// Computes the paper's majority-cluster accuracy (Formula 1).
+///
+/// `labels[i]` is the ground-truth label (user-agent) of sample `i`;
+/// `clusters[i]` its predicted cluster. The slices must be equal-length and
+/// non-empty.
+pub fn majority_cluster_accuracy<L: Eq + Hash + Clone>(
+    labels: &[L],
+    clusters: &[usize],
+) -> Result<ClusterAccuracy<L>, MlError> {
+    if labels.is_empty() {
+        return Err(MlError::EmptyInput);
+    }
+    if labels.len() != clusters.len() {
+        return Err(MlError::DimensionMismatch {
+            got: clusters.len(),
+            expected: labels.len(),
+            what: "cluster assignments",
+        });
+    }
+
+    // label -> cluster -> count
+    let mut per_label: HashMap<L, HashMap<usize, usize>> = HashMap::new();
+    for (l, &c) in labels.iter().zip(clusters) {
+        *per_label
+            .entry(l.clone())
+            .or_default()
+            .entry(c)
+            .or_default() += 1;
+    }
+
+    let mut label_clusters = HashMap::with_capacity(per_label.len());
+    let mut correct = 0usize;
+    for (l, counts) in &per_label {
+        // Deterministic tie-break: lowest cluster id wins.
+        let (&majority_cluster, &majority_count) = counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .expect("non-empty counts");
+        label_clusters.insert(l.clone(), majority_cluster);
+        correct += majority_count;
+    }
+
+    let total = labels.len();
+    Ok(ClusterAccuracy {
+        accuracy: correct as f64 / total as f64,
+        label_clusters,
+        miscount: total - correct,
+        total,
+    })
+}
+
+/// Inverts a label→cluster map into cluster→labels (sorted for stable
+/// display) — the shape of the paper's Table 3.
+pub fn clusters_to_labels<L: Clone + Ord>(
+    label_clusters: &HashMap<L, usize>,
+) -> Vec<(usize, Vec<L>)> {
+    let mut by_cluster: HashMap<usize, Vec<L>> = HashMap::new();
+    for (l, &c) in label_clusters {
+        by_cluster.entry(c).or_default().push(l.clone());
+    }
+    let mut out: Vec<(usize, Vec<L>)> = by_cluster
+        .into_iter()
+        .map(|(c, mut ls)| {
+            ls.sort();
+            (c, ls)
+        })
+        .collect();
+    out.sort_by_key(|(c, _)| *c);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering_is_100_percent() {
+        let labels = vec!["a", "a", "b", "b", "b"];
+        let clusters = vec![0, 0, 1, 1, 1];
+        let acc = majority_cluster_accuracy(&labels, &clusters).unwrap();
+        assert_eq!(acc.accuracy, 1.0);
+        assert_eq!(acc.miscount, 0);
+        assert_eq!(acc.label_clusters["a"], 0);
+        assert_eq!(acc.label_clusters["b"], 1);
+    }
+
+    #[test]
+    fn minority_samples_count_as_misclustered() {
+        // 3 of 4 "a" in cluster 0, 1 stray in cluster 1.
+        let labels = vec!["a", "a", "a", "a"];
+        let clusters = vec![0, 0, 0, 1];
+        let acc = majority_cluster_accuracy(&labels, &clusters).unwrap();
+        assert_eq!(acc.accuracy, 0.75);
+        assert_eq!(acc.miscount, 1);
+    }
+
+    #[test]
+    fn two_labels_sharing_a_cluster_is_fine() {
+        // The paper's clusters hold several user-agents (e.g. Chrome 110-113
+        // and Edge 110-113 share cluster 0); accuracy only requires each
+        // label's samples to be *together*.
+        let labels = vec!["chrome110", "chrome110", "edge110", "edge110"];
+        let clusters = vec![0, 0, 0, 0];
+        let acc = majority_cluster_accuracy(&labels, &clusters).unwrap();
+        assert_eq!(acc.accuracy, 1.0);
+    }
+
+    #[test]
+    fn tie_breaks_to_lowest_cluster() {
+        let labels = vec!["a", "a"];
+        let clusters = vec![1, 0];
+        let acc = majority_cluster_accuracy(&labels, &clusters).unwrap();
+        assert_eq!(acc.label_clusters["a"], 0);
+        assert_eq!(acc.accuracy, 0.5);
+    }
+
+    #[test]
+    fn input_validation() {
+        let empty: Vec<&str> = vec![];
+        assert!(majority_cluster_accuracy(&empty, &[]).is_err());
+        assert!(majority_cluster_accuracy(&["a"], &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn label_accuracy_per_label() {
+        let labels = vec!["a", "a", "a", "b"];
+        let clusters = vec![0, 0, 1, 2];
+        let a = ClusterAccuracy::label_accuracy(&labels, &clusters, &"a").unwrap();
+        assert!((a - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(
+            ClusterAccuracy::label_accuracy(&labels, &clusters, &"b"),
+            Some(1.0)
+        );
+        assert_eq!(
+            ClusterAccuracy::label_accuracy(&labels, &clusters, &"zz"),
+            None
+        );
+    }
+
+    #[test]
+    fn clusters_to_labels_inverts_and_sorts() {
+        let labels = vec!["b", "a", "c"];
+        let clusters = vec![1, 1, 0];
+        let acc = majority_cluster_accuracy(&labels, &clusters).unwrap();
+        let table = clusters_to_labels(&acc.label_clusters);
+        assert_eq!(table, vec![(0, vec!["c"]), (1, vec!["a", "b"])]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Privacy metrics: Shannon entropy, normalised entropy and anonymity sets.
+//!
+//! The paper's §7.4 argues the coarse-grained fingerprints cannot track
+//! users: only 0.3% of the 205k collected fingerprints were unique and
+//! 95.6% sat in anonymity sets larger than 50 (Figure 5), and no collected
+//! feature carries more normalised entropy than the user-agent string
+//! itself (Table 7). These functions regenerate both analyses.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Shannon entropy (base 2) of a discrete sample.
+///
+/// Returns 0 for an empty slice.
+pub fn shannon_entropy<T: Eq + Hash>(values: &[T]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut counts: HashMap<&T, usize> = HashMap::new();
+    for v in values {
+        *counts.entry(v).or_default() += 1;
+    }
+    let n = values.len() as f64;
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Entropy normalised by `log2(n)` — the convention of the AmIUnique study
+/// the paper compares against, where `n` is the number of samples. A value
+/// of 1 means every sample is distinct.
+pub fn normalized_entropy<T: Eq + Hash>(values: &[T]) -> f64 {
+    let n = values.len();
+    if n <= 1 {
+        return 0.0;
+    }
+    shannon_entropy(values) / (n as f64).log2()
+}
+
+/// One bucket of the anonymity-set histogram of Figure 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnonymityBucket {
+    /// Human-readable set-size range, e.g. `"2-10"`.
+    pub label: &'static str,
+    /// Inclusive lower bound on anonymity-set size.
+    pub min_size: usize,
+    /// Inclusive upper bound (usize::MAX for the open bucket).
+    pub max_size: usize,
+    /// Fraction of *fingerprints* (samples, not distinct values) whose
+    /// anonymity set falls in this bucket.
+    pub fraction: f64,
+}
+
+/// Summary of an anonymity-set analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnonymityReport {
+    /// Fraction of samples that are unique (set size 1) — the paper's 0.3%.
+    pub unique_fraction: f64,
+    /// Fraction of samples in sets larger than 50 — the paper's 95.6%.
+    pub large_set_fraction: f64,
+    /// Full histogram over the paper's buckets.
+    pub buckets: Vec<AnonymityBucket>,
+    /// Number of distinct fingerprint values observed.
+    pub distinct_values: usize,
+    /// Total samples.
+    pub total: usize,
+}
+
+/// Computes the anonymity-set distribution of a fingerprint sample.
+///
+/// ```
+/// use polygraph_ml::privacy::anonymity_sets;
+///
+/// // 99 users share one fingerprint; one user is unique.
+/// let mut fingerprints = vec![[330u32, 270]; 99];
+/// fingerprints.push([1, 1]);
+/// let report = anonymity_sets(&fingerprints);
+/// assert_eq!(report.unique_fraction, 0.01);
+/// assert_eq!(report.large_set_fraction, 0.99);
+/// ```
+///
+/// The anonymity set of a sample is the number of samples (including
+/// itself) sharing its exact fingerprint value. Bucket boundaries follow
+/// Figure 5: 1, 2–10, 11–50, 51–500, 501–5000, >5000.
+pub fn anonymity_sets<T: Eq + Hash>(values: &[T]) -> AnonymityReport {
+    let mut counts: HashMap<&T, usize> = HashMap::new();
+    for v in values {
+        *counts.entry(v).or_default() += 1;
+    }
+    let total = values.len();
+    let buckets_def: [(&'static str, usize, usize); 6] = [
+        ("1", 1, 1),
+        ("2-10", 2, 10),
+        ("11-50", 11, 50),
+        ("51-500", 51, 500),
+        ("501-5000", 501, 5000),
+        (">5000", 5001, usize::MAX),
+    ];
+    let mut bucket_counts = [0usize; 6];
+    for &c in counts.values() {
+        for (i, &(_, lo, hi)) in buckets_def.iter().enumerate() {
+            if c >= lo && c <= hi {
+                // Weight by samples, not by distinct values: each of the
+                // `c` users in this set contributes.
+                bucket_counts[i] += c;
+                break;
+            }
+        }
+    }
+    let denom = total.max(1) as f64;
+    let buckets = buckets_def
+        .iter()
+        .zip(bucket_counts)
+        .map(|(&(label, min_size, max_size), c)| AnonymityBucket {
+            label,
+            min_size,
+            max_size,
+            fraction: c as f64 / denom,
+        })
+        .collect();
+
+    let unique: usize = counts.values().filter(|&&c| c == 1).count();
+    let in_large: usize = counts.values().filter(|&&c| c > 50).copied().sum();
+    AnonymityReport {
+        unique_fraction: unique as f64 / denom,
+        large_set_fraction: in_large as f64 / denom,
+        buckets,
+        distinct_values: counts.len(),
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn entropy_of_constant_is_zero() {
+        assert_eq!(shannon_entropy(&[1, 1, 1, 1]), 0.0);
+        assert_eq!(normalized_entropy(&[1, 1, 1, 1]), 0.0);
+    }
+
+    #[test]
+    fn entropy_of_uniform_two_values_is_one_bit() {
+        let vals = [0, 1, 0, 1];
+        assert!((shannon_entropy(&vals) - 1.0).abs() < 1e-12);
+        assert!((normalized_entropy(&vals) - 0.5).abs() < 1e-12); // 1 / log2(4)
+    }
+
+    #[test]
+    fn all_distinct_has_normalized_entropy_one() {
+        let vals: Vec<u32> = (0..64).collect();
+        assert!((normalized_entropy(&vals) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        let empty: [u8; 0] = [];
+        assert_eq!(shannon_entropy(&empty), 0.0);
+        assert_eq!(normalized_entropy(&empty), 0.0);
+        assert_eq!(normalized_entropy(&[42]), 0.0);
+    }
+
+    #[test]
+    fn anonymity_report_counts_unique_and_large() {
+        // 1 unique value + 60 copies of another.
+        let mut vals = vec![999usize];
+        vals.extend(std::iter::repeat_n(7, 60));
+        let rep = anonymity_sets(&vals);
+        assert!((rep.unique_fraction - 1.0 / 61.0).abs() < 1e-12);
+        assert!((rep.large_set_fraction - 60.0 / 61.0).abs() < 1e-12);
+        assert_eq!(rep.distinct_values, 2);
+        assert_eq!(rep.total, 61);
+    }
+
+    #[test]
+    fn buckets_partition_all_samples() {
+        let vals: Vec<usize> = (0..100).map(|i| i % 7).collect();
+        let rep = anonymity_sets(&vals);
+        let sum: f64 = rep.buckets.iter().map(|b| b.fraction).sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "bucket fractions must sum to 1, got {sum}"
+        );
+    }
+
+    #[test]
+    fn bucket_boundaries_inclusive() {
+        // Exactly 10 copies should land in "2-10", 11 copies in "11-50".
+        let mut vals: Vec<&str> = Vec::new();
+        vals.extend(std::iter::repeat_n("ten", 10));
+        vals.extend(std::iter::repeat_n("eleven", 11));
+        let rep = anonymity_sets(&vals);
+        let b2_10 = rep.buckets.iter().find(|b| b.label == "2-10").unwrap();
+        let b11_50 = rep.buckets.iter().find(|b| b.label == "11-50").unwrap();
+        assert!((b2_10.fraction - 10.0 / 21.0).abs() < 1e-12);
+        assert!((b11_50.fraction - 11.0 / 21.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_entropy_nonnegative_and_bounded(vals in proptest::collection::vec(0u8..16, 1..200)) {
+            let h = shannon_entropy(&vals);
+            prop_assert!(h >= 0.0);
+            prop_assert!(h <= (vals.len() as f64).log2() + 1e-9);
+            let hn = normalized_entropy(&vals);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&hn));
+        }
+
+        #[test]
+        fn prop_bucket_fractions_sum_to_one(vals in proptest::collection::vec(0u16..64, 1..500)) {
+            let rep = anonymity_sets(&vals);
+            let sum: f64 = rep.buckets.iter().map(|b| b.fraction).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(rep.unique_fraction <= 1.0);
+            prop_assert!(rep.large_set_fraction <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Per-column standardisation (zero mean, unit variance).
+//!
+//! The paper scales the *deviation-based* attributes before PCA because raw
+//! property counts span very different ranges (§6.4.1). Time-based
+//! attributes are already binary; scaling them is harmless (they become two
+//! centred values), so the scaler is applied uniformly unless the caller
+//! restricts it to a column subset.
+
+use crate::error::MlError;
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Fitted per-column standardiser: `x -> (x - mean) / std`.
+///
+/// Columns with zero variance are passed through centred only (divided by 1
+/// instead of 0), matching scikit-learn's behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    scales: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits the scaler on the columns of `x`.
+    pub fn fit(x: &Matrix) -> Self {
+        let means = x.col_means();
+        let scales = x
+            .col_stds()
+            .into_iter()
+            .map(|s| if s > 0.0 { s } else { 1.0 })
+            .collect();
+        Self { means, scales }
+    }
+
+    /// Fits on `x` and transforms it in one step.
+    pub fn fit_transform(x: &Matrix) -> (Self, Matrix) {
+        let s = Self::fit(x);
+        let t = s
+            .transform(x)
+            .expect("fit/transform dimensions match by construction");
+        (s, t)
+    }
+
+    /// Number of columns the scaler was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Per-column means captured at fit time.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-column scales captured at fit time (1.0 for constant columns).
+    pub fn scales(&self) -> &[f64] {
+        &self.scales
+    }
+
+    /// Applies the fitted transform to a new matrix.
+    pub fn transform(&self, x: &Matrix) -> Result<Matrix, MlError> {
+        if x.cols() != self.means.len() {
+            return Err(MlError::DimensionMismatch {
+                got: x.cols(),
+                expected: self.means.len(),
+                what: "columns",
+            });
+        }
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.scales) {
+                *v = (*v - m) / s;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Applies the fitted transform to a single sample.
+    pub fn transform_row(&self, row: &[f64]) -> Result<Vec<f64>, MlError> {
+        if row.len() != self.means.len() {
+            return Err(MlError::DimensionMismatch {
+                got: row.len(),
+                expected: self.means.len(),
+                what: "row length",
+            });
+        }
+        Ok(row
+            .iter()
+            .zip(&self.means)
+            .zip(&self.scales)
+            .map(|((&v, &m), &s)| (v - m) / s)
+            .collect())
+    }
+
+    /// Neutralises the transform on the listed columns: they pass through
+    /// unscaled and uncentred. The paper scales only its deviation-based
+    /// attributes — "the time-based attributes were already in the binary
+    /// format which was suitable" (§6.4.1) — and this is how that
+    /// selective scaling is expressed.
+    ///
+    /// Out-of-range indices are ignored.
+    pub fn neutralize_columns(&mut self, cols: &[usize]) {
+        for &c in cols {
+            if c < self.means.len() {
+                self.means[c] = 0.0;
+                self.scales[c] = 1.0;
+            }
+        }
+    }
+
+    /// Inverts the transform (useful for inspecting centroids in the
+    /// original feature space).
+    pub fn inverse_transform_row(&self, row: &[f64]) -> Result<Vec<f64>, MlError> {
+        if row.len() != self.means.len() {
+            return Err(MlError::DimensionMismatch {
+                got: row.len(),
+                expected: self.means.len(),
+                what: "row length",
+            });
+        }
+        Ok(row
+            .iter()
+            .zip(&self.means)
+            .zip(&self.scales)
+            .map(|((&v, &m), &s)| v * s + m)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn scaled_columns_have_zero_mean_unit_variance() {
+        let x = Matrix::from_rows(&[
+            vec![1.0, 100.0],
+            vec![2.0, 200.0],
+            vec![3.0, 300.0],
+            vec![4.0, 400.0],
+        ])
+        .unwrap();
+        let (_, t) = StandardScaler::fit_transform(&x);
+        let means = t.col_means();
+        let stds = t.col_stds();
+        for m in means {
+            assert!(m.abs() < 1e-12);
+        }
+        for s in stds {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_column_is_centred_not_divided() {
+        let x = Matrix::from_rows(&[vec![5.0], vec![5.0], vec![5.0]]).unwrap();
+        let (s, t) = StandardScaler::fit_transform(&x);
+        assert_eq!(s.scales(), &[1.0]);
+        for r in t.iter_rows() {
+            assert_eq!(r[0], 0.0);
+        }
+    }
+
+    #[test]
+    fn transform_rejects_wrong_width() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let s = StandardScaler::fit(&x);
+        let y = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        assert!(s.transform(&y).is_err());
+        assert!(s.transform_row(&[1.0]).is_err());
+        assert!(s.inverse_transform_row(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn transform_row_matches_matrix_transform() {
+        let x = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 30.0]]).unwrap();
+        let s = StandardScaler::fit(&x);
+        let t = s.transform(&x).unwrap();
+        for (i, row) in x.iter_rows().enumerate() {
+            assert_eq!(s.transform_row(row).unwrap(), t.row(i));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_inverse_round_trips(
+            vals in proptest::collection::vec(-1e4f64..1e4, 4..40)
+        ) {
+            let cols = 2;
+            let rows = vals.len() / cols;
+            let x = Matrix::from_vec(rows, cols, vals[..rows * cols].to_vec()).unwrap();
+            let s = StandardScaler::fit(&x);
+            for row in x.iter_rows() {
+                let fwd = s.transform_row(row).unwrap();
+                let back = s.inverse_transform_row(&fwd).unwrap();
+                for (a, b) in back.iter().zip(row) {
+                    prop_assert!((a - b).abs() < 1e-6);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Client for the risk-assessment service.
+
+use crate::proto::{Verdict, VerdictError, VERDICT_LEN};
+use browser_engine::BrowserInstance;
+use fingerprint::{encode_submission, FeatureSet, Submission};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A connection to a risk server.
+pub struct RiskClient {
+    stream: TcpStream,
+    next_session: u64,
+}
+
+impl RiskClient {
+    /// Connects to a risk server.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            next_session: 1,
+        })
+    }
+
+    /// Submits one prepared submission and awaits the verdict.
+    pub fn assess_submission(&mut self, sub: &Submission) -> io::Result<Verdict> {
+        let frame = encode_submission(sub)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        self.stream.write_all(&(frame.len() as u16).to_le_bytes())?;
+        self.stream.write_all(&frame)?;
+        let mut buf = [0u8; VERDICT_LEN];
+        self.stream.read_exact(&mut buf)?;
+        Verdict::decode(&buf)
+            .map_err(|e: VerdictError| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Convenience: probes a browser with `features`, ships the frame,
+    /// returns the verdict — the in-page script plus uploader in one call.
+    pub fn assess_browser(
+        &mut self,
+        features: &FeatureSet,
+        browser: &BrowserInstance,
+    ) -> io::Result<Verdict> {
+        let mut session_id = [0u8; 16];
+        session_id[..8].copy_from_slice(&self.next_session.to_le_bytes());
+        self.next_session += 1;
+        let sub = Submission {
+            session_id,
+            user_agent: browser.claimed_user_agent().to_ua_string(),
+            values: features.extract(browser).values().to_vec(),
+        };
+        self.assess_submission(&sub)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::VerdictStatus;
+    use crate::server::start_risk_server;
+    use browser_engine::{UserAgent, Vendor};
+    use polygraph_core::{Detector, TrainConfig, TrainedModel, TrainingSet};
+
+    fn tiny_detector() -> Detector {
+        let mut set = TrainingSet::new(2);
+        for (base, ua) in [
+            (0.0, UserAgent::new(Vendor::Chrome, 60)),
+            (10.0, UserAgent::new(Vendor::Chrome, 100)),
+        ] {
+            for j in 0..40 {
+                set.push(vec![base + (j % 2) as f64 * 0.1, base], ua)
+                    .unwrap();
+            }
+        }
+        let fs = FeatureSet::table8().subset(&[0, 1]);
+        let config = TrainConfig {
+            k: 2,
+            n_components: 2,
+            min_samples_for_majority: 1,
+            ..Default::default()
+        };
+        Detector::new(TrainedModel::fit(fs, &set, config).unwrap())
+    }
+
+    #[test]
+    fn client_round_trips_submissions() {
+        let server = start_risk_server("127.0.0.1:0", tiny_detector()).unwrap();
+        let mut client = RiskClient::connect(server.local_addr()).unwrap();
+        let sub = Submission {
+            session_id: [1u8; 16],
+            user_agent: UserAgent::new(Vendor::Chrome, 100).to_ua_string(),
+            values: vec![10, 10],
+        };
+        let v = client.assess_submission(&sub).unwrap();
+        assert_eq!(v.status, VerdictStatus::Assessed);
+        assert!(!v.flagged);
+
+        // Multiple submissions over one connection.
+        let lying = Submission {
+            values: vec![0, 0],
+            ..sub
+        };
+        let v = client.assess_submission(&lying).unwrap();
+        assert!(v.flagged);
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn session_ids_increment() {
+        let server = start_risk_server("127.0.0.1:0", tiny_detector()).unwrap();
+        let mut client = RiskClient::connect(server.local_addr()).unwrap();
+        assert_eq!(client.next_session, 1);
+        // assess_browser uses the full 28-feature schema against a 2-wide
+        // model: schema mismatch is the expected verdict; the session
+        // counter must still advance.
+        let b = browser_engine::BrowserInstance::genuine(UserAgent::new(Vendor::Chrome, 100));
+        let v = client.assess_browser(&FeatureSet::table8(), &b).unwrap();
+        assert_eq!(v.status, VerdictStatus::SchemaMismatch);
+        assert_eq!(client.next_session, 2);
+        drop(client);
+        server.shutdown();
+    }
+}

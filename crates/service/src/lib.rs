@@ -1,0 +1,35 @@
+//! # polygraph-service
+//!
+//! The deployment layer the paper describes around its model (Figure 1,
+//! §6.5–6.6): the pieces that turn a [`polygraph_core::TrainedModel`]
+//! into a continuously-running risk-based-authentication component.
+//!
+//! * [`proto`] — the verdict wire format: a session submits its ≤1 KB
+//!   fingerprint frame and receives a compact assessment (flagged +
+//!   `risk_factor`) the login flow can act on.
+//! * [`server`] — a threaded TCP risk service with a hot-swappable
+//!   detector: retraining never drops a connection.
+//! * [`client`] — the matching client.
+//! * [`registry`] — a versioned on-disk model store (JSON), with atomic
+//!   publish and latest-model lookup.
+//! * [`orchestrator`] — the §6.6 loop: run drift checkpoints on fresh
+//!   traffic, retrain when a release shifts, validate, publish, swap.
+//! * [`policy`] — mapping risk factors to authentication actions (allow /
+//!   step-up / deny), the "risk-based authentication" integration point.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod orchestrator;
+pub mod policy;
+pub mod proto;
+pub mod registry;
+pub mod server;
+
+pub use client::RiskClient;
+pub use orchestrator::{Orchestrator, OrchestratorConfig, RetrainOutcome};
+pub use policy::{AuthAction, RiskPolicy};
+pub use proto::{Verdict, VerdictStatus};
+pub use registry::ModelRegistry;
+pub use server::{start_risk_server, RiskServerHandle};

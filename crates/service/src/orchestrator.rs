@@ -1,0 +1,320 @@
+//! The retraining orchestrator: §6.6 as a running loop.
+//!
+//! On each checkpoint the orchestrator feeds freshly collected traffic to
+//! the drift detector. While releases cluster as expected, nothing
+//! happens. When one shifts, it retrains on the fresh window, *validates*
+//! the candidate model (a bad window must never replace a good model),
+//! publishes it to the registry, and hot-swaps the serving detector.
+
+use crate::registry::ModelRegistry;
+use crate::server::RiskServerHandle;
+use browser_engine::UserAgent;
+use polygraph_core::{
+    Detector, DriftDecision, DriftDetector, DriftObservation, PolygraphError, TrainConfig,
+    TrainedModel, TrainingSet,
+};
+use std::io;
+
+/// Orchestrator settings.
+#[derive(Debug, Clone, Copy)]
+pub struct OrchestratorConfig {
+    /// Training configuration used for retrains.
+    pub train: TrainConfig,
+    /// Minimum majority-cluster accuracy a candidate model must reach on
+    /// its own training window to be published (the §6.6 quality bar).
+    pub min_accuracy: f64,
+    /// How many registry versions to retain after a publish.
+    pub keep_versions: usize,
+}
+
+impl Default for OrchestratorConfig {
+    fn default() -> Self {
+        Self {
+            train: TrainConfig::default(),
+            min_accuracy: 0.98,
+            keep_versions: 4,
+        }
+    }
+}
+
+/// What a checkpoint did.
+#[derive(Debug)]
+pub enum RetrainOutcome {
+    /// No drift; the serving model stays.
+    Stable {
+        /// The per-release measurements of the checkpoint.
+        observations: Vec<DriftObservation>,
+    },
+    /// Drift detected; a new model was trained, validated, published and
+    /// swapped in.
+    Retrained {
+        /// The releases that triggered the retrain.
+        triggers: Vec<UserAgent>,
+        /// The registry version of the new model.
+        version: u64,
+        /// The new model's training accuracy.
+        accuracy: f64,
+    },
+    /// Drift detected, but the candidate model failed validation; the old
+    /// model keeps serving and the condition should be investigated.
+    RetrainRejected {
+        /// The releases that triggered the retrain attempt.
+        triggers: Vec<UserAgent>,
+        /// The rejected candidate's accuracy.
+        accuracy: f64,
+    },
+}
+
+/// Errors from a checkpoint run.
+#[derive(Debug)]
+pub enum OrchestratorError {
+    /// Pipeline error (drift measurement or training).
+    Pipeline(PolygraphError),
+    /// Registry I/O error.
+    Registry(io::Error),
+}
+
+impl std::fmt::Display for OrchestratorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OrchestratorError::Pipeline(e) => write!(f, "pipeline: {e}"),
+            OrchestratorError::Registry(e) => write!(f, "registry: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OrchestratorError {}
+
+impl From<PolygraphError> for OrchestratorError {
+    fn from(e: PolygraphError) -> Self {
+        OrchestratorError::Pipeline(e)
+    }
+}
+impl From<io::Error> for OrchestratorError {
+    fn from(e: io::Error) -> Self {
+        OrchestratorError::Registry(e)
+    }
+}
+
+/// Drives drift checkpoints against a serving risk server.
+pub struct Orchestrator<'s> {
+    server: &'s RiskServerHandle,
+    registry: ModelRegistry,
+    config: OrchestratorConfig,
+}
+
+impl<'s> Orchestrator<'s> {
+    /// Creates an orchestrator for `server`, persisting models in
+    /// `registry`.
+    pub fn new(
+        server: &'s RiskServerHandle,
+        registry: ModelRegistry,
+        config: OrchestratorConfig,
+    ) -> Self {
+        Self {
+            server,
+            registry,
+            config,
+        }
+    }
+
+    /// The registry this orchestrator publishes to.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// Runs one checkpoint: measure `releases` over `fresh` traffic; on
+    /// drift, retrain on `fresh`, validate, publish and swap.
+    pub fn checkpoint(
+        &self,
+        fresh: &TrainingSet,
+        releases: &[UserAgent],
+    ) -> Result<RetrainOutcome, OrchestratorError> {
+        // Measure against the *currently serving* model.
+        let (observations, decision) = {
+            let slot = self.server.detector_slot();
+            let guard = slot.read();
+            let monitor = DriftDetector::new(guard.model());
+            monitor.checkpoint(fresh, releases)?
+        };
+
+        let triggers = match decision {
+            DriftDecision::Stable => return Ok(RetrainOutcome::Stable { observations }),
+            DriftDecision::Retrain { triggers } => triggers,
+        };
+
+        // Retrain on the fresh window with the serving feature schema.
+        let feature_set = {
+            let slot = self.server.detector_slot();
+            let guard = slot.read();
+            guard.model().feature_set().clone()
+        };
+        let candidate = TrainedModel::fit(feature_set, fresh, self.config.train)?;
+        let accuracy = candidate.train_accuracy();
+        if accuracy < self.config.min_accuracy {
+            return Ok(RetrainOutcome::RetrainRejected { triggers, accuracy });
+        }
+
+        let version = self.registry.publish(&candidate)?;
+        self.registry.prune(self.config.keep_versions)?;
+        self.server.swap_detector(Detector::new(candidate));
+        Ok(RetrainOutcome::Retrained {
+            triggers,
+            version,
+            accuracy,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::start_risk_server;
+    use browser_engine::Vendor;
+    use fingerprint::FeatureSet;
+
+    fn ua(vendor: Vendor, v: u32) -> UserAgent {
+        UserAgent::new(vendor, v)
+    }
+
+    /// Era A at (0,0) for Chrome 100, era B at (10,10) for Chrome 110.
+    fn training(base_a: f64) -> TrainingSet {
+        let mut set = TrainingSet::new(2);
+        for (base, u) in [
+            (base_a, ua(Vendor::Chrome, 100)),
+            (10.0, ua(Vendor::Chrome, 110)),
+        ] {
+            for j in 0..60 {
+                set.push(vec![base + (j % 3) as f64 * 0.05, base], u)
+                    .unwrap();
+            }
+        }
+        set
+    }
+
+    fn config() -> OrchestratorConfig {
+        OrchestratorConfig {
+            train: TrainConfig {
+                k: 2,
+                n_components: 2,
+                min_samples_for_majority: 1,
+                ..Default::default()
+            },
+            min_accuracy: 0.95,
+            keep_versions: 2,
+        }
+    }
+
+    fn temp_registry(tag: &str) -> ModelRegistry {
+        let dir =
+            std::env::temp_dir().join(format!("polygraph-orch-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ModelRegistry::open(&dir).unwrap()
+    }
+
+    fn serving_model() -> TrainedModel {
+        let fs = FeatureSet::table8().subset(&[0, 1]);
+        TrainedModel::fit(fs, &training(0.0), config().train).unwrap()
+    }
+
+    #[test]
+    fn stable_checkpoint_keeps_the_model() {
+        let server = start_risk_server("127.0.0.1:0", Detector::new(serving_model())).unwrap();
+        let orch = Orchestrator::new(&server, temp_registry("stable"), config());
+        // Chrome 111 ships with era-B features: stable.
+        let mut fresh = training(0.0);
+        for _ in 0..60 {
+            fresh
+                .push(vec![10.0, 10.0], ua(Vendor::Chrome, 111))
+                .unwrap();
+        }
+        let outcome = orch.checkpoint(&fresh, &[ua(Vendor::Chrome, 111)]).unwrap();
+        assert!(matches!(outcome, RetrainOutcome::Stable { .. }));
+        assert_eq!(
+            server
+                .stats()
+                .swaps
+                .load(std::sync::atomic::Ordering::Relaxed),
+            0
+        );
+        assert_eq!(orch.registry().versions().unwrap(), Vec::<u64>::new());
+        server.shutdown();
+    }
+
+    #[test]
+    fn drift_triggers_retrain_publish_and_swap() {
+        let server = start_risk_server("127.0.0.1:0", Detector::new(serving_model())).unwrap();
+        let registry = temp_registry("retrain");
+        let orch = Orchestrator::new(&server, registry, config());
+        // Chrome 111 ships with a shape back near era A: its sessions land
+        // in Chrome 100's cluster instead of its predecessor's — drift.
+        let mut fresh = training(0.0);
+        for j in 0..80 {
+            fresh
+                .push(
+                    vec![-0.5 + (j % 3) as f64 * 0.05, -0.5],
+                    ua(Vendor::Chrome, 111),
+                )
+                .unwrap();
+        }
+        let outcome = orch.checkpoint(&fresh, &[ua(Vendor::Chrome, 111)]).unwrap();
+        match outcome {
+            RetrainOutcome::Retrained {
+                triggers,
+                version,
+                accuracy,
+            } => {
+                assert_eq!(triggers, vec![ua(Vendor::Chrome, 111)]);
+                assert_eq!(version, 1);
+                assert!(accuracy > 0.95);
+            }
+            other => panic!("expected retrain, got {other:?}"),
+        }
+        assert_eq!(
+            server
+                .stats()
+                .swaps
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        // The published model is loadable and knows the new release.
+        let restored = orch.registry().load_latest().unwrap().expect("published");
+        assert!(restored
+            .cluster_table()
+            .cluster_of(ua(Vendor::Chrome, 111))
+            .is_some());
+        // And the serving detector now accepts the new shape.
+        let slot = server.detector_slot();
+        let verdict = slot
+            .read()
+            .assess(&[-0.5, -0.5], ua(Vendor::Chrome, 111))
+            .unwrap();
+        assert!(!verdict.flagged, "after the swap the new shape is known");
+        server.shutdown();
+    }
+
+    #[test]
+    fn failed_validation_keeps_the_old_model() {
+        let server = start_risk_server("127.0.0.1:0", Detector::new(serving_model())).unwrap();
+        let mut cfg = config();
+        cfg.min_accuracy = 1.1; // impossible bar
+        let orch = Orchestrator::new(&server, temp_registry("reject"), cfg);
+        let mut fresh = training(0.0);
+        for _ in 0..80 {
+            fresh
+                .push(vec![-0.5, -0.5], ua(Vendor::Chrome, 111))
+                .unwrap();
+        }
+        let outcome = orch.checkpoint(&fresh, &[ua(Vendor::Chrome, 111)]).unwrap();
+        assert!(matches!(outcome, RetrainOutcome::RetrainRejected { .. }));
+        assert_eq!(
+            server
+                .stats()
+                .swaps
+                .load(std::sync::atomic::Ordering::Relaxed),
+            0
+        );
+        assert!(orch.registry().versions().unwrap().is_empty());
+        server.shutdown();
+    }
+}

@@ -1,0 +1,143 @@
+//! Risk policy: turning a verdict into an authentication decision.
+//!
+//! The paper positions Browser Polygraph as one signal inside risk-based
+//! authentication (§1, §4): its `risk_factor` is meant to be *consumed*,
+//! not to block users directly. This module is that consumption point — a
+//! small, explicit mapping from verdicts to actions, with the paper's
+//! semantics baked into the defaults:
+//!
+//! * unflagged sessions pass;
+//! * flagged sessions with risk 0–1 are "update inconsistencies or
+//!   extension effects" (§7.1) — worth a step-up challenge at most;
+//! * higher risk factors (version lies across eras, vendor mismatches)
+//!   escalate.
+
+use crate::proto::{Verdict, VerdictStatus};
+use serde::{Deserialize, Serialize};
+
+/// What the login flow should do with a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AuthAction {
+    /// Proceed normally.
+    Allow,
+    /// Require a step-up challenge (2FA, email confirmation).
+    StepUp,
+    /// Deny and route to manual review.
+    Deny,
+}
+
+/// Threshold-based policy over the risk factor.
+///
+/// ```
+/// use polygraph_service::{AuthAction, RiskPolicy, Verdict, VerdictStatus};
+///
+/// let policy = RiskPolicy::default();
+/// let verdict = Verdict {
+///     status: VerdictStatus::Assessed,
+///     flagged: true,
+///     risk_factor: 20, // vendor mismatch
+///     predicted_cluster: 4,
+///     expected_cluster: Some(1),
+/// };
+/// assert_eq!(policy.decide(&verdict), AuthAction::Deny);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RiskPolicy {
+    /// Flagged sessions at or above this risk factor get a step-up.
+    pub step_up_at: u8,
+    /// Flagged sessions at or above this risk factor are denied.
+    pub deny_at: u8,
+    /// Action for sessions whose submission could not be assessed
+    /// (malformed frame, unparseable user-agent, schema mismatch).
+    pub on_unassessable: AuthAction,
+}
+
+impl Default for RiskPolicy {
+    /// The operating point suggested by Table 4: risk > 1 marks the batch
+    /// with ~4x base ATO prevalence (step-up), risk > 4 the ~13x batch
+    /// (deny).
+    fn default() -> Self {
+        Self {
+            step_up_at: 2,
+            deny_at: 5,
+            on_unassessable: AuthAction::StepUp,
+        }
+    }
+}
+
+impl RiskPolicy {
+    /// Decides the action for one verdict.
+    pub fn decide(&self, verdict: &Verdict) -> AuthAction {
+        if verdict.status != VerdictStatus::Assessed {
+            return self.on_unassessable;
+        }
+        if !verdict.flagged {
+            return AuthAction::Allow;
+        }
+        if verdict.risk_factor >= self.deny_at {
+            AuthAction::Deny
+        } else if verdict.risk_factor >= self.step_up_at {
+            AuthAction::StepUp
+        } else {
+            // Flagged at risk 0-1: the benign-mismatch band.
+            AuthAction::Allow
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assessed(flagged: bool, risk: u8) -> Verdict {
+        Verdict {
+            status: VerdictStatus::Assessed,
+            flagged,
+            risk_factor: risk,
+            predicted_cluster: 0,
+            expected_cluster: Some(0),
+        }
+    }
+
+    #[test]
+    fn unflagged_always_allows() {
+        let p = RiskPolicy::default();
+        for risk in [0u8, 5, 20] {
+            assert_eq!(p.decide(&assessed(false, risk)), AuthAction::Allow);
+        }
+    }
+
+    #[test]
+    fn default_bands_match_table4_cuts() {
+        let p = RiskPolicy::default();
+        assert_eq!(
+            p.decide(&assessed(true, 0)),
+            AuthAction::Allow,
+            "benign mismatch band"
+        );
+        assert_eq!(p.decide(&assessed(true, 1)), AuthAction::Allow);
+        assert_eq!(p.decide(&assessed(true, 2)), AuthAction::StepUp);
+        assert_eq!(p.decide(&assessed(true, 4)), AuthAction::StepUp);
+        assert_eq!(p.decide(&assessed(true, 5)), AuthAction::Deny);
+        assert_eq!(
+            p.decide(&assessed(true, 20)),
+            AuthAction::Deny,
+            "vendor mismatch"
+        );
+    }
+
+    #[test]
+    fn unassessable_follows_configuration() {
+        let mut p = RiskPolicy::default();
+        let v = Verdict::error(VerdictStatus::Malformed);
+        assert_eq!(p.decide(&v), AuthAction::StepUp);
+        p.on_unassessable = AuthAction::Deny;
+        assert_eq!(p.decide(&v), AuthAction::Deny);
+    }
+
+    #[test]
+    fn actions_are_ordered_by_severity() {
+        assert!(AuthAction::Allow < AuthAction::StepUp);
+        assert!(AuthAction::StepUp < AuthAction::Deny);
+    }
+}

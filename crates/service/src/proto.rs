@@ -1,0 +1,238 @@
+//! The verdict wire format.
+//!
+//! Requests reuse the fingerprint submission frame
+//! ([`fingerprint::wire`]); the response is a fixed-size 8-byte verdict,
+//! small enough that the whole exchange stays inside the paper's 1 KB /
+//! 100 ms envelope with enormous margin.
+//!
+//! ```text
+//! +------+-----+--------+---------+------+----------+----------+
+//! | "BV" | ver | status | flagged | risk | pred. cl | exp. cl  |
+//! | 2 B  | 1 B |  1 B   |   1 B   | 1 B  |   1 B    |   1 B    |
+//! +------+-----+--------+---------+------+----------+----------+
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Magic prefix of a verdict frame.
+pub const VERDICT_MAGIC: [u8; 2] = *b"BV";
+/// Verdict wire version.
+pub const VERDICT_VERSION: u8 = 1;
+/// Encoded verdict size.
+pub const VERDICT_LEN: usize = 8;
+/// Sentinel for "no expected cluster" (unknown vendor).
+const NO_CLUSTER: u8 = 0xFF;
+
+/// Processing status of a verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VerdictStatus {
+    /// The fingerprint was assessed.
+    Assessed,
+    /// The submission could not be decoded or its user-agent was
+    /// unparseable; the session should be treated per policy for opaque
+    /// clients.
+    Malformed,
+    /// The fingerprint's width did not match the serving model.
+    SchemaMismatch,
+}
+
+impl VerdictStatus {
+    fn to_byte(self) -> u8 {
+        match self {
+            VerdictStatus::Assessed => 0,
+            VerdictStatus::Malformed => 1,
+            VerdictStatus::SchemaMismatch => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(VerdictStatus::Assessed),
+            1 => Some(VerdictStatus::Malformed),
+            2 => Some(VerdictStatus::SchemaMismatch),
+            _ => None,
+        }
+    }
+}
+
+/// The service's answer to one fingerprint submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// Processing status.
+    pub status: VerdictStatus,
+    /// Whether the session was flagged (meaningful only when `status` is
+    /// [`VerdictStatus::Assessed`]).
+    pub flagged: bool,
+    /// Algorithm 1's risk factor (0–20).
+    pub risk_factor: u8,
+    /// Cluster the fingerprint landed in.
+    pub predicted_cluster: u8,
+    /// Cluster the claim was expected in, if the vendor was known.
+    pub expected_cluster: Option<u8>,
+}
+
+impl Verdict {
+    /// A non-assessment verdict (malformed / schema mismatch).
+    pub fn error(status: VerdictStatus) -> Self {
+        Self {
+            status,
+            flagged: false,
+            risk_factor: 0,
+            predicted_cluster: 0,
+            expected_cluster: None,
+        }
+    }
+
+    /// Encodes the fixed-size frame.
+    pub fn encode(&self) -> [u8; VERDICT_LEN] {
+        [
+            VERDICT_MAGIC[0],
+            VERDICT_MAGIC[1],
+            VERDICT_VERSION,
+            self.status.to_byte(),
+            self.flagged as u8,
+            self.risk_factor,
+            self.predicted_cluster,
+            self.expected_cluster.unwrap_or(NO_CLUSTER),
+        ]
+    }
+
+    /// Decodes a frame, validating every field.
+    pub fn decode(frame: &[u8]) -> Result<Self, VerdictError> {
+        if frame.len() != VERDICT_LEN {
+            return Err(VerdictError::BadLength(frame.len()));
+        }
+        if frame[0..2] != VERDICT_MAGIC {
+            return Err(VerdictError::BadMagic);
+        }
+        if frame[2] != VERDICT_VERSION {
+            return Err(VerdictError::BadVersion(frame[2]));
+        }
+        let status = VerdictStatus::from_byte(frame[3]).ok_or(VerdictError::BadStatus(frame[3]))?;
+        if frame[4] > 1 {
+            return Err(VerdictError::BadFlag(frame[4]));
+        }
+        Ok(Self {
+            status,
+            flagged: frame[4] == 1,
+            risk_factor: frame[5],
+            predicted_cluster: frame[6],
+            expected_cluster: if frame[7] == NO_CLUSTER {
+                None
+            } else {
+                Some(frame[7])
+            },
+        })
+    }
+}
+
+/// Errors decoding a verdict frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerdictError {
+    /// Frame length is not [`VERDICT_LEN`].
+    BadLength(usize),
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Unknown wire version.
+    BadVersion(u8),
+    /// Unknown status byte.
+    BadStatus(u8),
+    /// Flag byte not 0/1.
+    BadFlag(u8),
+}
+
+impl fmt::Display for VerdictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerdictError::BadLength(n) => write!(f, "verdict frame length {n} != {VERDICT_LEN}"),
+            VerdictError::BadMagic => write!(f, "bad verdict magic"),
+            VerdictError::BadVersion(v) => write!(f, "unknown verdict version {v}"),
+            VerdictError::BadStatus(s) => write!(f, "unknown verdict status {s}"),
+            VerdictError::BadFlag(b) => write!(f, "flag byte {b} not boolean"),
+        }
+    }
+}
+
+impl std::error::Error for VerdictError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_assessed() {
+        let v = Verdict {
+            status: VerdictStatus::Assessed,
+            flagged: true,
+            risk_factor: 20,
+            predicted_cluster: 7,
+            expected_cluster: Some(2),
+        };
+        assert_eq!(Verdict::decode(&v.encode()).unwrap(), v);
+    }
+
+    #[test]
+    fn round_trip_no_expected_cluster() {
+        let v = Verdict {
+            status: VerdictStatus::Assessed,
+            flagged: true,
+            risk_factor: 20,
+            predicted_cluster: 7,
+            expected_cluster: None,
+        };
+        assert_eq!(Verdict::decode(&v.encode()).unwrap(), v);
+    }
+
+    #[test]
+    fn error_verdicts_encode() {
+        for s in [VerdictStatus::Malformed, VerdictStatus::SchemaMismatch] {
+            let v = Verdict::error(s);
+            let back = Verdict::decode(&v.encode()).unwrap();
+            assert_eq!(back.status, s);
+            assert!(!back.flagged);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert_eq!(Verdict::decode(&[]), Err(VerdictError::BadLength(0)));
+        let mut f = Verdict::error(VerdictStatus::Assessed).encode();
+        f[0] = b'X';
+        assert_eq!(Verdict::decode(&f), Err(VerdictError::BadMagic));
+        let mut f = Verdict::error(VerdictStatus::Assessed).encode();
+        f[2] = 9;
+        assert_eq!(Verdict::decode(&f), Err(VerdictError::BadVersion(9)));
+        let mut f = Verdict::error(VerdictStatus::Assessed).encode();
+        f[3] = 9;
+        assert_eq!(Verdict::decode(&f), Err(VerdictError::BadStatus(9)));
+        let mut f = Verdict::error(VerdictStatus::Assessed).encode();
+        f[4] = 2;
+        assert_eq!(Verdict::decode(&f), Err(VerdictError::BadFlag(2)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..32)) {
+            let _ = Verdict::decode(&bytes);
+        }
+
+        #[test]
+        fn prop_round_trip(
+            flagged in any::<bool>(),
+            risk in 0u8..=20,
+            pred in 0u8..16,
+            exp in proptest::option::of(0u8..16),
+        ) {
+            let v = Verdict {
+                status: VerdictStatus::Assessed,
+                flagged,
+                risk_factor: risk,
+                predicted_cluster: pred,
+                expected_cluster: exp,
+            };
+            prop_assert_eq!(Verdict::decode(&v.encode()).unwrap(), v);
+        }
+    }
+}

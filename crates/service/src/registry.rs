@@ -1,0 +1,199 @@
+//! A versioned on-disk model store.
+//!
+//! Trained models are JSON documents (everything in
+//! [`polygraph_core::TrainedModel`] is serde). The registry writes each
+//! published model as `model-v<N>.json` plus a `latest` pointer, using
+//! write-to-temp + atomic rename so a crash mid-publish can never leave a
+//! half-written "latest" model.
+
+use polygraph_core::TrainedModel;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A directory of versioned models.
+#[derive(Debug, Clone)]
+pub struct ModelRegistry {
+    dir: PathBuf,
+}
+
+impl ModelRegistry {
+    /// Opens (creating if needed) a registry at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        fs::create_dir_all(dir.as_ref())?;
+        Ok(Self {
+            dir: dir.as_ref().to_path_buf(),
+        })
+    }
+
+    /// The registry directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Versions currently stored, ascending.
+    pub fn versions(&self) -> io::Result<Vec<u64>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(v) = name
+                .strip_prefix("model-v")
+                .and_then(|rest| rest.strip_suffix(".json"))
+                .and_then(|v| v.parse::<u64>().ok())
+            {
+                out.push(v);
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// The newest stored version, if any.
+    pub fn latest_version(&self) -> io::Result<Option<u64>> {
+        Ok(self.versions()?.into_iter().last())
+    }
+
+    /// Publishes a model as the next version and returns that version.
+    pub fn publish(&self, model: &TrainedModel) -> io::Result<u64> {
+        let version = self.latest_version()?.map_or(1, |v| v + 1);
+        let json = serde_json::to_vec_pretty(model)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let tmp = self.dir.join(format!(".model-v{version}.json.tmp"));
+        let path = self.model_path(version);
+        fs::write(&tmp, &json)?;
+        fs::rename(&tmp, &path)?;
+        // Refresh the "latest" pointer the same way.
+        let tmp = self.dir.join(".latest.tmp");
+        fs::write(&tmp, version.to_string())?;
+        fs::rename(&tmp, self.dir.join("latest"))?;
+        Ok(version)
+    }
+
+    /// Loads a specific version.
+    pub fn load(&self, version: u64) -> io::Result<TrainedModel> {
+        let bytes = fs::read(self.model_path(version))?;
+        serde_json::from_slice(&bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Loads the newest model, if any.
+    pub fn load_latest(&self) -> io::Result<Option<TrainedModel>> {
+        match self.latest_version()? {
+            Some(v) => self.load(v).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Removes versions older than the newest `keep` (never removing the
+    /// latest). Returns the versions removed.
+    pub fn prune(&self, keep: usize) -> io::Result<Vec<u64>> {
+        let versions = self.versions()?;
+        if versions.len() <= keep.max(1) {
+            return Ok(Vec::new());
+        }
+        let cut = versions.len() - keep.max(1);
+        let mut removed = Vec::new();
+        for &v in &versions[..cut] {
+            fs::remove_file(self.model_path(v))?;
+            removed.push(v);
+        }
+        Ok(removed)
+    }
+
+    fn model_path(&self, version: u64) -> PathBuf {
+        self.dir.join(format!("model-v{version}.json"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use browser_engine::{UserAgent, Vendor};
+    use fingerprint::FeatureSet;
+    use polygraph_core::{TrainConfig, TrainingSet};
+
+    fn tiny_model(offset: f64) -> TrainedModel {
+        let mut set = TrainingSet::new(2);
+        for (base, ua) in [
+            (offset, UserAgent::new(Vendor::Chrome, 60)),
+            (offset + 10.0, UserAgent::new(Vendor::Chrome, 100)),
+        ] {
+            for j in 0..30 {
+                set.push(vec![base + (j % 2) as f64 * 0.1, base], ua)
+                    .unwrap();
+            }
+        }
+        let fs = FeatureSet::table8().subset(&[0, 1]);
+        let config = TrainConfig {
+            k: 2,
+            n_components: 2,
+            min_samples_for_majority: 1,
+            ..Default::default()
+        };
+        TrainedModel::fit(fs, &set, config).unwrap()
+    }
+
+    fn temp_registry(tag: &str) -> ModelRegistry {
+        let dir = std::env::temp_dir().join(format!(
+            "polygraph-registry-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        ModelRegistry::open(&dir).unwrap()
+    }
+
+    #[test]
+    fn publish_assigns_increasing_versions() {
+        let reg = temp_registry("versions");
+        assert_eq!(reg.latest_version().unwrap(), None);
+        assert!(reg.load_latest().unwrap().is_none());
+        assert_eq!(reg.publish(&tiny_model(0.0)).unwrap(), 1);
+        assert_eq!(reg.publish(&tiny_model(1.0)).unwrap(), 2);
+        assert_eq!(reg.versions().unwrap(), vec![1, 2]);
+        assert_eq!(reg.latest_version().unwrap(), Some(2));
+    }
+
+    #[test]
+    fn load_round_trips_the_model() {
+        let reg = temp_registry("roundtrip");
+        let model = tiny_model(0.0);
+        let v = reg.publish(&model).unwrap();
+        let restored = reg.load(v).unwrap();
+        assert_eq!(restored.cluster_table(), model.cluster_table());
+        assert_eq!(
+            restored.predict_cluster(&[0.0, 0.0]).unwrap(),
+            model.predict_cluster(&[0.0, 0.0]).unwrap()
+        );
+    }
+
+    #[test]
+    fn load_latest_returns_newest() {
+        let reg = temp_registry("latest");
+        reg.publish(&tiny_model(0.0)).unwrap();
+        let newer = tiny_model(5.0);
+        reg.publish(&newer).unwrap();
+        let restored = reg.load_latest().unwrap().expect("has models");
+        assert_eq!(restored.cluster_table(), newer.cluster_table());
+    }
+
+    #[test]
+    fn prune_keeps_newest() {
+        let reg = temp_registry("prune");
+        for i in 0..5 {
+            reg.publish(&tiny_model(i as f64)).unwrap();
+        }
+        let removed = reg.prune(2).unwrap();
+        assert_eq!(removed, vec![1, 2, 3]);
+        assert_eq!(reg.versions().unwrap(), vec![4, 5]);
+        // Pruning to zero still keeps the latest.
+        let removed = reg.prune(0).unwrap();
+        assert_eq!(removed, vec![4]);
+        assert_eq!(reg.versions().unwrap(), vec![5]);
+    }
+
+    #[test]
+    fn missing_version_is_an_error() {
+        let reg = temp_registry("missing");
+        assert!(reg.load(42).is_err());
+    }
+}

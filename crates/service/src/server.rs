@@ -1,0 +1,342 @@
+//! The risk-assessment TCP service.
+//!
+//! Each connection streams length-prefixed fingerprint submission frames
+//! (the same format the collection service accepts) and receives one
+//! fixed-size [`Verdict`] per frame. The serving detector sits behind an
+//! `Arc<RwLock<…>>` so the [`crate::orchestrator`] can swap in a
+//! retrained model without interrupting traffic — the paper's "ongoing
+//! system enhancements … minimises delays during user interaction"
+//! property (§6.5).
+
+use crate::proto::{Verdict, VerdictStatus};
+use browser_engine::UserAgent;
+use fingerprint::{decode_submission, MAX_SUBMISSION_BYTES};
+use parking_lot::RwLock;
+use polygraph_core::Detector;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Counters of a running risk server.
+#[derive(Debug, Default)]
+pub struct RiskServerStats {
+    /// Submissions assessed.
+    pub assessed: AtomicUsize,
+    /// Assessments that flagged the session.
+    pub flagged: AtomicUsize,
+    /// Malformed frames answered with an error verdict.
+    pub malformed: AtomicUsize,
+    /// Detector swaps performed.
+    pub swaps: AtomicUsize,
+}
+
+/// Handle to a running risk server.
+pub struct RiskServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    detector: Arc<RwLock<Detector>>,
+    stats: Arc<RiskServerStats>,
+    acceptor: Option<thread::JoinHandle<()>>,
+}
+
+impl RiskServerHandle {
+    /// The listening address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared counters.
+    pub fn stats(&self) -> &RiskServerStats {
+        &self.stats
+    }
+
+    /// A handle to the serving detector slot (for the orchestrator).
+    pub fn detector_slot(&self) -> Arc<RwLock<Detector>> {
+        Arc::clone(&self.detector)
+    }
+
+    /// Atomically replaces the serving detector. In-flight assessments
+    /// finish on the old model; the next frame uses the new one.
+    pub fn swap_detector(&self, detector: Detector) {
+        *self.detector.write() = detector;
+        self.stats.swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Stops accepting and joins the acceptor thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Starts a risk server on `addr` (use `127.0.0.1:0` for an ephemeral
+/// port) serving `detector`.
+pub fn start_risk_server(addr: &str, detector: Detector) -> io::Result<RiskServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let detector = Arc::new(RwLock::new(detector));
+    let stats = Arc::new(RiskServerStats::default());
+
+    let acceptor = {
+        let stop = Arc::clone(&stop);
+        let detector = Arc::clone(&detector);
+        let stats = Arc::clone(&stats);
+        thread::spawn(move || {
+            let mut workers = Vec::new();
+            while !stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let detector = Arc::clone(&detector);
+                        let stats = Arc::clone(&stats);
+                        workers.push(thread::spawn(move || {
+                            let _ = serve_connection(stream, &detector, &stats);
+                        }));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for w in workers {
+                let _ = w.join();
+            }
+        })
+    };
+
+    Ok(RiskServerHandle {
+        addr: local,
+        stop,
+        detector,
+        stats,
+        acceptor: Some(acceptor),
+    })
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    detector: &RwLock<Detector>,
+    stats: &RiskServerStats,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_nodelay(true)?;
+    loop {
+        let mut len_buf = [0u8; 2];
+        match stream.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        }
+        let len = u16::from_le_bytes(len_buf) as usize;
+        if len > MAX_SUBMISSION_BYTES {
+            stats.malformed.fetch_add(1, Ordering::Relaxed);
+            let _ = stream.write_all(&Verdict::error(VerdictStatus::Malformed).encode());
+            return Ok(()); // cannot resynchronise past an unread body
+        }
+        let mut frame = vec![0u8; len];
+        stream.read_exact(&mut frame)?;
+
+        let verdict = assess_frame(&frame, detector, stats);
+        stream.write_all(&verdict.encode())?;
+    }
+}
+
+/// Decodes a submission frame and assesses it against the serving model.
+/// Shared by the TCP path and in-process callers (the CLI).
+pub fn assess_frame(frame: &[u8], detector: &RwLock<Detector>, stats: &RiskServerStats) -> Verdict {
+    let Ok(submission) = decode_submission(frame) else {
+        stats.malformed.fetch_add(1, Ordering::Relaxed);
+        return Verdict::error(VerdictStatus::Malformed);
+    };
+    let Ok(claimed) = submission.user_agent.parse::<UserAgent>() else {
+        stats.malformed.fetch_add(1, Ordering::Relaxed);
+        return Verdict::error(VerdictStatus::Malformed);
+    };
+    let values: Vec<f64> = submission.values.iter().map(|&v| v as f64).collect();
+    let guard = detector.read();
+    match guard.assess(&values, claimed) {
+        Ok(a) => {
+            stats.assessed.fetch_add(1, Ordering::Relaxed);
+            if a.flagged {
+                stats.flagged.fetch_add(1, Ordering::Relaxed);
+            }
+            Verdict {
+                status: VerdictStatus::Assessed,
+                flagged: a.flagged,
+                risk_factor: a.risk_factor.min(u8::MAX as u32) as u8,
+                predicted_cluster: a.predicted_cluster.min(u8::MAX as usize) as u8,
+                expected_cluster: a.expected_cluster.map(|c| c.min(u8::MAX as usize) as u8),
+            }
+        }
+        Err(_) => {
+            stats.malformed.fetch_add(1, Ordering::Relaxed);
+            Verdict::error(VerdictStatus::SchemaMismatch)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use browser_engine::Vendor;
+    use fingerprint::{encode_submission, FeatureSet, Submission};
+    use polygraph_core::{TrainConfig, TrainedModel, TrainingSet};
+
+    fn tiny_detector() -> Detector {
+        let mut set = TrainingSet::new(2);
+        for (base, ua) in [
+            (0.0, UserAgent::new(Vendor::Chrome, 60)),
+            (10.0, UserAgent::new(Vendor::Chrome, 100)),
+            (20.0, UserAgent::new(Vendor::Firefox, 100)),
+        ] {
+            for j in 0..40 {
+                set.push(vec![base + (j % 2) as f64 * 0.1, base], ua)
+                    .unwrap();
+            }
+        }
+        let fs = FeatureSet::table8().subset(&[0, 1]);
+        let config = TrainConfig {
+            k: 3,
+            n_components: 2,
+            min_samples_for_majority: 1,
+            ..Default::default()
+        };
+        Detector::new(TrainedModel::fit(fs, &set, config).unwrap())
+    }
+
+    fn frame_for(values: Vec<u32>, ua: UserAgent) -> Vec<u8> {
+        let sub = Submission {
+            session_id: [9u8; 16],
+            user_agent: ua.to_ua_string(),
+            values,
+        };
+        encode_submission(&sub).unwrap().to_vec()
+    }
+
+    #[test]
+    fn assess_frame_honest_and_lying() {
+        let detector = RwLock::new(tiny_detector());
+        let stats = RiskServerStats::default();
+
+        let honest = frame_for(vec![10, 10], UserAgent::new(Vendor::Chrome, 100));
+        let v = assess_frame(&honest, &detector, &stats);
+        assert_eq!(v.status, VerdictStatus::Assessed);
+        assert!(!v.flagged);
+
+        let lying = frame_for(vec![20, 20], UserAgent::new(Vendor::Chrome, 100));
+        let v = assess_frame(&lying, &detector, &stats);
+        assert!(v.flagged);
+        assert_eq!(v.risk_factor, 20);
+        assert_eq!(stats.assessed.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.flagged.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn assess_frame_rejects_garbage_and_bad_ua() {
+        let detector = RwLock::new(tiny_detector());
+        let stats = RiskServerStats::default();
+        let v = assess_frame(&[1, 2, 3], &detector, &stats);
+        assert_eq!(v.status, VerdictStatus::Malformed);
+
+        let sub = Submission {
+            session_id: [0u8; 16],
+            user_agent: "curl/8.0".into(),
+            values: vec![1, 2],
+        };
+        let frame = encode_submission(&sub).unwrap();
+        let v = assess_frame(&frame, &detector, &stats);
+        assert_eq!(v.status, VerdictStatus::Malformed);
+        assert_eq!(stats.malformed.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn assess_frame_schema_mismatch() {
+        let detector = RwLock::new(tiny_detector());
+        let stats = RiskServerStats::default();
+        let frame = frame_for(vec![1, 2, 3, 4], UserAgent::new(Vendor::Chrome, 100));
+        let v = assess_frame(&frame, &detector, &stats);
+        assert_eq!(v.status, VerdictStatus::SchemaMismatch);
+    }
+
+    #[test]
+    fn server_round_trip_over_tcp() {
+        let server = start_risk_server("127.0.0.1:0", tiny_detector()).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+
+        let frame = frame_for(vec![10, 10], UserAgent::new(Vendor::Chrome, 100));
+        stream
+            .write_all(&(frame.len() as u16).to_le_bytes())
+            .unwrap();
+        stream.write_all(&frame).unwrap();
+        let mut buf = [0u8; crate::proto::VERDICT_LEN];
+        stream.read_exact(&mut buf).unwrap();
+        let v = Verdict::decode(&buf).unwrap();
+        assert_eq!(v.status, VerdictStatus::Assessed);
+        assert!(!v.flagged);
+        drop(stream);
+        server.shutdown();
+    }
+
+    #[test]
+    fn detector_swap_changes_verdicts_live() {
+        // Model A knows Chrome 60 at (0,0). Model B is trained with
+        // Chrome 60 at (10,10) instead — after the swap the same frame
+        // flips from honest to flagged.
+        let detector_a = tiny_detector();
+        let server = start_risk_server("127.0.0.1:0", detector_a).unwrap();
+
+        let mut set = TrainingSet::new(2);
+        for (base, ua) in [
+            (10.0, UserAgent::new(Vendor::Chrome, 60)),
+            (0.0, UserAgent::new(Vendor::Firefox, 60)),
+            (20.0, UserAgent::new(Vendor::Firefox, 100)),
+        ] {
+            for j in 0..40 {
+                set.push(vec![base + (j % 2) as f64 * 0.1, base], ua)
+                    .unwrap();
+            }
+        }
+        let fs = FeatureSet::table8().subset(&[0, 1]);
+        let config = TrainConfig {
+            k: 3,
+            n_components: 2,
+            min_samples_for_majority: 1,
+            ..Default::default()
+        };
+        let detector_b = Detector::new(TrainedModel::fit(fs, &set, config).unwrap());
+
+        let frame = frame_for(vec![0, 0], UserAgent::new(Vendor::Chrome, 60));
+        let ask = |addr| {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.set_nodelay(true).unwrap();
+            stream
+                .write_all(&(frame.len() as u16).to_le_bytes())
+                .unwrap();
+            stream.write_all(&frame).unwrap();
+            let mut buf = [0u8; crate::proto::VERDICT_LEN];
+            stream.read_exact(&mut buf).unwrap();
+            Verdict::decode(&buf).unwrap()
+        };
+
+        assert!(
+            !ask(server.local_addr()).flagged,
+            "model A: (0,0) is Chrome 60"
+        );
+        server.swap_detector(detector_b);
+        assert!(
+            ask(server.local_addr()).flagged,
+            "model B: (0,0) is Firefox territory"
+        );
+        assert_eq!(server.stats().swaps.load(Ordering::Relaxed), 1);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,34 @@
+//! # traffic
+//!
+//! Web-scale traffic simulation — the stand-in for FinOrg's production
+//! deployment (§6.2, §7.1):
+//!
+//! * [`market`] — which browser releases are *in use* at a given date
+//!   (adoption decay over the release catalog);
+//! * [`session`] — one logged-in user session: anonymised ID, timestamp,
+//!   claimed user-agent, fingerprint, FinOrg risk tags, and (simulation
+//!   only!) the ground truth of what produced it;
+//! * [`mod@generate`] — the 205k-session generator with configuration noise,
+//!   privacy forks, a small fraud-browser population, and the tag model
+//!   calibrated to Table 4's base rates;
+//! * [`synthetic`] — BrowserStack-style clean sweeps across OSes
+//!   (Appendix-5, Tables 13/14);
+//! * [`collect`] — a framed TCP collection service carrying the ≤1 KB
+//!   submissions of the deployed fingerprinting script, with
+//!   fault-injection hooks for robustness testing;
+//! * [`store`] — the durable JSONL session store joining collection output
+//!   to training input ("periodic datasets", §6.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collect;
+pub mod generate;
+pub mod market;
+pub mod session;
+pub mod store;
+pub mod synthetic;
+
+pub use generate::{generate, TrafficConfig, TrafficDataset};
+pub use session::{GroundTruth, Session, Tags};
+pub use store::SessionStore;

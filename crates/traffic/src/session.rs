@@ -1,0 +1,122 @@
+//! One logged-in user session, as the collection pipeline sees it — plus
+//! the simulation-only ground truth the evaluation scores against.
+
+use browser_engine::catalog::SimDate;
+use browser_engine::UserAgent;
+use serde::Serialize;
+
+/// FinOrg's internal risk tags (§7.1). Provided for evaluation only; the
+/// detector never reads them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct Tags {
+    /// Session arrived from an IP FinOrg had not seen for this account.
+    pub untrusted_ip: bool,
+    /// Session carried a newly-established cookie.
+    pub untrusted_cookie: bool,
+    /// Account was involved in a confirmed ATO within 72 hours.
+    pub ato: bool,
+}
+
+/// What actually produced a session — simulation-only ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum GroundTruth {
+    /// A genuine browser, possibly with benign configuration noise.
+    Legitimate {
+        /// Whether the instance carried config noise (extensions, prefs).
+        perturbed: bool,
+    },
+    /// A privacy fork whose claim is technically truthful (Brave claims
+    /// Chrome and runs the matching Blink).
+    PrivacyFork {
+        /// Product name, e.g. `"Brave"`.
+        product: &'static str,
+    },
+    /// The Tor Browser: claims the current Firefox ESR while running an
+    /// older, patched Gecko.
+    TorBrowser,
+    /// A genuine browser mid-update: the engine has moved one version
+    /// ahead of what the cached user-agent still reports — the paper's
+    /// "update inconsistencies" that explain benign low-risk flags (§7.1).
+    UpdateSkew,
+    /// A fraud browser loading a stolen profile.
+    FraudBrowser {
+        /// Product name from Table 1.
+        product: String,
+        /// The paper's category number (1–4).
+        category: u8,
+    },
+}
+
+impl GroundTruth {
+    /// Whether this session is one the detector *should* flag: a
+    /// category-1/2 fraud browser whose fingerprint cannot match its claim.
+    pub fn is_detectable_fraud(&self) -> bool {
+        matches!(self, GroundTruth::FraudBrowser { category, .. } if *category <= 2)
+    }
+
+    /// Whether this session is fraud of any category.
+    pub fn is_fraud(&self) -> bool {
+        matches!(self, GroundTruth::FraudBrowser { .. })
+    }
+}
+
+/// One observed session.
+#[derive(Debug, Clone, Serialize)]
+pub struct Session {
+    /// Opaque anonymised session identifier.
+    pub session_id: [u8; 16],
+    /// Month the session occurred (the generator also spreads sessions
+    /// across days; day resolution is only used for ordering).
+    pub date: SimDate,
+    /// Day-of-window index for finer ordering (0-based).
+    pub day: u16,
+    /// The claimed `navigator.userAgent`, parsed.
+    pub claimed: UserAgent,
+    /// The coarse-grained fingerprint values, in feature-set order.
+    pub values: Vec<u32>,
+    /// FinOrg's risk tags (evaluation only).
+    pub tags: Tags,
+    /// Simulation ground truth (evaluation only).
+    pub truth: GroundTruth,
+}
+
+impl Session {
+    /// The fingerprint as an `f64` row for the ML pipeline.
+    pub fn row(&self) -> Vec<f64> {
+        self.values.iter().map(|&v| v as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use browser_engine::Vendor;
+
+    #[test]
+    fn detectable_fraud_is_category_1_and_2_only() {
+        for (cat, expect) in [(1u8, true), (2, true), (3, false), (4, false)] {
+            let t = GroundTruth::FraudBrowser {
+                product: "X".into(),
+                category: cat,
+            };
+            assert_eq!(t.is_detectable_fraud(), expect, "category {cat}");
+            assert!(t.is_fraud());
+        }
+        assert!(!GroundTruth::Legitimate { perturbed: false }.is_detectable_fraud());
+        assert!(!GroundTruth::TorBrowser.is_fraud());
+    }
+
+    #[test]
+    fn session_row_converts_values() {
+        let s = Session {
+            session_id: [0; 16],
+            date: SimDate::new(2023, 3),
+            day: 0,
+            claimed: UserAgent::new(Vendor::Chrome, 110),
+            values: vec![1, 2, 3],
+            tags: Tags::default(),
+            truth: GroundTruth::Legitimate { perturbed: false },
+        };
+        assert_eq!(s.row(), vec![1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,209 @@
+//! The session store: durable collection output, training input.
+//!
+//! The paper's deployment collects continuously and retrains from
+//! accumulated batches ("they provided us with periodic datasets", §6.2).
+//! This module is that joint: the collection service's submissions are
+//! appended to a JSON-lines file (one submission per line, crash-tolerant
+//! by construction — a torn final line is skipped on load) and read back
+//! as the `(rows, user-agents)` pairs the training pipeline consumes.
+
+use browser_engine::UserAgent;
+use fingerprint::Submission;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// An append-only JSONL store of fingerprint submissions.
+#[derive(Debug)]
+pub struct SessionStore {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    appended: usize,
+}
+
+impl SessionStore {
+    /// Opens (creating if needed) a store at `path`; appends go to the end.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path.as_ref())?;
+        Ok(Self {
+            path: path.as_ref().to_path_buf(),
+            writer: BufWriter::new(file),
+            appended: 0,
+        })
+    }
+
+    /// The store's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Submissions appended through this handle (not counting prior
+    /// contents).
+    pub fn appended(&self) -> usize {
+        self.appended
+    }
+
+    /// Appends one submission.
+    pub fn append(&mut self, sub: &Submission) -> io::Result<()> {
+        let line = serde_json::to_string(sub)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.appended += 1;
+        Ok(())
+    }
+
+    /// Flushes buffered appends to disk.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Loads every parseable submission from a store file. A torn or
+    /// corrupt line (e.g. from a crash mid-append) is skipped, not fatal;
+    /// the number of skipped lines is returned alongside the data.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<(Vec<Submission>, usize)> {
+        let file = File::open(path.as_ref())?;
+        let reader = BufReader::new(file);
+        let mut out = Vec::new();
+        let mut skipped = 0usize;
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<Submission>(&line) {
+                Ok(sub) => out.push(sub),
+                Err(_) => skipped += 1,
+            }
+        }
+        Ok((out, skipped))
+    }
+
+    /// Converts stored submissions into the `(rows, user-agents)` pairs
+    /// the training pipeline consumes, dropping submissions whose
+    /// user-agent does not parse or whose width differs from `expected_width`.
+    pub fn to_training_pairs(
+        submissions: &[Submission],
+        expected_width: usize,
+    ) -> (Vec<Vec<f64>>, Vec<UserAgent>) {
+        let mut rows = Vec::new();
+        let mut uas = Vec::new();
+        for sub in submissions {
+            if sub.values.len() != expected_width {
+                continue;
+            }
+            let Ok(ua) = sub.user_agent.parse::<UserAgent>() else {
+                continue;
+            };
+            rows.push(sub.values.iter().map(|&v| v as f64).collect());
+            uas.push(ua);
+        }
+        (rows, uas)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use browser_engine::{BrowserInstance, Vendor};
+    use fingerprint::FeatureSet;
+
+    fn temp_store(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "polygraph-store-{tag}-{}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    fn sample(i: u8) -> Submission {
+        let fs = FeatureSet::table8();
+        let ua = UserAgent::new(Vendor::Chrome, 110 + (i as u32 % 4));
+        Submission {
+            session_id: [i; 16],
+            user_agent: ua.to_ua_string(),
+            values: fs.extract(&BrowserInstance::genuine(ua)).values().to_vec(),
+        }
+    }
+
+    #[test]
+    fn append_flush_load_round_trips() {
+        let path = temp_store("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let mut store = SessionStore::open(&path).unwrap();
+        for i in 0..25u8 {
+            store.append(&sample(i)).unwrap();
+        }
+        store.flush().unwrap();
+        assert_eq!(store.appended(), 25);
+        let (subs, skipped) = SessionStore::load(&path).unwrap();
+        assert_eq!(subs.len(), 25);
+        assert_eq!(skipped, 0);
+        assert_eq!(subs[7].session_id, [7u8; 16]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reopening_appends_rather_than_truncates() {
+        let path = temp_store("reopen");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = SessionStore::open(&path).unwrap();
+            store.append(&sample(1)).unwrap();
+            store.flush().unwrap();
+        }
+        {
+            let mut store = SessionStore::open(&path).unwrap();
+            store.append(&sample(2)).unwrap();
+            store.flush().unwrap();
+        }
+        let (subs, _) = SessionStore::load(&path).unwrap();
+        assert_eq!(subs.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_lines_are_skipped_not_fatal() {
+        let path = temp_store("torn");
+        let _ = std::fs::remove_file(&path);
+        let mut store = SessionStore::open(&path).unwrap();
+        store.append(&sample(1)).unwrap();
+        store.flush().unwrap();
+        // Simulate a crash mid-append: a truncated JSON line.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"session_id\":[9,9,9").unwrap();
+        }
+        let (subs, skipped) = SessionStore::load(&path).unwrap();
+        assert_eq!(subs.len(), 1);
+        assert_eq!(skipped, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn training_pairs_filter_garbage() {
+        let good = sample(1);
+        let bad_ua = Submission {
+            user_agent: "curl/8.0".into(),
+            ..sample(2)
+        };
+        let bad_width = Submission {
+            values: vec![1, 2, 3],
+            ..sample(3)
+        };
+        let (rows, uas) = SessionStore::to_training_pairs(&[good.clone(), bad_ua, bad_width], 28);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(uas.len(), 1);
+        assert_eq!(rows[0].len(), 28);
+        assert_eq!(uas[0].label(), "Chrome 111");
+        let _ = good;
+    }
+
+    #[test]
+    fn loading_missing_file_errors() {
+        assert!(SessionStore::load("/definitely/not/here.jsonl").is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! BrowserStack-style synthetic sweeps (Appendix-5).
+//!
+//! The paper's Tables 13 and 14 compare clustering quality of coarse- and
+//! fine-grained fingerprints over clean, scripted browser launches across
+//! operating systems: Chrome, Edge and Firefox on Windows 10/11
+//! (430 Polygraph fingerprints) and on macOS Sonoma/Sequoia (320).
+//! This module scripts the same launches against the simulated platform.
+
+use browser_engine::catalog::legitimate_releases;
+use browser_engine::{BrowserInstance, Os, UserAgent, Vendor};
+
+/// One scripted launch: the instance to probe and the environment it ran
+/// in.
+#[derive(Debug, Clone)]
+pub struct SyntheticSample {
+    /// The launched (genuine) browser.
+    pub instance: BrowserInstance,
+    /// Its user-agent, OS included.
+    pub ua: UserAgent,
+    /// The host OS of the launch.
+    pub os: Os,
+}
+
+/// Scripts launches of every catalogued release at or above
+/// `min_version_blink`/`min_version_gecko` on each listed OS, with an
+/// extra repeat of recent releases (mirroring the paper's per-environment
+/// sample sizes).
+pub fn sweep(
+    oses: &[Os],
+    min_chrome: u32,
+    min_firefox: u32,
+    repeats_recent: usize,
+) -> Vec<SyntheticSample> {
+    let mut out = Vec::new();
+    for release in legitimate_releases() {
+        let recent = match release.ua.vendor {
+            Vendor::Chrome | Vendor::Edge => release.ua.version >= 100,
+            Vendor::Firefox => release.ua.version >= 100,
+        };
+        let included = match release.ua.vendor {
+            Vendor::Chrome | Vendor::Edge => release.ua.version >= min_chrome,
+            Vendor::Firefox => release.ua.version >= min_firefox,
+        };
+        if !included {
+            continue;
+        }
+        for &os in oses {
+            let copies = if recent { 1 + repeats_recent } else { 1 };
+            for _ in 0..copies {
+                let ua = release.ua.with_os(os);
+                out.push(SyntheticSample {
+                    instance: BrowserInstance::genuine(ua),
+                    ua,
+                    os,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The Windows 10/11 sweep of Table 13 (~430 fingerprints).
+pub fn windows_sweep() -> Vec<SyntheticSample> {
+    sweep(&[Os::Windows10, Os::Windows11], 59, 46, 1)
+}
+
+/// The macOS Sonoma/Sequoia sweep of Table 14 (~320 fingerprints). Legacy
+/// Edge never shipped on macOS, and very old releases are not available on
+/// modern macOS images, so the sweep starts later.
+pub fn macos_sweep() -> Vec<SyntheticSample> {
+    sweep(&[Os::MacOsSonoma, Os::MacOsSequoia], 80, 78, 1)
+        .into_iter()
+        .filter(|s| !(s.ua.vendor == Vendor::Edge && s.ua.version < 79))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fingerprint::FeatureSet;
+
+    #[test]
+    fn windows_sweep_is_paper_scale() {
+        let sweep = windows_sweep();
+        assert!(
+            (350..550).contains(&sweep.len()),
+            "paper collected 430 Windows fingerprints; got {}",
+            sweep.len()
+        );
+    }
+
+    #[test]
+    fn macos_sweep_is_paper_scale() {
+        let sweep = macos_sweep();
+        assert!(
+            (250..420).contains(&sweep.len()),
+            "paper collected 320 macOS fingerprints; got {}",
+            sweep.len()
+        );
+        assert!(sweep
+            .iter()
+            .all(|s| matches!(s.os, Os::MacOsSonoma | Os::MacOsSequoia)));
+        assert!(
+            !sweep
+                .iter()
+                .any(|s| s.ua.vendor == Vendor::Edge && s.ua.version < 79),
+            "no EdgeHTML on macOS"
+        );
+    }
+
+    #[test]
+    fn samples_are_genuine_and_os_invariant() {
+        // Coarse-grained fingerprints are an engine attribute: the same
+        // release on two OSes probes identically (why the paper's features
+        // stay below the UA's entropy).
+        let fs = FeatureSet::table8();
+        let win = windows_sweep();
+        let a = win.iter().find(|s| s.os == Os::Windows10).unwrap();
+        let b = win
+            .iter()
+            .find(|s| s.os == Os::Windows11 && s.ua == a.ua)
+            .unwrap();
+        assert_eq!(fs.extract(&a.instance), fs.extract(&b.instance));
+        assert!(a.instance.is_consistent());
+    }
+
+    #[test]
+    fn sweep_covers_all_vendors() {
+        let sweep = windows_sweep();
+        for vendor in Vendor::ALL {
+            assert!(
+                sweep.iter().any(|s| s.ua.vendor == vendor),
+                "{vendor} missing"
+            );
+        }
+    }
+}

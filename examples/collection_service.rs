@@ -1,0 +1,107 @@
+//! Collection service: the deployed shape of the system. Browsers submit
+//! ≤1 KB fingerprint frames over TCP; the backend decodes, assesses and
+//! flags — all within the paper's §3 budget. Includes smoltcp-style fault
+//! injection on the client side.
+//!
+//! ```sh
+//! cargo run --release --example collection_service
+//! ```
+
+use browser_polygraph::core::{Detector, TrainConfig, TrainedModel, TrainingSet};
+use browser_polygraph::engine::{BrowserInstance, Engine, UserAgent, Vendor};
+use browser_polygraph::fingerprint::{FeatureSet, Submission};
+use browser_polygraph::traffic::collect::{
+    start_collector, CollectorClient, FaultConfig, SubmitOutcome,
+};
+use browser_polygraph::traffic::{generate, TrafficConfig};
+
+fn main() {
+    // Offline: train the model.
+    let features = FeatureSet::table8();
+    let data = generate(
+        &features,
+        &TrafficConfig::paper_training().with_sessions(20_000),
+    );
+    let (rows, uas) = data.rows_and_user_agents();
+    let training = TrainingSet::from_rows(rows, uas).expect("well-formed");
+    let model =
+        TrainedModel::fit(features.clone(), &training, TrainConfig::default()).expect("train");
+    let detector = Detector::new(model);
+
+    // Online: start the collection endpoint.
+    let server = start_collector("127.0.0.1:0").expect("bind");
+    println!("collection service listening on {}", server.local_addr());
+
+    // Simulated in-page scripts submit over a lossy link (15% drop, 10%
+    // corruption — the smoltcp examples' "adverse network" starting point).
+    let mut client = CollectorClient::connect(server.local_addr())
+        .expect("connect")
+        .with_faults(
+            FaultConfig {
+                drop_chance: 0.15,
+                corrupt_chance: 0.10,
+            },
+            99,
+        );
+
+    let visitors: Vec<(&str, BrowserInstance)> = vec![
+        (
+            "genuine Chrome 112",
+            BrowserInstance::genuine(UserAgent::new(Vendor::Chrome, 112)),
+        ),
+        (
+            "genuine Firefox 108",
+            BrowserInstance::genuine(UserAgent::new(Vendor::Firefox, 108)),
+        ),
+        (
+            "fraud: Blink 108 claiming Firefox 110",
+            BrowserInstance::with_engine(Engine::blink(108), UserAgent::new(Vendor::Firefox, 110)),
+        ),
+        (
+            "fraud: Blink 61 claiming Chrome 114",
+            BrowserInstance::with_engine(Engine::blink(61), UserAgent::new(Vendor::Chrome, 114)),
+        ),
+    ];
+
+    let mut session: u8 = 0;
+    for (label, browser) in &visitors {
+        // Each visitor retries until the lossy link lets a frame through.
+        for attempt in 1..=10 {
+            session = session.wrapping_add(1);
+            let sub = Submission {
+                session_id: [session; 16],
+                user_agent: browser.claimed_user_agent().to_ua_string(),
+                values: features.extract(browser).values().to_vec(),
+            };
+            match client.submit(&sub).expect("submit") {
+                SubmitOutcome::Accepted => {
+                    println!("{label}: delivered on attempt {attempt}");
+                    break;
+                }
+                SubmitOutcome::Rejected => {
+                    println!("{label}: frame corrupted in flight, retrying");
+                }
+                SubmitOutcome::Dropped => {
+                    println!("{label}: frame dropped, retrying");
+                }
+            }
+        }
+    }
+    drop(client);
+
+    // Backend: decode every accepted submission and assess it.
+    println!("\nbackend assessments:");
+    let received = server.shutdown();
+    for sub in &received {
+        let claimed: UserAgent = sub.user_agent.parse().expect("valid UA");
+        let values: Vec<f64> = sub.values.iter().map(|&v| v as f64).collect();
+        let verdict = detector.assess(&values, claimed).expect("assess");
+        println!(
+            "  session {:02x?}…  claims {:<12} -> flagged: {:<5} risk: {:>2}",
+            &sub.session_id[..2],
+            claimed.label(),
+            verdict.flagged,
+            verdict.risk_factor,
+        );
+    }
+}

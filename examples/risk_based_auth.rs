@@ -1,0 +1,122 @@
+//! Risk-based authentication: the full production shape.
+//!
+//! A login flow asks the risk service about each session's fingerprint and
+//! maps the verdict to allow / step-up / deny. Meanwhile the orchestrator
+//! watches fresh traffic for drift and hot-swaps a retrained model without
+//! the service ever going down.
+//!
+//! ```sh
+//! cargo run --release --example risk_based_auth
+//! ```
+
+use browser_polygraph::core::{Detector, TrainConfig, TrainedModel, TrainingSet};
+use browser_polygraph::engine::{BrowserInstance, Engine, UserAgent, Vendor};
+use browser_polygraph::fingerprint::FeatureSet;
+use browser_polygraph::service::{
+    start_risk_server, ModelRegistry, Orchestrator, OrchestratorConfig, RetrainOutcome, RiskClient,
+    RiskPolicy,
+};
+use browser_polygraph::traffic::{generate, TrafficConfig};
+
+fn main() {
+    // Offline: train the spring model and publish it.
+    let features = FeatureSet::table8();
+    let spring = generate(
+        &features,
+        &TrafficConfig::paper_training().with_sessions(20_000),
+    );
+    let (rows, uas) = spring.rows_and_user_agents();
+    let training = TrainingSet::from_rows(rows, uas).expect("well-formed");
+    let model =
+        TrainedModel::fit(features.clone(), &training, TrainConfig::default()).expect("train");
+    let registry_dir = std::env::temp_dir().join("polygraph-example-registry");
+    let registry = ModelRegistry::open(&registry_dir).expect("registry");
+    let v = registry.publish(&model).expect("publish");
+    println!(
+        "published spring model v{v} ({:.2}% accuracy)",
+        model.train_accuracy() * 100.0
+    );
+
+    // Online: serve it.
+    let server = start_risk_server("127.0.0.1:0", Detector::new(model)).expect("bind");
+    println!("risk service on {}", server.local_addr());
+    let mut client = RiskClient::connect(server.local_addr()).expect("connect");
+    let policy = RiskPolicy::default();
+
+    // A day of logins.
+    let logins: Vec<(&str, BrowserInstance)> = vec![
+        (
+            "alice (genuine Chrome 112)",
+            BrowserInstance::genuine(UserAgent::new(Vendor::Chrome, 112)),
+        ),
+        (
+            "bob (genuine Firefox 108)",
+            BrowserInstance::genuine(UserAgent::new(Vendor::Firefox, 108)),
+        ),
+        (
+            "mallory (GoLogin core claiming bob's Firefox)",
+            BrowserInstance::with_engine(Engine::blink(108), UserAgent::new(Vendor::Firefox, 108)),
+        ),
+        (
+            "trudy (old Sphere core claiming Chrome 113)",
+            BrowserInstance::with_engine(Engine::blink(61), UserAgent::new(Vendor::Chrome, 113)),
+        ),
+    ];
+    println!("\nlogin decisions:");
+    for (who, browser) in &logins {
+        let verdict = client.assess_browser(&features, browser).expect("assess");
+        println!(
+            "  {who:<44} flagged={:<5} risk={:>2}  -> {:?}",
+            verdict.flagged,
+            verdict.risk_factor,
+            policy.decide(&verdict)
+        );
+    }
+
+    // Months later: the autumn window ships Firefox 119. The orchestrator
+    // notices and swaps in a retrained model; the service stays up.
+    println!("\nautumn drift checkpoint:");
+    let autumn = generate(
+        &features,
+        &TrafficConfig::drift_window().with_sessions(30_000),
+    );
+    let (rows, uas) = autumn.rows_and_user_agents();
+    let fresh = TrainingSet::from_rows(rows, uas).expect("well-formed");
+    let orchestrator = Orchestrator::new(&server, registry, OrchestratorConfig::default());
+    let releases = [
+        UserAgent::new(Vendor::Chrome, 119),
+        UserAgent::new(Vendor::Firefox, 119),
+        UserAgent::new(Vendor::Edge, 119),
+    ];
+    match orchestrator
+        .checkpoint(&fresh, &releases)
+        .expect("checkpoint")
+    {
+        RetrainOutcome::Retrained {
+            triggers,
+            version,
+            accuracy,
+        } => println!(
+            "  drift from {}; model v{version} published ({:.2}% accuracy) and hot-swapped",
+            triggers
+                .iter()
+                .map(|u| u.label())
+                .collect::<Vec<_>>()
+                .join(", "),
+            accuracy * 100.0
+        ),
+        other => println!("  {other:?}"),
+    }
+
+    // Same connection, new model: a genuine Firefox 119 now passes.
+    let fx119 = BrowserInstance::genuine(UserAgent::new(Vendor::Firefox, 119));
+    let verdict = client.assess_browser(&features, &fx119).expect("assess");
+    println!(
+        "\npost-swap: genuine Firefox 119 -> flagged={} risk={} ({:?})",
+        verdict.flagged,
+        verdict.risk_factor,
+        policy.decide(&verdict)
+    );
+    drop(client);
+    server.shutdown();
+}

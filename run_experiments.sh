@@ -1,0 +1,27 @@
+#!/bin/sh
+# Regenerates every table and figure of the paper. Paper-scale by default
+# (205k simulated sessions); pass a smaller count for a quick pass.
+set -e
+SESSIONS="${1:-205000}"
+SWEEP_SESSIONS="${2:-60000}"
+OUT="${OUT:-results}"
+mkdir -p "$OUT"
+run() {
+    name="$1"; shift
+    echo "=== $name $*"
+    cargo run --release -q -p polygraph-bench --bin "$name" -- "$@" | tee "$OUT/$name.txt"
+}
+run exp_table1
+run exp_table2 --sessions "$SWEEP_SESSIONS"
+run exp_table3 --sessions "$SESSIONS"
+run exp_table4 --sessions "$SESSIONS"
+run exp_table5 --sessions "$SESSIONS"
+run exp_table6 --sessions "$SESSIONS"
+run exp_table7_fig5 --sessions "$SESSIONS"
+run exp_table8 --sessions "$SWEEP_SESSIONS"
+run exp_fig2_fig3_fig4 --sessions "$SESSIONS"
+run exp_table10_11_12 --sessions "$SWEEP_SESSIONS"
+run exp_table13_14
+run exp_ablations --sessions 40000
+run exp_discussion --sessions "$SWEEP_SESSIONS"
+echo "all experiments written to $OUT/"

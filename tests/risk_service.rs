@@ -1,0 +1,180 @@
+//! Integration: the deployed stack — risk service, policy, registry and
+//! orchestrator — over a paper-scale model and live TCP.
+
+use browser_polygraph::core::{Detector, TrainConfig, TrainedModel, TrainingSet};
+use browser_polygraph::engine::{BrowserInstance, Engine, UserAgent, Vendor};
+use browser_polygraph::fingerprint::FeatureSet;
+use browser_polygraph::fraud::{scan_markers, FraudProfile};
+use browser_polygraph::service::{
+    start_risk_server, AuthAction, ModelRegistry, Orchestrator, OrchestratorConfig, RetrainOutcome,
+    RiskClient, RiskPolicy, VerdictStatus,
+};
+use browser_polygraph::traffic::{generate, TrafficConfig};
+
+const SESSIONS: usize = 15_000;
+
+fn spring_model() -> (FeatureSet, TrainedModel) {
+    let features = FeatureSet::table8();
+    let data = generate(
+        &features,
+        &TrafficConfig::paper_training().with_sessions(SESSIONS),
+    );
+    let (rows, uas) = data.rows_and_user_agents();
+    let training = TrainingSet::from_rows(rows, uas).expect("well-formed");
+    let model =
+        TrainedModel::fit(features.clone(), &training, TrainConfig::default()).expect("train");
+    (features, model)
+}
+
+fn temp_registry(tag: &str) -> ModelRegistry {
+    let dir = std::env::temp_dir().join(format!(
+        "polygraph-it-registry-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    ModelRegistry::open(&dir).expect("registry")
+}
+
+#[test]
+fn service_policy_separates_login_attempts() {
+    let (features, model) = spring_model();
+    let server = start_risk_server("127.0.0.1:0", Detector::new(model)).expect("bind");
+    let mut client = RiskClient::connect(server.local_addr()).expect("connect");
+    let policy = RiskPolicy::default();
+
+    // Genuine browsers pass.
+    for ua in [
+        UserAgent::new(Vendor::Chrome, 112),
+        UserAgent::new(Vendor::Firefox, 105),
+    ] {
+        let verdict = client
+            .assess_browser(&features, &BrowserInstance::genuine(ua))
+            .expect("assess");
+        assert_eq!(verdict.status, VerdictStatus::Assessed);
+        assert_eq!(policy.decide(&verdict), AuthAction::Allow, "{}", ua.label());
+    }
+
+    // A cross-vendor lie is denied.
+    let fraud =
+        BrowserInstance::with_engine(Engine::blink(108), UserAgent::new(Vendor::Firefox, 108));
+    let verdict = client.assess_browser(&features, &fraud).expect("assess");
+    assert!(verdict.flagged);
+    assert_eq!(policy.decide(&verdict), AuthAction::Deny);
+
+    // A deep same-vendor version lie at least steps up.
+    let stale =
+        BrowserInstance::with_engine(Engine::blink(75), UserAgent::new(Vendor::Chrome, 112));
+    let verdict = client.assess_browser(&features, &stale).expect("assess");
+    assert!(verdict.flagged);
+    assert!(policy.decide(&verdict) >= AuthAction::StepUp);
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn orchestrator_handles_the_autumn_drift_live() {
+    let (features, model) = spring_model();
+    let registry = temp_registry("autumn");
+    registry.publish(&model).expect("publish spring model");
+    let server = start_risk_server("127.0.0.1:0", Detector::new(model)).expect("bind");
+
+    // Before the swap: genuine Firefox 119 trips the (stale) spring model.
+    let mut client = RiskClient::connect(server.local_addr()).expect("connect");
+    let fx119 = BrowserInstance::genuine(UserAgent::new(Vendor::Firefox, 119));
+    let before = client.assess_browser(&features, &fx119).expect("assess");
+    assert!(
+        before.flagged,
+        "spring model mistakes the Firefox 119 overhaul for a lie"
+    );
+
+    // Autumn checkpoint: drift -> retrain -> publish -> hot swap.
+    let autumn = generate(
+        &features,
+        &TrafficConfig::drift_window().with_sessions(SESSIONS),
+    );
+    let (rows, uas) = autumn.rows_and_user_agents();
+    let fresh = TrainingSet::from_rows(rows, uas).expect("well-formed");
+    let orchestrator = Orchestrator::new(&server, registry, OrchestratorConfig::default());
+    let releases = [
+        UserAgent::new(Vendor::Chrome, 119),
+        UserAgent::new(Vendor::Firefox, 119),
+        UserAgent::new(Vendor::Edge, 119),
+    ];
+    let outcome = orchestrator
+        .checkpoint(&fresh, &releases)
+        .expect("checkpoint");
+    let version = match outcome {
+        RetrainOutcome::Retrained {
+            triggers,
+            version,
+            accuracy,
+        } => {
+            assert!(
+                triggers.contains(&UserAgent::new(Vendor::Firefox, 119)),
+                "Firefox 119 drives the retrain, got {triggers:?}"
+            );
+            assert!(accuracy > 0.98);
+            version
+        }
+        other => panic!("expected a retrain, got {other:?}"),
+    };
+    assert_eq!(
+        orchestrator.registry().latest_version().expect("io"),
+        Some(version)
+    );
+
+    // Same connection, new model: Firefox 119 passes, fraud still fails.
+    let after = client.assess_browser(&features, &fx119).expect("assess");
+    assert!(!after.flagged, "retrained model knows Firefox 119");
+    let fraud =
+        BrowserInstance::with_engine(Engine::blink(110), UserAgent::new(Vendor::Firefox, 117));
+    assert!(
+        client
+            .assess_browser(&features, &fraud)
+            .expect("assess")
+            .flagged
+    );
+
+    // The published model reloads into an equivalent detector.
+    let reloaded = orchestrator.registry().load(version).expect("reload");
+    let detector = Detector::new(reloaded);
+    let fp = features.extract(&fx119);
+    assert!(
+        !detector
+            .assess(&fp.as_f64(), fx119.claimed_user_agent())
+            .expect("assess")
+            .flagged
+    );
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn markers_catch_what_clustering_cannot() {
+    let (features, model) = spring_model();
+    let detector = Detector::new(model);
+
+    // AdsPower (category 3) swaps engines: the fingerprint looks genuine.
+    let ads = browser_polygraph::fraud::catalog::product_by_name("AdsPower").expect("catalogued");
+    let instance = FraudProfile::new(ads, UserAgent::new(Vendor::Firefox, 110))
+        .instantiate()
+        .polluted("adspower_helper");
+    let verdict = detector.assess_browser(&instance).expect("assess");
+    assert!(
+        !verdict.flagged,
+        "category 3 beats coarse-grained clustering (by design)"
+    );
+
+    // ... but the §8 software-marker scan names the product.
+    let hits = scan_markers(&instance);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].marker.product, "AdsPower");
+
+    // Genuine browsers trip neither.
+    let genuine = BrowserInstance::genuine(UserAgent::new(Vendor::Chrome, 112));
+    assert!(!detector.assess_browser(&genuine).expect("assess").flagged);
+    assert!(scan_markers(&genuine).is_empty());
+    let _ = features;
+}

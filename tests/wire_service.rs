@@ -1,0 +1,214 @@
+//! Integration: the networked collection path must be byte-equivalent to
+//! the direct in-process path, and robust against a hostile wire.
+
+use browser_polygraph::core::{Detector, TrainConfig, TrainedModel, TrainingSet};
+use browser_polygraph::engine::{BrowserInstance, Engine, UserAgent, Vendor};
+use browser_polygraph::fingerprint::{
+    decode_submission, encode_submission, FeatureSet, Submission, MAX_SUBMISSION_BYTES,
+};
+use browser_polygraph::traffic::collect::{
+    start_collector, CollectorClient, FaultConfig, SubmitOutcome,
+};
+use browser_polygraph::traffic::{generate, TrafficConfig};
+
+fn small_detector() -> Detector {
+    let features = FeatureSet::table8();
+    let data = generate(
+        &features,
+        &TrafficConfig::paper_training().with_sessions(10_000),
+    );
+    let (rows, uas) = data.rows_and_user_agents();
+    let training = TrainingSet::from_rows(rows, uas).expect("well-formed");
+    Detector::new(TrainedModel::fit(features, &training, TrainConfig::default()).expect("train"))
+}
+
+#[test]
+fn networked_path_equals_direct_path() {
+    let detector = small_detector();
+    let features = FeatureSet::table8();
+    let browsers = [
+        BrowserInstance::genuine(UserAgent::new(Vendor::Chrome, 112)),
+        BrowserInstance::genuine(UserAgent::new(Vendor::Firefox, 105)),
+        BrowserInstance::with_engine(Engine::blink(104), UserAgent::new(Vendor::Firefox, 110)),
+    ];
+
+    let server = start_collector("127.0.0.1:0").expect("bind");
+    let mut client = CollectorClient::connect(server.local_addr()).expect("connect");
+    for (i, b) in browsers.iter().enumerate() {
+        let sub = Submission {
+            session_id: [i as u8; 16],
+            user_agent: b.claimed_user_agent().to_ua_string(),
+            values: features.extract(b).values().to_vec(),
+        };
+        assert_eq!(
+            client.submit(&sub).expect("submit"),
+            SubmitOutcome::Accepted
+        );
+    }
+    drop(client);
+    let received = server.shutdown();
+    assert_eq!(received.len(), browsers.len());
+
+    for (b, sub) in browsers.iter().zip(&received) {
+        // Server-side reconstruction.
+        let claimed: UserAgent = sub.user_agent.parse().expect("parseable UA");
+        let values: Vec<f64> = sub.values.iter().map(|&v| v as f64).collect();
+        let via_wire = detector.assess(&values, claimed).expect("assess");
+        // Direct in-process assessment.
+        let direct = detector.assess_browser(b).expect("assess");
+        assert_eq!(via_wire, direct, "wire and direct paths must agree");
+    }
+}
+
+#[test]
+fn every_catalogued_browser_fits_the_budget() {
+    // §3: the 1 KB budget must hold for every browser the paper studied,
+    // for both the 28-feature and the full 513-candidate schema.
+    let table8 = FeatureSet::table8();
+    let candidates = FeatureSet::candidates_513();
+    for release in browser_polygraph::engine::catalog::legitimate_releases() {
+        let b = BrowserInstance::genuine(release.ua);
+        for schema in [&table8, &candidates] {
+            let sub = Submission {
+                session_id: [0u8; 16],
+                user_agent: release.ua.to_ua_string(),
+                values: schema.extract(&b).values().to_vec(),
+            };
+            let frame =
+                encode_submission(&sub).unwrap_or_else(|e| panic!("{}: {e}", release.ua.label()));
+            assert!(frame.len() <= MAX_SUBMISSION_BYTES);
+            assert_eq!(decode_submission(&frame).expect("round trip"), sub);
+        }
+    }
+}
+
+#[test]
+fn lossy_link_loses_frames_but_never_state() {
+    let server = start_collector("127.0.0.1:0").expect("bind");
+    let features = FeatureSet::table8();
+    let browser = BrowserInstance::genuine(UserAgent::new(Vendor::Chrome, 112));
+    let mut client = CollectorClient::connect(server.local_addr())
+        .expect("connect")
+        .with_faults(
+            FaultConfig {
+                drop_chance: 0.3,
+                corrupt_chance: 0.2,
+            },
+            1234,
+        );
+
+    let mut accepted = 0usize;
+    let mut attempts = 0usize;
+    for i in 0..60u8 {
+        attempts += 1;
+        let sub = Submission {
+            session_id: [i; 16],
+            user_agent: browser.claimed_user_agent().to_ua_string(),
+            values: features.extract(&browser).values().to_vec(),
+        };
+        match client.submit(&sub) {
+            Ok(SubmitOutcome::Accepted) => accepted += 1,
+            Ok(_) => {}
+            // A corrupted length prefix can desynchronise the stream;
+            // reconnect, as a real uploader would.
+            Err(_) => {
+                client = CollectorClient::connect(server.local_addr())
+                    .expect("reconnect")
+                    .with_faults(
+                        FaultConfig {
+                            drop_chance: 0.3,
+                            corrupt_chance: 0.2,
+                        },
+                        i as u64,
+                    );
+            }
+        }
+    }
+    drop(client);
+    let received = server.shutdown();
+    assert_eq!(
+        received.len(),
+        accepted,
+        "server state matches acknowledgements"
+    );
+    assert!(
+        accepted > attempts / 4,
+        "some frames get through ({accepted}/{attempts})"
+    );
+    // Every stored submission decoded cleanly (no corrupted frame was
+    // accepted with mangled *content* that still parsed as our schema and
+    // wrong width).
+    for sub in &received {
+        assert_eq!(sub.values.len(), features.len());
+    }
+}
+
+#[test]
+fn collected_traffic_retrains_through_the_store() {
+    // The full data loop: browsers submit over TCP, the collector's output
+    // is persisted to the session store, and a model is trained from the
+    // reloaded store — the §6.2 "periodic datasets" pipeline end to end.
+    use browser_polygraph::traffic::SessionStore;
+    use browser_polygraph::traffic::{generate, TrafficConfig};
+
+    let features = FeatureSet::table8();
+    let server = start_collector("127.0.0.1:0").expect("bind");
+    let mut client = CollectorClient::connect(server.local_addr()).expect("connect");
+
+    // Simulated in-page scripts: sample real traffic and upload it.
+    let window = TrafficConfig::paper_training().with_sessions(3_000);
+    let data = generate(&features, &window);
+    for s in &data.sessions {
+        let sub = Submission {
+            session_id: s.session_id,
+            user_agent: s.claimed.to_ua_string(),
+            values: s.values.clone(),
+        };
+        client.submit(&sub).expect("submit");
+    }
+    drop(client);
+    let received = server.shutdown();
+    assert_eq!(received.len(), data.sessions.len());
+
+    // Persist and reload.
+    let path =
+        std::env::temp_dir().join(format!("polygraph-it-store-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    {
+        let mut store = SessionStore::open(&path).expect("open");
+        for sub in &received {
+            store.append(sub).expect("append");
+        }
+        store.flush().expect("flush");
+    }
+    let (reloaded, skipped) = SessionStore::load(&path).expect("load");
+    assert_eq!(skipped, 0);
+    assert_eq!(reloaded.len(), received.len());
+
+    // Retrain from the store and sanity-check the detector.
+    let (rows, uas) = SessionStore::to_training_pairs(&reloaded, features.len());
+    assert_eq!(
+        rows.len(),
+        reloaded.len(),
+        "all stored submissions are usable"
+    );
+    let training = TrainingSet::from_rows(rows, uas).expect("well-formed");
+    let model = TrainedModel::fit(
+        features.clone(),
+        &training,
+        TrainConfig {
+            min_samples_for_majority: 20,
+            ..TrainConfig::default()
+        },
+    )
+    .expect("train from store");
+    assert!(
+        model.train_accuracy() > 0.97,
+        "got {}",
+        model.train_accuracy()
+    );
+    let detector = Detector::new(model);
+    let honest = BrowserInstance::genuine(UserAgent::new(Vendor::Chrome, 112));
+    assert!(!detector.assess_browser(&honest).expect("assess").flagged);
+    std::fs::remove_file(&path).expect("cleanup");
+}
