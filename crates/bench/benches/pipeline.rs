@@ -7,7 +7,8 @@ use fingerprint::FeatureSet;
 use polygraph_core::{Detector, TrainConfig, TrainedModel, TrainingSet};
 use polygraph_ml::iforest::IsolationForestConfig;
 use polygraph_ml::kmeans::KMeansConfig;
-use polygraph_ml::{IsolationForest, KMeans, Matrix, Pca, StandardScaler};
+use polygraph_ml::kmeans::elbow_scan_with_pool;
+use polygraph_ml::{IsolationForest, KMeans, Matrix, Pca, StandardScaler, ThreadPool};
 use traffic::{generate, TrafficConfig};
 
 /// A deterministic 8k-session training window shared by all benches.
@@ -94,11 +95,74 @@ fn bench_matrix_ops(c: &mut Criterion) {
     });
 }
 
+/// Serial vs. parallel comparisons for the pooled kernels. The parallel
+/// variants are bit-identical to the serial ones (see
+/// `tests/parallel_determinism.rs`), so any speedup is free accuracy-wise;
+/// on a multi-core host the k-means restart sweep is the headline number.
+fn bench_serial_vs_parallel(c: &mut Criterion) {
+    let (_, training) = training_window();
+    let x = training.to_matrix().expect("matrix");
+    let (_, scaled) = StandardScaler::fit_transform(&x);
+    let pca = Pca::fit(&scaled, 7).unwrap();
+    let projected = pca.transform(&scaled).unwrap();
+    let pool = ThreadPool::new(4);
+
+    let mut group = c.benchmark_group("parallel");
+    group.sample_size(10);
+
+    let kcfg = KMeansConfig::new(11).with_n_init(10);
+    group.bench_function("k-means fit n_init=10 serial", |b| {
+        b.iter(|| black_box(KMeans::fit(black_box(&projected), kcfg).unwrap()))
+    });
+    group.bench_function("k-means fit n_init=10 pool(4)", |b| {
+        b.iter(|| black_box(KMeans::fit_with_pool(black_box(&projected), kcfg, &pool).unwrap()))
+    });
+
+    let fcfg = IsolationForestConfig {
+        n_trees: 100,
+        sample_size: 256,
+        seed: 1,
+    };
+    group.bench_function("iforest fit+score 100 trees serial", |b| {
+        b.iter(|| {
+            let f = IsolationForest::fit(black_box(&scaled), fcfg).unwrap();
+            black_box(f.score(&scaled))
+        })
+    });
+    group.bench_function("iforest fit+score 100 trees pool(4)", |b| {
+        b.iter(|| {
+            let f = IsolationForest::fit_with_pool(black_box(&scaled), fcfg, &pool).unwrap();
+            black_box(f.score_with_pool(&scaled, &pool))
+        })
+    });
+
+    group.bench_function("covariance 8k x 28 serial", |b| {
+        b.iter(|| black_box(scaled.covariance().unwrap()))
+    });
+    group.bench_function("covariance 8k x 28 pool(4)", |b| {
+        b.iter(|| black_box(scaled.covariance_with_pool(&pool).unwrap()))
+    });
+
+    let ks = [2usize, 4, 6, 8, 10, 12];
+    group.bench_function("elbow scan 6 candidates serial", |b| {
+        b.iter(|| {
+            black_box(
+                elbow_scan_with_pool(black_box(&projected), &ks, 7, &ThreadPool::serial()).unwrap(),
+            )
+        })
+    });
+    group.bench_function("elbow scan 6 candidates pool(4)", |b| {
+        b.iter(|| black_box(elbow_scan_with_pool(black_box(&projected), &ks, 7, &pool).unwrap()))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_training_stages,
     bench_full_training,
     bench_online_assessment,
-    bench_matrix_ops
+    bench_matrix_ops,
+    bench_serial_vs_parallel
 );
 criterion_main!(benches);

@@ -49,5 +49,49 @@ fn bench_service_round_trip(c: &mut Criterion) {
     server.shutdown();
 }
 
-criterion_group!(benches, bench_verdict_wire, bench_service_round_trip);
+/// Pipelined burst vs. the one-at-a-time round trip above: the server
+/// drains queued frames in batches sharing one detector read guard, so
+/// per-frame cost in a burst should undercut the serial round trip.
+fn bench_pipelined_burst(c: &mut Criterion) {
+    use fingerprint::{encode_submission, Submission};
+    use polygraph_service::proto::VERDICT_LEN;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    let server = start_risk_server("127.0.0.1:0", trained_detector()).expect("bind");
+    let fs = FeatureSet::table8();
+    let browser = BrowserInstance::genuine(UserAgent::new(Vendor::Chrome, 112));
+    let sub = Submission {
+        session_id: [7u8; 16],
+        user_agent: browser.claimed_user_agent().to_ua_string(),
+        values: fs.extract(&browser).values().to_vec(),
+    };
+    let frame = encode_submission(&sub).expect("encode");
+    const BURST: usize = 64;
+    let mut wire = Vec::new();
+    for _ in 0..BURST {
+        wire.extend_from_slice(&(frame.len() as u16).to_le_bytes());
+        wire.extend_from_slice(&frame);
+    }
+
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut verdicts = vec![0u8; BURST * VERDICT_LEN];
+    c.bench_function("risk service pipelined burst of 64 (batch drain)", |b| {
+        b.iter(|| {
+            stream.write_all(&wire).expect("write");
+            stream.read_exact(&mut verdicts).expect("read");
+            black_box(&verdicts);
+        })
+    });
+    drop(stream);
+    server.shutdown();
+}
+
+criterion_group!(
+    benches,
+    bench_verdict_wire,
+    bench_service_round_trip,
+    bench_pipelined_burst
+);
 criterion_main!(benches);

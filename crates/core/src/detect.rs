@@ -74,6 +74,23 @@ impl Detector {
         })
     }
 
+    /// Assesses a batch of sessions in order.
+    ///
+    /// This is the serving-side unit of work the risk server drains per
+    /// lock acquisition: one detector borrow covers the whole slice, so a
+    /// concurrent model swap lands between batches, never inside one.
+    /// Fails on the first malformed row (the server maps per-frame errors
+    /// before batching).
+    pub fn assess_batch(
+        &self,
+        sessions: &[(Vec<f64>, UserAgent)],
+    ) -> Result<Vec<Assessment>, PolygraphError> {
+        sessions
+            .iter()
+            .map(|(values, claimed)| self.assess(values, *claimed))
+            .collect()
+    }
+
     /// Convenience: probes a live browser instance end-to-end, exactly as
     /// the deployed JavaScript + backend pair would.
     pub fn assess_browser(&self, browser: &BrowserInstance) -> Result<Assessment, PolygraphError> {
@@ -157,6 +174,25 @@ mod tests {
         assert!(!honest.flagged);
         let lying = d.assess(&[0.0, 0.0], ua(Vendor::Chrome, 102)).unwrap();
         assert!(lying.flagged);
+    }
+
+    #[test]
+    fn assess_batch_matches_individual_assessments() {
+        let d = toy_detector();
+        let sessions = vec![
+            (vec![10.0, 10.0], ua(Vendor::Chrome, 100)),
+            (vec![20.0, 20.0], ua(Vendor::Chrome, 60)),
+            (vec![0.0, 0.0], ua(Vendor::Chrome, 100)),
+        ];
+        let batch = d.assess_batch(&sessions).unwrap();
+        assert_eq!(batch.len(), 3);
+        for ((values, claimed), b) in sessions.iter().zip(&batch) {
+            assert_eq!(*b, d.assess(values, *claimed).unwrap());
+        }
+        // A malformed row anywhere fails the whole batch.
+        let bad = vec![(vec![1.0], ua(Vendor::Chrome, 100))];
+        assert!(d.assess_batch(&bad).is_err());
+        assert!(d.assess_batch(&[]).unwrap().is_empty());
     }
 
     #[test]

@@ -8,7 +8,7 @@ use fingerprint::FeatureSet;
 use polygraph_ml::iforest::IsolationForestConfig;
 use polygraph_ml::kmeans::KMeansConfig;
 use polygraph_ml::metrics::majority_cluster_accuracy;
-use polygraph_ml::{IsolationForest, KMeans, Matrix, Pca, StandardScaler};
+use polygraph_ml::{IsolationForest, KMeans, Matrix, Pca, StandardScaler, ThreadPool};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -187,6 +187,21 @@ impl TrainedModel {
         data: &TrainingSet,
         config: TrainConfig,
     ) -> Result<Self, PolygraphError> {
+        Self::fit_with_pool(feature_set, data, config, &ThreadPool::serial())
+    }
+
+    /// [`TrainedModel::fit`] with the heavy stages (isolation forest,
+    /// covariance accumulation, k-means restarts) run on a thread pool.
+    ///
+    /// Produces a bit-identical model to the serial fit for any pool
+    /// width: every stage below splits work by index with per-index RNG
+    /// streams and folds reductions in a fixed order.
+    pub fn fit_with_pool(
+        feature_set: FeatureSet,
+        data: &TrainingSet,
+        config: TrainConfig,
+        pool: &ThreadPool,
+    ) -> Result<Self, PolygraphError> {
         if data.width() != feature_set.len() {
             return Err(PolygraphError::FeatureWidthMismatch {
                 got: data.width(),
@@ -212,30 +227,32 @@ impl TrainedModel {
             );
         }
         let scaled = scaler.transform(&raw)?;
-        let forest = IsolationForest::fit(
+        let forest = IsolationForest::fit_with_pool(
             &scaled,
             IsolationForestConfig {
                 n_trees: 100,
                 sample_size: 256,
                 seed: config.seed,
             },
+            pool,
         )?;
-        let outlier_idx = forest.outlier_indices(&scaled, config.contamination)?;
+        let outlier_idx = forest.outlier_indices_with_pool(&scaled, config.contamination, pool)?;
         let outliers_removed = outlier_idx.len();
         let is_outlier: std::collections::HashSet<usize> = outlier_idx.into_iter().collect();
         let kept = data.filtered(|i| !is_outlier.contains(&i));
         let kept_scaled = scaled.filter_rows(|i| !is_outlier.contains(&i))?;
 
         // 6.4.2: PCA.
-        let pca = Pca::fit(&kept_scaled, config.n_components)?;
+        let pca = Pca::fit_with_pool(&kept_scaled, config.n_components, pool)?;
         let projected = pca.transform(&kept_scaled)?;
 
         // 6.4.3: k-means.
-        let kmeans = KMeans::fit(
+        let kmeans = KMeans::fit_with_pool(
             &projected,
             KMeansConfig::new(config.k)
                 .with_seed(config.seed)
                 .with_n_init(config.n_init),
+            pool,
         )?;
         let assignments = kmeans.predict(&projected)?;
 

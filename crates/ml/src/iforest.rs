@@ -8,6 +8,7 @@
 
 use crate::error::MlError;
 use crate::matrix::Matrix;
+use crate::pool::{ThreadPool, ROW_CHUNK};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -63,6 +64,19 @@ enum Node {
 impl IsolationForest {
     /// Fits an isolation forest on the rows of `x`.
     pub fn fit(x: &Matrix, config: IsolationForestConfig) -> Result<Self, MlError> {
+        Self::fit_with_pool(x, config, &ThreadPool::serial())
+    }
+
+    /// [`IsolationForest::fit`] on a thread pool.
+    ///
+    /// Each tree draws from its own ChaCha stream (same key, stream id =
+    /// tree index), so trees are independent of execution order and the
+    /// parallel forest is bit-identical to the serial one.
+    pub fn fit_with_pool(
+        x: &Matrix,
+        config: IsolationForestConfig,
+        pool: &ThreadPool,
+    ) -> Result<Self, MlError> {
         if config.n_trees == 0 {
             return Err(MlError::InvalidParameter {
                 name: "n_trees",
@@ -78,14 +92,13 @@ impl IsolationForest {
         let n = x.rows();
         let sample = config.sample_size.min(n);
         let height_limit = (sample as f64).log2().ceil() as usize;
-        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
 
-        let trees = (0..config.n_trees)
-            .map(|_| {
-                let indices: Vec<usize> = (0..sample).map(|_| rng.gen_range(0..n)).collect();
-                Tree::build(x, indices, height_limit, &mut rng)
-            })
-            .collect();
+        let trees = pool.run(config.n_trees, |t| {
+            let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+            rng.set_stream(t as u64);
+            let indices: Vec<usize> = (0..sample).map(|_| rng.gen_range(0..n)).collect();
+            Tree::build(x, indices, height_limit, &mut rng)
+        });
 
         Ok(Self {
             trees,
@@ -108,6 +121,18 @@ impl IsolationForest {
         x.iter_rows().map(|r| self.score_row(r)).collect()
     }
 
+    /// [`IsolationForest::score`] on a thread pool. Each row's score is
+    /// independent, so rows are chunked over fixed [`ROW_CHUNK`] ranges and
+    /// the output is bit-identical to the serial scan.
+    pub fn score_with_pool(&self, x: &Matrix, pool: &ThreadPool) -> Vec<f64> {
+        pool.run_chunks(x.rows(), ROW_CHUNK, |lo, hi| {
+            (lo..hi).map(|r| self.score_row(x.row(r))).collect::<Vec<f64>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
     /// Returns the indices of the `contamination` fraction of rows with the
     /// highest anomaly scores (at least one row if `contamination > 0`).
     ///
@@ -123,9 +148,37 @@ impl IsolationForest {
         if contamination == 0.0 {
             return Ok(Vec::new());
         }
-        let scores = self.score(x);
-        let n_out = ((x.rows() as f64 * contamination).round() as usize).max(1);
-        let mut idx: Vec<usize> = (0..x.rows()).collect();
+        self.rank_outliers(self.score(x), x.rows(), contamination)
+    }
+
+    /// [`IsolationForest::outlier_indices`] with the scoring pass run on a
+    /// thread pool; the ranking itself is a deterministic sort.
+    pub fn outlier_indices_with_pool(
+        &self,
+        x: &Matrix,
+        contamination: f64,
+        pool: &ThreadPool,
+    ) -> Result<Vec<usize>, MlError> {
+        if !(0.0..=0.5).contains(&contamination) {
+            return Err(MlError::InvalidParameter {
+                name: "contamination",
+                reason: format!("must be in [0, 0.5], got {contamination}"),
+            });
+        }
+        if contamination == 0.0 {
+            return Ok(Vec::new());
+        }
+        self.rank_outliers(self.score_with_pool(x, pool), x.rows(), contamination)
+    }
+
+    fn rank_outliers(
+        &self,
+        scores: Vec<f64>,
+        rows: usize,
+        contamination: f64,
+    ) -> Result<Vec<usize>, MlError> {
+        let n_out = ((rows as f64 * contamination).round() as usize).max(1);
+        let mut idx: Vec<usize> = (0..rows).collect();
         idx.sort_by(|&a, &b| {
             scores[b]
                 .partial_cmp(&scores[a])
@@ -353,6 +406,31 @@ mod tests {
             let c = c_factor(n);
             assert!(c > prev);
             prev = c;
+        }
+    }
+
+    #[test]
+    fn pool_fit_and_score_match_serial_bit_for_bit() {
+        let x = dataset_with_outlier();
+        let cfg = IsolationForestConfig {
+            n_trees: 40,
+            sample_size: 64,
+            seed: 9,
+        };
+        let serial = IsolationForest::fit(&x, cfg).unwrap();
+        let base = serial.score(&x);
+        for threads in [2, 8] {
+            let pool = ThreadPool::new(threads);
+            let par = IsolationForest::fit_with_pool(&x, cfg, &pool).unwrap();
+            let scores = par.score_with_pool(&x, &pool);
+            assert_eq!(base.len(), scores.len());
+            for (s, p) in base.iter().zip(&scores) {
+                assert_eq!(s.to_bits(), p.to_bits(), "{threads} threads");
+            }
+            assert_eq!(
+                serial.outlier_indices(&x, 0.01).unwrap(),
+                par.outlier_indices_with_pool(&x, 0.01, &pool).unwrap()
+            );
         }
     }
 

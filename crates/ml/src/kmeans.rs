@@ -7,6 +7,7 @@
 
 use crate::error::MlError;
 use crate::matrix::Matrix;
+use crate::pool::{ThreadPool, ROW_CHUNK};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -69,49 +70,82 @@ impl KMeans {
     /// Runs `config.n_init` k-means++-seeded restarts of Lloyd's algorithm
     /// and keeps the solution with the lowest WCSS.
     pub fn fit(x: &Matrix, config: KMeansConfig) -> Result<Self, MlError> {
-        if config.k == 0 {
-            return Err(MlError::InvalidParameter {
-                name: "k",
-                reason: "must be at least 1".into(),
-            });
-        }
-        if config.k > x.rows() {
-            return Err(MlError::InvalidParameter {
-                name: "k",
-                reason: format!("k={} exceeds the {} samples", config.k, x.rows()),
-            });
-        }
-        if config.n_init == 0 {
-            return Err(MlError::InvalidParameter {
-                name: "n_init",
-                reason: "must be at least 1".into(),
-            });
-        }
+        Self::fit_with_pool(x, config, &ThreadPool::serial())
+    }
 
+    /// [`KMeans::fit`] on a thread pool.
+    ///
+    /// Restarts are independently seeded (`seed + restart`), so with more
+    /// than one restart the pool runs whole restarts in parallel; with a
+    /// single restart it parallelises the per-row assignment step inside
+    /// Lloyd's loop instead. Either way the result is bit-identical to
+    /// the serial fit: per-restart RNG streams never interleave, and row
+    /// reductions fold over fixed [`ROW_CHUNK`] boundaries in chunk
+    /// order, regardless of the pool width.
+    pub fn fit_with_pool(
+        x: &Matrix,
+        config: KMeansConfig,
+        pool: &ThreadPool,
+    ) -> Result<Self, MlError> {
+        validate(x, &config)?;
+        let runs: Vec<Result<KMeans, MlError>> = if config.n_init > 1 && !pool.is_serial() {
+            pool.run(config.n_init, |restart| {
+                let mut rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(restart as u64));
+                Self::fit_once(x, &config, &mut rng, &ThreadPool::serial(), None)
+            })
+        } else {
+            (0..config.n_init)
+                .map(|restart| {
+                    let mut rng =
+                        ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(restart as u64));
+                    Self::fit_once(x, &config, &mut rng, pool, None)
+                })
+                .collect()
+        };
         let mut best: Option<KMeans> = None;
-        for restart in 0..config.n_init {
-            let mut rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(restart as u64));
-            let run = Self::fit_once(x, &config, &mut rng)?;
-            let better = best.as_ref().is_none_or(|b| run.wcss < b.wcss);
-            if better {
+        for run in runs {
+            let run = run?;
+            if best.as_ref().is_none_or(|b| run.wcss < b.wcss) {
                 best = Some(run);
             }
         }
         Ok(best.expect("n_init >= 1 guarantees at least one run"))
     }
 
-    fn fit_once(x: &Matrix, config: &KMeansConfig, rng: &mut ChaCha8Rng) -> Result<Self, MlError> {
+    /// Like [`KMeans::fit`], but also returns the winning restart's WCSS
+    /// after every Lloyd iteration — the series is non-increasing, which
+    /// the property tests assert.
+    pub fn fit_traced(x: &Matrix, config: KMeansConfig) -> Result<(Self, Vec<f64>), MlError> {
+        validate(x, &config)?;
+        let pool = ThreadPool::serial();
+        let mut best: Option<(KMeans, Vec<f64>)> = None;
+        for restart in 0..config.n_init {
+            let mut rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(restart as u64));
+            let mut trace = Vec::new();
+            let run = Self::fit_once(x, &config, &mut rng, &pool, Some(&mut trace))?;
+            if best.as_ref().is_none_or(|(b, _)| run.wcss < b.wcss) {
+                best = Some((run, trace));
+            }
+        }
+        Ok(best.expect("n_init >= 1 guarantees at least one run"))
+    }
+
+    fn fit_once(
+        x: &Matrix,
+        config: &KMeansConfig,
+        rng: &mut ChaCha8Rng,
+        pool: &ThreadPool,
+        mut trace: Option<&mut Vec<f64>>,
+    ) -> Result<Self, MlError> {
         let mut centroids = kmeans_pp_init(x, config.k, rng);
         let n = x.rows();
-        let mut assignment = vec![0usize; n];
+        let mut assignment = Vec::with_capacity(n);
 
         let mut iterations = 0;
         for it in 0..config.max_iter {
             iterations = it + 1;
-            // Assignment step.
-            for (i, row) in x.iter_rows().enumerate() {
-                assignment[i] = nearest_centroid(row, &centroids).0;
-            }
+            // Assignment step (parallel over fixed row chunks).
+            assign_rows(x, &centroids, pool, &mut assignment);
             // Update step.
             let mut sums = Matrix::zeros(config.k, x.cols())?;
             let mut counts = vec![0usize; config.k];
@@ -141,15 +175,15 @@ impl KMeans {
                 }
                 movement += Matrix::sq_dist(&old, centroids.row(c));
             }
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(wcss_of(x, &centroids, pool));
+            }
             if movement <= config.tol {
                 break;
             }
         }
 
-        let wcss: f64 = x
-            .iter_rows()
-            .map(|row| nearest_centroid(row, &centroids).1)
-            .sum();
+        let wcss = wcss_of(x, &centroids, pool);
         Ok(KMeans {
             centroids,
             wcss,
@@ -265,11 +299,26 @@ impl ElbowReport {
 
 /// Fits k-means for every `k` in `ks` and reports the WCSS curve.
 pub fn elbow_scan(x: &Matrix, ks: &[usize], seed: u64) -> Result<ElbowReport, MlError> {
+    elbow_scan_with_pool(x, ks, seed, &ThreadPool::serial())
+}
+
+/// [`elbow_scan`] on a thread pool: the candidate `k` fits are independent,
+/// so each runs as its own task. The relative-improvement series is derived
+/// afterwards in ascending-`k` order, so the report is bit-identical to the
+/// serial scan.
+pub fn elbow_scan_with_pool(
+    x: &Matrix,
+    ks: &[usize],
+    seed: u64,
+    pool: &ThreadPool,
+) -> Result<ElbowReport, MlError> {
+    let fits: Vec<Result<KMeans, MlError>> = pool.run(ks.len(), |i| {
+        KMeans::fit(x, KMeansConfig::new(ks[i]).with_seed(seed))
+    });
     let mut points = Vec::with_capacity(ks.len());
     let mut prev: Option<f64> = None;
-    for &k in ks {
-        let model = KMeans::fit(x, KMeansConfig::new(k).with_seed(seed))?;
-        let wcss = model.wcss();
+    for (&k, fit) in ks.iter().zip(fits) {
+        let wcss = fit?.wcss();
         let relative_improvement = match prev {
             Some(p) if p > 0.0 => (p - wcss) / p,
             _ => 0.0,
@@ -282,6 +331,56 @@ pub fn elbow_scan(x: &Matrix, ks: &[usize], seed: u64) -> Result<ElbowReport, Ml
         prev = Some(wcss);
     }
     Ok(ElbowReport { points })
+}
+
+fn validate(x: &Matrix, config: &KMeansConfig) -> Result<(), MlError> {
+    if config.k == 0 {
+        return Err(MlError::InvalidParameter {
+            name: "k",
+            reason: "must be at least 1".into(),
+        });
+    }
+    if config.k > x.rows() {
+        return Err(MlError::InvalidParameter {
+            name: "k",
+            reason: format!("k={} exceeds the {} samples", config.k, x.rows()),
+        });
+    }
+    if config.n_init == 0 {
+        return Err(MlError::InvalidParameter {
+            name: "n_init",
+            reason: "must be at least 1".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Assigns every row to its nearest centroid, writing into `assignment`.
+/// Chunked over fixed [`ROW_CHUNK`] ranges so the serial and parallel
+/// schedules produce the same buffer.
+fn assign_rows(x: &Matrix, centroids: &Matrix, pool: &ThreadPool, assignment: &mut Vec<usize>) {
+    let parts = pool.run_chunks(x.rows(), ROW_CHUNK, |lo, hi| {
+        (lo..hi)
+            .map(|r| nearest_centroid(x.row(r), centroids).0)
+            .collect::<Vec<usize>>()
+    });
+    assignment.clear();
+    for part in parts {
+        assignment.extend_from_slice(&part);
+    }
+}
+
+/// Total squared distance from each row to its nearest centroid. Per-chunk
+/// partial sums fold in chunk order, so the float result is independent of
+/// the pool width.
+fn wcss_of(x: &Matrix, centroids: &Matrix, pool: &ThreadPool) -> f64 {
+    pool.run_chunks(x.rows(), ROW_CHUNK, |lo, hi| {
+        (lo..hi)
+            .map(|r| nearest_centroid(x.row(r), centroids).1)
+            .sum::<f64>()
+    })
+    .into_iter()
+    .sum()
 }
 
 fn nearest_centroid(row: &[f64], centroids: &Matrix) -> (usize, f64) {
@@ -479,6 +578,54 @@ mod tests {
         assert_eq!(a.centroids(), b.centroids());
     }
 
+    #[test]
+    fn pool_fit_matches_serial_bit_for_bit() {
+        let (x, _) = blobs();
+        for n_init in [1, 4] {
+            let cfg = KMeansConfig::new(3).with_seed(42).with_n_init(n_init);
+            let serial = KMeans::fit(&x, cfg).unwrap();
+            for threads in [2, 8] {
+                let par = KMeans::fit_with_pool(&x, cfg, &ThreadPool::new(threads)).unwrap();
+                assert_eq!(serial.centroids(), par.centroids(), "{threads} threads");
+                assert_eq!(
+                    serial.wcss().to_bits(),
+                    par.wcss().to_bits(),
+                    "{threads} threads"
+                );
+                assert_eq!(serial.iterations(), par.iterations(), "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_elbow_scan_matches_serial() {
+        let (x, _) = blobs();
+        let serial = elbow_scan(&x, &[1, 2, 3, 4], 7).unwrap();
+        let par = elbow_scan_with_pool(&x, &[1, 2, 3, 4], 7, &ThreadPool::new(4)).unwrap();
+        for (s, p) in serial.points.iter().zip(&par.points) {
+            assert_eq!(s.k, p.k);
+            assert_eq!(s.wcss.to_bits(), p.wcss.to_bits());
+            assert_eq!(
+                s.relative_improvement.to_bits(),
+                p.relative_improvement.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn traced_fit_agrees_with_plain_fit() {
+        let (x, _) = blobs();
+        let cfg = KMeansConfig::new(3).with_seed(42);
+        let plain = KMeans::fit(&x, cfg).unwrap();
+        let (traced, trace) = KMeans::fit_traced(&x, cfg).unwrap();
+        assert_eq!(plain.centroids(), traced.centroids());
+        assert_eq!(trace.len(), traced.iterations());
+        assert_eq!(
+            trace.last().copied().map(f64::to_bits),
+            Some(plain.wcss().to_bits())
+        );
+    }
+
     proptest! {
         #[test]
         fn prop_every_point_assigned_to_nearest_centroid(
@@ -493,6 +640,26 @@ mod tests {
                     let d = Matrix::sq_dist(row, model.centroids().row(c));
                     prop_assert!(assigned_d <= d + 1e-9);
                 }
+            }
+        }
+
+        #[test]
+        fn prop_wcss_never_increases_across_iterations(
+            seed in any::<u64>(), k in 1usize..6
+        ) {
+            // Lloyd's algorithm is a coordinate descent on WCSS: the update
+            // step minimises WCSS given the assignment, and the next
+            // assignment minimises it given the centroids, so the traced
+            // per-iteration series must be non-increasing.
+            let (x, _) = blobs();
+            let cfg = KMeansConfig::new(k).with_seed(seed).with_n_init(1);
+            let (_, trace) = KMeans::fit_traced(&x, cfg).unwrap();
+            prop_assert!(!trace.is_empty());
+            for w in trace.windows(2) {
+                prop_assert!(
+                    w[1] <= w[0] + 1e-9,
+                    "WCSS rose across an iteration: {} -> {}", w[0], w[1]
+                );
             }
         }
 

@@ -15,6 +15,9 @@
 //! * [`IsolationForest`] — outlier removal before training (§6.4.1).
 //! * [`Agglomerative`] — the hierarchical alternative the paper passed
 //!   over for efficiency, kept for measured comparison.
+//! * [`ThreadPool`] — a work-stealing scoped thread pool driving the
+//!   parallel variants of the training kernels (`*_with_pool`), with
+//!   bit-identical serial/parallel results.
 //! * [`metrics`] — the semi-supervised *majority-cluster accuracy* metric of
 //!   Appendix-4, Formula 1.
 //! * [`privacy`] — Shannon entropy, normalised entropy and anonymity-set
@@ -34,6 +37,7 @@ pub mod kmeans;
 pub mod matrix;
 pub mod metrics;
 pub mod pca;
+pub mod pool;
 pub mod privacy;
 pub mod scaler;
 
@@ -43,4 +47,5 @@ pub use iforest::IsolationForest;
 pub use kmeans::{ElbowReport, KMeans};
 pub use matrix::Matrix;
 pub use pca::Pca;
+pub use pool::ThreadPool;
 pub use scaler::StandardScaler;

@@ -6,6 +6,7 @@
 //! enough. No BLAS, no SIMD tricks.
 
 use crate::error::MlError;
+use crate::pool::{ThreadPool, ROW_CHUNK};
 use serde::{Deserialize, Serialize};
 
 /// A dense, row-major matrix of `f64`.
@@ -215,32 +216,85 @@ impl Matrix {
     /// Sample covariance matrix of the columns (divides by `n - 1`; by `n`
     /// when there is a single row).
     pub fn covariance(&self) -> Result<Matrix, MlError> {
+        self.covariance_with_pool(&ThreadPool::serial())
+    }
+
+    /// [`Matrix::covariance`] on a thread pool.
+    ///
+    /// Rows are split into fixed [`ROW_CHUNK`] blocks; each block
+    /// accumulates its own upper-triangular partial, and the partials are
+    /// folded in block order. Because the block boundaries depend only on
+    /// the data (not the pool width), the result is bit-identical on any
+    /// thread count, including the serial path.
+    pub fn covariance_with_pool(&self, pool: &ThreadPool) -> Result<Matrix, MlError> {
         let means = self.col_means();
         let denom = if self.rows > 1 {
             (self.rows - 1) as f64
         } else {
             1.0
         };
-        let mut cov = Matrix::zeros(self.cols, self.cols)?;
-        for row in self.iter_rows() {
-            for i in 0..self.cols {
-                let di = row[i] - means[i];
-                if di == 0.0 {
-                    continue;
-                }
-                for j in i..self.cols {
-                    let dj = row[j] - means[j];
-                    cov[(i, j)] += di * dj;
+        let cols = self.cols;
+        let partials = pool.run_chunks(self.rows, ROW_CHUNK, |lo, hi| {
+            let mut acc = vec![0.0f64; cols * cols];
+            for r in lo..hi {
+                let row = self.row(r);
+                for i in 0..cols {
+                    let di = row[i] - means[i];
+                    if di == 0.0 {
+                        continue;
+                    }
+                    for j in i..cols {
+                        acc[i * cols + j] += di * (row[j] - means[j]);
+                    }
                 }
             }
+            acc
+        });
+        let mut cov = Matrix::zeros(cols, cols)?;
+        for acc in partials {
+            for (c, a) in cov.data.iter_mut().zip(&acc) {
+                *c += a;
+            }
         }
-        for i in 0..self.cols {
-            for j in i..self.cols {
+        for i in 0..cols {
+            for j in i..cols {
                 cov[(i, j)] /= denom;
                 cov[(j, i)] = cov[(i, j)];
             }
         }
         Ok(cov)
+    }
+
+    /// All-pairs squared Euclidean distances between the rows of `self` and
+    /// the rows of `other`: entry `(i, j)` is `sq_dist(self.row(i),
+    /// other.row(j))`.
+    ///
+    /// Each output row depends only on one input row, so the kernel chunks
+    /// rows of `self` across the pool and is trivially bit-identical to the
+    /// serial evaluation.
+    pub fn pairwise_sq_dists(&self, other: &Matrix, pool: &ThreadPool) -> Result<Matrix, MlError> {
+        if self.cols != other.cols {
+            return Err(MlError::DimensionMismatch {
+                got: other.cols,
+                expected: self.cols,
+                what: "columns",
+            });
+        }
+        let blocks = pool.run_chunks(self.rows, ROW_CHUNK, |lo, hi| {
+            let mut block = Vec::with_capacity((hi - lo) * other.rows);
+            for r in lo..hi {
+                let row = self.row(r);
+                for o in other.iter_rows() {
+                    block.push(Self::sq_dist(row, o));
+                }
+            }
+            block
+        });
+        let mut data = Vec::with_capacity(self.rows * other.rows);
+        for block in blocks {
+            data.extend_from_slice(&block);
+        }
+        Matrix::from_vec(self.rows, other.rows, data)
     }
 
     /// Returns a new matrix keeping only the rows whose index satisfies
@@ -418,6 +472,43 @@ mod tests {
     fn sq_dist_basic() {
         assert_eq!(Matrix::sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
         assert_eq!(Matrix::sq_dist(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn pool_covariance_matches_serial_bit_for_bit() {
+        // Span more than one ROW_CHUNK so the fold actually crosses chunks.
+        let rows: Vec<Vec<f64>> = (0..(ROW_CHUNK + 300))
+            .map(|i| {
+                let v = (i as f64).sin() * 10.0;
+                vec![v, v * 0.5 + 1.0, (i % 7) as f64]
+            })
+            .collect();
+        let a = Matrix::from_rows(&rows).unwrap();
+        let serial = a.covariance().unwrap();
+        for threads in [2, 8] {
+            let par = a.covariance_with_pool(&ThreadPool::new(threads)).unwrap();
+            for (s, p) in serial.as_slice().iter().zip(par.as_slice()) {
+                assert_eq!(s.to_bits(), p.to_bits(), "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_sq_dists_match_direct_evaluation() {
+        let a = m(&[&[0.0, 0.0], &[1.0, 1.0], &[3.0, 4.0]]);
+        let b = m(&[&[0.0, 0.0], &[-1.0, 0.0]]);
+        let serial = a.pairwise_sq_dists(&b, &ThreadPool::serial()).unwrap();
+        assert_eq!(serial.rows(), 3);
+        assert_eq!(serial.cols(), 2);
+        for i in 0..3 {
+            for j in 0..2 {
+                assert_eq!(serial[(i, j)], Matrix::sq_dist(a.row(i), b.row(j)));
+            }
+        }
+        let par = a.pairwise_sq_dists(&b, &ThreadPool::new(4)).unwrap();
+        assert_eq!(serial, par);
+        let bad = Matrix::zeros(2, 3).unwrap();
+        assert!(a.pairwise_sq_dists(&bad, &ThreadPool::serial()).is_err());
     }
 
     proptest! {

@@ -8,6 +8,7 @@
 use crate::eigen::symmetric_eigen;
 use crate::error::MlError;
 use crate::matrix::Matrix;
+use crate::pool::ThreadPool;
 use serde::{Deserialize, Serialize};
 
 /// A fitted PCA transform.
@@ -29,6 +30,19 @@ impl Pca {
     ///
     /// `n_components` must be in `1..=x.cols()`.
     pub fn fit(x: &Matrix, n_components: usize) -> Result<Self, MlError> {
+        Self::fit_with_pool(x, n_components, &ThreadPool::serial())
+    }
+
+    /// [`Pca::fit`] with the covariance accumulation run on a thread pool.
+    ///
+    /// The eigendecomposition itself is sequential (it is `O(cols^3)` on a
+    /// few dozen columns — negligible next to the `O(rows * cols^2)`
+    /// covariance pass), so the fit stays bit-identical to the serial one.
+    pub fn fit_with_pool(
+        x: &Matrix,
+        n_components: usize,
+        pool: &ThreadPool,
+    ) -> Result<Self, MlError> {
         if n_components == 0 || n_components > x.cols() {
             return Err(MlError::InvalidParameter {
                 name: "n_components",
@@ -36,7 +50,7 @@ impl Pca {
             });
         }
         let means = x.col_means();
-        let cov = x.covariance()?;
+        let cov = x.covariance_with_pool(pool)?;
         let eig = symmetric_eigen(&cov)?;
         // Covariance eigenvalues are >= 0 up to round-off; clamp the noise.
         let values: Vec<f64> = eig.values.iter().map(|&v| v.max(0.0)).collect();
@@ -129,6 +143,29 @@ impl Pca {
         Ok(out)
     }
 
+    /// Maps a point in component space back to feature space:
+    /// `x̂ = components · z + means`.
+    ///
+    /// With fewer components than features this is the least-squares
+    /// reconstruction; composing it with [`Pca::transform_row`] recovers the
+    /// input exactly only at full rank.
+    pub fn inverse_transform_row(&self, z: &[f64]) -> Result<Vec<f64>, MlError> {
+        if z.len() != self.components.cols() {
+            return Err(MlError::DimensionMismatch {
+                got: z.len(),
+                expected: self.components.cols(),
+                what: "component count",
+            });
+        }
+        let mut out = self.means.clone();
+        for (i, o) in out.iter_mut().enumerate() {
+            for (j, &zj) in z.iter().enumerate() {
+                *o += self.components[(i, j)] * zj;
+            }
+        }
+        Ok(out)
+    }
+
     /// Computes the full explained-variance-ratio spectrum of `x` without
     /// retaining a transform — the cheap way to draw Figure 2 for every
     /// candidate component count at once.
@@ -204,6 +241,38 @@ mod tests {
     }
 
     #[test]
+    fn full_rank_inverse_transform_round_trips() {
+        let x = diagonal_cloud();
+        let pca = Pca::fit(&x, 2).unwrap();
+        for row in x.iter_rows() {
+            let z = pca.transform_row(row).unwrap();
+            let back = pca.inverse_transform_row(&z).unwrap();
+            for (a, b) in row.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+            }
+        }
+        assert!(pca.inverse_transform_row(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn pool_fit_matches_serial_bit_for_bit() {
+        let x = diagonal_cloud();
+        let serial = Pca::fit(&x, 2).unwrap();
+        for threads in [2, 8] {
+            let par = Pca::fit_with_pool(&x, 2, &ThreadPool::new(threads)).unwrap();
+            assert_eq!(serial.means, par.means);
+            assert_eq!(serial.components, par.components);
+            for (s, p) in serial
+                .explained_variance
+                .iter()
+                .zip(&par.explained_variance)
+            {
+                assert_eq!(s.to_bits(), p.to_bits(), "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
     fn variance_spectrum_sums_to_one() {
         let x = diagonal_cloud();
         let spec = Pca::variance_spectrum(&x).unwrap();
@@ -240,6 +309,42 @@ mod tests {
                 prop_assert!(w[1] >= w[0] - 1e-12);
             }
             prop_assert!(cum.last().copied().unwrap_or(0.0) <= 1.0 + 1e-9);
+        }
+
+        #[test]
+        fn prop_reconstruction_error_monotone_in_component_count(
+            seed in any::<u64>()
+        ) {
+            // Retaining more principal components can only explain more
+            // variance, so the total squared reconstruction error must be
+            // non-increasing as the component count grows.
+            let mut state = seed | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 1000) as f64 / 10.0
+            };
+            let data: Vec<Vec<f64>> = (0..30)
+                .map(|_| vec![next(), next(), next(), next()])
+                .collect();
+            let x = Matrix::from_rows(&data).unwrap();
+            let mut prev = f64::INFINITY;
+            for n in 1..=4usize {
+                let pca = Pca::fit(&x, n).unwrap();
+                let err: f64 = x.iter_rows().map(|row| {
+                    let z = pca.transform_row(row).unwrap();
+                    let back = pca.inverse_transform_row(&z).unwrap();
+                    Matrix::sq_dist(row, &back)
+                }).sum();
+                prop_assert!(
+                    err <= prev + 1e-6,
+                    "reconstruction error rose at n={}: {} -> {}", n, prev, err
+                );
+                prev = err;
+            }
+            // Full rank reconstructs exactly (up to round-off).
+            prop_assert!(prev < 1e-6);
         }
 
         #[test]

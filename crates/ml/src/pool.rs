@@ -1,0 +1,262 @@
+//! A work-stealing scoped thread pool for the training kernels.
+//!
+//! The pipeline's hot loops (k-means restarts and row assignment,
+//! isolation-tree construction and scoring, elbow scans, covariance
+//! accumulation) are all embarrassingly parallel over an index range, so
+//! the pool exposes exactly that shape: [`ThreadPool::run`] evaluates a
+//! pure task per index and returns the results **in index order**.
+//!
+//! ## Determinism
+//!
+//! Parallel execution is bit-identical to serial execution by
+//! construction:
+//!
+//! * tasks must be pure functions of their index (callers split RNGs per
+//!   index — e.g. one ChaCha stream per k-means restart or isolation
+//!   tree — rather than sharing a sequential generator);
+//! * results are collected by index, so reductions downstream fold in a
+//!   fixed order regardless of which worker ran which task or when.
+//!
+//! Scheduling is work-stealing: indices start on a shared injector
+//! queue, each worker drains batches into a local deque and steals from
+//! siblings when it runs dry, so a straggler task cannot idle the rest
+//! of the pool.
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use crossbeam::utils::Backoff;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A scoped work-stealing thread pool of a fixed width.
+///
+/// The pool holds no threads between calls: every [`ThreadPool::run`]
+/// spawns its workers inside a [`std::thread::scope`], which lets tasks
+/// borrow from the caller's stack without `'static` bounds and
+/// guarantees the workers are joined before `run` returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        Self::with_default_parallelism()
+    }
+}
+
+impl ThreadPool {
+    /// A pool of `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The single-threaded pool: every `run` executes inline, in index
+    /// order, with no threads spawned.
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// A pool as wide as the machine's available parallelism.
+    pub fn with_default_parallelism() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// Number of worker threads this pool uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether `run` executes inline without spawning.
+    pub fn is_serial(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// Evaluates `task(i)` for every `i in 0..n` and returns the results
+    /// in index order.
+    ///
+    /// `task` must be pure in its index for the parallel and serial
+    /// schedules to agree (see the module docs). Panics in a task
+    /// propagate to the caller.
+    pub fn run<R, F>(&self, n: usize, task: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.threads == 1 || n <= 1 {
+            return (0..n).map(task).collect();
+        }
+
+        let workers = self.threads.min(n);
+        let injector = Injector::new();
+        for i in 0..n {
+            injector.push(i);
+        }
+        let locals: Vec<Worker<usize>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+        let stealers: Vec<Stealer<usize>> = locals.iter().map(Worker::stealer).collect();
+        let completed = AtomicUsize::new(0);
+
+        let mut buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = locals
+                .into_iter()
+                .enumerate()
+                .map(|(me, local)| {
+                    let injector = &injector;
+                    let stealers = &stealers;
+                    let completed = &completed;
+                    let task = &task;
+                    scope.spawn(move || {
+                        let mut out: Vec<(usize, R)> = Vec::new();
+                        let mut backoff = Backoff::new();
+                        loop {
+                            let next = local.pop().or_else(|| {
+                                match injector.steal_batch_and_pop(&local) {
+                                    Steal::Success(i) => Some(i),
+                                    _ => stealers
+                                        .iter()
+                                        .enumerate()
+                                        .filter(|(other, _)| *other != me)
+                                        .find_map(|(_, s)| s.steal().success()),
+                                }
+                            });
+                            match next {
+                                Some(i) => {
+                                    out.push((i, task(i)));
+                                    completed.fetch_add(1, Ordering::Release);
+                                    backoff = Backoff::new();
+                                }
+                                None => {
+                                    if completed.load(Ordering::Acquire) >= n {
+                                        break;
+                                    }
+                                    // Another worker still holds queued or
+                                    // in-flight tasks; spin briefly and
+                                    // retry stealing.
+                                    backoff.snooze();
+                                }
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pool worker panicked"))
+                .collect()
+        });
+
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in buckets.drain(..).flatten() {
+            debug_assert!(slots[i].is_none(), "task {i} executed twice");
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.unwrap_or_else(|| panic!("task {i} never executed")))
+            .collect()
+    }
+
+    /// Splits `0..len` into fixed-size chunks and evaluates `task` on
+    /// each `(start, end)` range, returning per-chunk results in chunk
+    /// order.
+    ///
+    /// The chunk size is a constant of the *data* (not of the pool
+    /// width), so per-chunk reductions folded in chunk order give the
+    /// same floating-point result on any thread count — this is how the
+    /// row kernels keep parallel sums bit-identical to serial ones.
+    pub fn run_chunks<R, F>(&self, len: usize, chunk: usize, task: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, usize) -> R + Sync,
+    {
+        assert!(chunk > 0, "chunk size must be positive");
+        let chunks = len.div_ceil(chunk);
+        self.run(chunks, |ci| {
+            let start = ci * chunk;
+            task(start, (start + chunk).min(len))
+        })
+    }
+}
+
+/// Fixed row-chunk width shared by the parallel row kernels.
+///
+/// Chosen so one chunk of a 28-column row block stays well inside L2
+/// while still amortising queue traffic; what matters for correctness is
+/// only that it is a constant, which pins the reduction tree's shape.
+pub const ROW_CHUNK: usize = 1024;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_returns_results_in_index_order() {
+        let pool = ThreadPool::new(4);
+        let out = pool.run(100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let pool = ThreadPool::new(8);
+        let counters: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(500, |i| counters[i].fetch_add(1, Ordering::Relaxed));
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "task {i}");
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial = ThreadPool::serial().run(64, |i| (i as f64).sqrt());
+        for threads in [2, 3, 8] {
+            let par = ThreadPool::new(threads).run(64, |i| (i as f64).sqrt());
+            assert_eq!(serial, par, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn zero_tasks_is_fine() {
+        let pool = ThreadPool::new(4);
+        let out: Vec<usize> = pool.run(0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_task_durations_complete() {
+        // One long task among many short ones exercises stealing.
+        let pool = ThreadPool::new(4);
+        let out = pool.run(32, |i| {
+            if i == 0 {
+                (0..200_000u64).fold(0u64, |a, x| a.wrapping_add(x * x))
+            } else {
+                i as u64
+            }
+        });
+        assert_eq!(out.len(), 32);
+        assert_eq!(out[5], 5);
+    }
+
+    #[test]
+    fn run_chunks_covers_range_in_order() {
+        let pool = ThreadPool::new(3);
+        let ranges = pool.run_chunks(10, 4, |a, b| (a, b));
+        assert_eq!(ranges, vec![(0, 4), (4, 8), (8, 10)]);
+        let empty = pool.run_chunks(0, 4, |a, b| (a, b));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn width_is_clamped() {
+        assert_eq!(ThreadPool::new(0).threads(), 1);
+        assert!(ThreadPool::serial().is_serial());
+        assert!(ThreadPool::with_default_parallelism().threads() >= 1);
+    }
+}

@@ -199,5 +199,50 @@ mod tests {
                 }
             }
         }
+
+        #[test]
+        fn prop_inverse_round_trips_with_neutralized_columns(
+            vals in proptest::collection::vec(-1e4f64..1e4, 6..60),
+            neutral in 0usize..3
+        ) {
+            // Neutralised columns become the identity transform, so the
+            // round trip must stay exact-ish on them too.
+            let cols = 3;
+            let rows = vals.len() / cols;
+            let x = Matrix::from_vec(rows, cols, vals[..rows * cols].to_vec()).unwrap();
+            let mut s = StandardScaler::fit(&x);
+            s.neutralize_columns(&[neutral, 99]); // out-of-range is ignored
+            prop_assert_eq!(s.means()[neutral], 0.0);
+            prop_assert_eq!(s.scales()[neutral], 1.0);
+            for row in x.iter_rows() {
+                let fwd = s.transform_row(row).unwrap();
+                // The neutralised column passes through untouched.
+                prop_assert_eq!(fwd[neutral].to_bits(), row[neutral].to_bits());
+                let back = s.inverse_transform_row(&fwd).unwrap();
+                for (a, b) in back.iter().zip(row) {
+                    prop_assert!((a - b).abs() < 1e-6);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_transform_then_inverse_on_unseen_rows(
+            vals in proptest::collection::vec(-1e3f64..1e3, 8..40),
+            probe in proptest::collection::vec(-1e6f64..1e6, 2..3)
+        ) {
+            // The inverse must hold for rows the scaler never saw at fit
+            // time, including values far outside the training range.
+            let cols = 2;
+            let rows = vals.len() / cols;
+            let x = Matrix::from_vec(rows, cols, vals[..rows * cols].to_vec()).unwrap();
+            let s = StandardScaler::fit(&x);
+            let mut probe = probe;
+            probe.resize(cols, 0.0);
+            let fwd = s.transform_row(&probe).unwrap();
+            let back = s.inverse_transform_row(&fwd).unwrap();
+            for (a, b) in back.iter().zip(&probe) {
+                prop_assert!((a - b).abs() < 1e-6 * b.abs().max(1.0));
+            }
+        }
     }
 }

@@ -32,4 +32,4 @@ pub use orchestrator::{Orchestrator, OrchestratorConfig, RetrainOutcome};
 pub use policy::{AuthAction, RiskPolicy};
 pub use proto::{Verdict, VerdictStatus};
 pub use registry::ModelRegistry;
-pub use server::{start_risk_server, RiskServerHandle};
+pub use server::{start_risk_server, RiskServerHandle, RiskServerStats, MAX_BATCH_PER_GUARD};

@@ -20,6 +20,12 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
+/// Frames a connection worker may assess under a single read-guard
+/// acquisition. Bounds both verdict latency for the frames at the back of
+/// a drained batch and how long a pending model swap can be starved by
+/// one busy connection.
+pub const MAX_BATCH_PER_GUARD: usize = 32;
+
 /// Counters of a running risk server.
 #[derive(Debug, Default)]
 pub struct RiskServerStats {
@@ -31,6 +37,33 @@ pub struct RiskServerStats {
     pub malformed: AtomicUsize,
     /// Detector swaps performed.
     pub swaps: AtomicUsize,
+    /// Detector read-guard acquisitions taken to assess frames. With
+    /// pipelined clients this grows slower than `assessed`: each batch of
+    /// up to [`MAX_BATCH_PER_GUARD`] queued frames shares one acquisition.
+    pub batches: AtomicUsize,
+}
+
+/// Per-connection counters, folded into the shared [`RiskServerStats`]
+/// once per drained batch instead of once per frame.
+#[derive(Debug, Default)]
+struct LocalCounters {
+    assessed: usize,
+    flagged: usize,
+    malformed: usize,
+}
+
+impl LocalCounters {
+    fn fold_into(&self, stats: &RiskServerStats) {
+        if self.assessed > 0 {
+            stats.assessed.fetch_add(self.assessed, Ordering::Relaxed);
+        }
+        if self.flagged > 0 {
+            stats.flagged.fetch_add(self.flagged, Ordering::Relaxed);
+        }
+        if self.malformed > 0 {
+            stats.malformed.fetch_add(self.malformed, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Handle to a running risk server.
@@ -121,6 +154,57 @@ pub fn start_risk_server(addr: &str, detector: Detector) -> io::Result<RiskServe
     })
 }
 
+/// How far the parser got through the connection's pending bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameStatus {
+    /// No complete frame buffered yet; keep reading.
+    NeedMore,
+    /// At least one complete frame is ready to assess.
+    Ready,
+    /// The next header declares an oversize body: answer what came before
+    /// it, then fail the connection (no way to resynchronise past it).
+    Oversize,
+}
+
+fn frame_status(pending: &[u8]) -> FrameStatus {
+    if pending.len() < 2 {
+        return FrameStatus::NeedMore;
+    }
+    let len = u16::from_le_bytes([pending[0], pending[1]]) as usize;
+    if len > MAX_SUBMISSION_BYTES {
+        FrameStatus::Oversize
+    } else if pending.len() < 2 + len {
+        FrameStatus::NeedMore
+    } else {
+        FrameStatus::Ready
+    }
+}
+
+/// Splits up to `max` complete length-prefixed frames off the front of
+/// `pending`, leaving any partial tail in place. The second return is true
+/// when parsing stopped at an oversize header.
+fn split_frames(pending: &mut Vec<u8>, max: usize) -> (Vec<Vec<u8>>, bool) {
+    let mut frames = Vec::new();
+    let mut offset = 0;
+    let mut oversize = false;
+    while frames.len() < max {
+        match frame_status(&pending[offset..]) {
+            FrameStatus::NeedMore => break,
+            FrameStatus::Oversize => {
+                oversize = true;
+                break;
+            }
+            FrameStatus::Ready => {
+                let len = u16::from_le_bytes([pending[offset], pending[offset + 1]]) as usize;
+                frames.push(pending[offset + 2..offset + 2 + len].to_vec());
+                offset += 2 + len;
+            }
+        }
+    }
+    pending.drain(..offset);
+    (frames, oversize)
+}
+
 fn serve_connection(
     mut stream: TcpStream,
     detector: &RwLock<Detector>,
@@ -128,45 +212,112 @@ fn serve_connection(
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     stream.set_nodelay(true)?;
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
     loop {
-        let mut len_buf = [0u8; 2];
-        match stream.read_exact(&mut len_buf) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
-            Err(e) => return Err(e),
+        // Blocking phase: wait until at least one complete frame (or an
+        // oversize header) is buffered.
+        while frame_status(&pending) == FrameStatus::NeedMore {
+            match stream.read(&mut chunk) {
+                Ok(0) => return Ok(()), // peer closed at (or mid-) frame boundary
+                Ok(n) => pending.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(e),
+            }
         }
-        let len = u16::from_le_bytes(len_buf) as usize;
-        if len > MAX_SUBMISSION_BYTES {
+
+        // Drain phase: pull in whatever else the client already pipelined,
+        // without blocking, so the whole backlog shares one read guard.
+        stream.set_nonblocking(true)?;
+        loop {
+            if count_frames(&pending) >= MAX_BATCH_PER_GUARD {
+                break;
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => pending.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) => {
+                    stream.set_nonblocking(false)?;
+                    return Err(e);
+                }
+            }
+        }
+        stream.set_nonblocking(false)?;
+
+        let (frames, oversize) = split_frames(&mut pending, MAX_BATCH_PER_GUARD);
+
+        // Assess the whole batch under ONE detector read guard; a model
+        // swap therefore lands between batches, never inside one.
+        let mut local = LocalCounters::default();
+        let verdicts: Vec<Verdict> = {
+            let guard = detector.read();
+            frames
+                .iter()
+                .map(|f| assess_frame_with(f, &guard, &mut local))
+                .collect()
+        };
+        if !verdicts.is_empty() {
+            stats.batches.fetch_add(1, Ordering::Relaxed);
+        }
+        local.fold_into(stats);
+
+        // Verdicts go back in frame order, one write per batch.
+        let mut out = Vec::with_capacity(verdicts.len() * crate::proto::VERDICT_LEN);
+        for v in &verdicts {
+            out.extend_from_slice(&v.encode());
+        }
+        stream.write_all(&out)?;
+
+        if oversize {
             stats.malformed.fetch_add(1, Ordering::Relaxed);
             let _ = stream.write_all(&Verdict::error(VerdictStatus::Malformed).encode());
             return Ok(()); // cannot resynchronise past an unread body
         }
-        let mut frame = vec![0u8; len];
-        stream.read_exact(&mut frame)?;
-
-        let verdict = assess_frame(&frame, detector, stats);
-        stream.write_all(&verdict.encode())?;
     }
 }
 
+fn count_frames(pending: &[u8]) -> usize {
+    let mut offset = 0;
+    let mut n = 0;
+    while frame_status(&pending[offset..]) == FrameStatus::Ready {
+        let len = u16::from_le_bytes([pending[offset], pending[offset + 1]]) as usize;
+        offset += 2 + len;
+        n += 1;
+    }
+    n
+}
+
 /// Decodes a submission frame and assesses it against the serving model.
-/// Shared by the TCP path and in-process callers (the CLI).
+/// Shared by the TCP path and in-process callers (the CLI). Takes the
+/// detector lock for the single frame; the TCP path amortises the guard
+/// over whole batches via the internal batched variant.
 pub fn assess_frame(frame: &[u8], detector: &RwLock<Detector>, stats: &RiskServerStats) -> Verdict {
+    let mut local = LocalCounters::default();
+    let verdict = {
+        let guard = detector.read();
+        assess_frame_with(frame, &guard, &mut local)
+    };
+    local.fold_into(stats);
+    verdict
+}
+
+/// Frame assessment against an already-borrowed detector, charging a local
+/// counter set instead of the shared atomics.
+fn assess_frame_with(frame: &[u8], detector: &Detector, local: &mut LocalCounters) -> Verdict {
     let Ok(submission) = decode_submission(frame) else {
-        stats.malformed.fetch_add(1, Ordering::Relaxed);
+        local.malformed += 1;
         return Verdict::error(VerdictStatus::Malformed);
     };
     let Ok(claimed) = submission.user_agent.parse::<UserAgent>() else {
-        stats.malformed.fetch_add(1, Ordering::Relaxed);
+        local.malformed += 1;
         return Verdict::error(VerdictStatus::Malformed);
     };
     let values: Vec<f64> = submission.values.iter().map(|&v| v as f64).collect();
-    let guard = detector.read();
-    match guard.assess(&values, claimed) {
+    match detector.assess(&values, claimed) {
         Ok(a) => {
-            stats.assessed.fetch_add(1, Ordering::Relaxed);
+            local.assessed += 1;
             if a.flagged {
-                stats.flagged.fetch_add(1, Ordering::Relaxed);
+                local.flagged += 1;
             }
             Verdict {
                 status: VerdictStatus::Assessed,
@@ -177,7 +328,7 @@ pub fn assess_frame(frame: &[u8], detector: &RwLock<Detector>, stats: &RiskServe
             }
         }
         Err(_) => {
-            stats.malformed.fetch_add(1, Ordering::Relaxed);
+            local.malformed += 1;
             Verdict::error(VerdictStatus::SchemaMismatch)
         }
     }
@@ -264,6 +415,81 @@ mod tests {
         let frame = frame_for(vec![1, 2, 3, 4], UserAgent::new(Vendor::Chrome, 100));
         let v = assess_frame(&frame, &detector, &stats);
         assert_eq!(v.status, VerdictStatus::SchemaMismatch);
+    }
+
+    #[test]
+    fn split_frames_parses_and_preserves_partial_tail() {
+        let mut pending = Vec::new();
+        for body in [&b"abc"[..], &b"defgh"[..]] {
+            pending.extend_from_slice(&(body.len() as u16).to_le_bytes());
+            pending.extend_from_slice(body);
+        }
+        pending.extend_from_slice(&5u16.to_le_bytes());
+        pending.extend_from_slice(b"xy"); // incomplete body
+
+        let (frames, oversize) = split_frames(&mut pending, MAX_BATCH_PER_GUARD);
+        assert_eq!(frames, vec![b"abc".to_vec(), b"defgh".to_vec()]);
+        assert!(!oversize);
+        assert_eq!(pending, [&5u16.to_le_bytes()[..], b"xy"].concat());
+
+        // `max` caps the batch.
+        let mut two = Vec::new();
+        for _ in 0..3 {
+            two.extend_from_slice(&1u16.to_le_bytes());
+            two.push(7);
+        }
+        let (frames, _) = split_frames(&mut two, 2);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(count_frames(&two), 1);
+    }
+
+    #[test]
+    fn split_frames_stops_at_oversize_header() {
+        let mut pending = Vec::new();
+        pending.extend_from_slice(&3u16.to_le_bytes());
+        pending.extend_from_slice(b"abc");
+        pending.extend_from_slice(&u16::MAX.to_le_bytes()); // oversize
+        let (frames, oversize) = split_frames(&mut pending, MAX_BATCH_PER_GUARD);
+        assert_eq!(frames, vec![b"abc".to_vec()]);
+        assert!(oversize, "parsing must stop at the oversize header");
+    }
+
+    #[test]
+    fn pipelined_frames_drain_in_batches() {
+        // Write many frames before reading a single verdict: the server
+        // should answer all of them, in order, using far fewer guard
+        // acquisitions than frames.
+        let server = start_risk_server("127.0.0.1:0", tiny_detector()).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+
+        let honest = frame_for(vec![10, 10], UserAgent::new(Vendor::Chrome, 100));
+        let lying = frame_for(vec![20, 20], UserAgent::new(Vendor::Chrome, 100));
+        let total = 100usize;
+        let mut wire = Vec::new();
+        for i in 0..total {
+            let frame = if i % 2 == 0 { &honest } else { &lying };
+            wire.extend_from_slice(&(frame.len() as u16).to_le_bytes());
+            wire.extend_from_slice(frame);
+        }
+        stream.write_all(&wire).unwrap();
+
+        for i in 0..total {
+            let mut buf = [0u8; crate::proto::VERDICT_LEN];
+            stream.read_exact(&mut buf).unwrap();
+            let v = Verdict::decode(&buf).unwrap();
+            assert_eq!(v.status, VerdictStatus::Assessed, "frame {i}");
+            assert_eq!(v.flagged, i % 2 == 1, "verdicts must come back in order");
+        }
+        drop(stream);
+
+        // Let the connection worker finish folding before reading stats.
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(server.stats().assessed.load(Ordering::Relaxed), total);
+        assert_eq!(server.stats().flagged.load(Ordering::Relaxed), total / 2);
+        let batches = server.stats().batches.load(Ordering::Relaxed);
+        assert!(batches >= 1 && batches <= total, "got {batches} batches");
+        server.shutdown();
     }
 
     #[test]

@@ -450,23 +450,34 @@ mod tests {
     fn detectable_fraud_has_inconsistent_fingerprints() {
         let fs = FeatureSet::table8();
         let data = generate(&fs, &TrafficConfig::paper_training().with_sessions(50_000));
-        // Spot-check: category-1/2 fraud sessions' fingerprints differ from
-        // a genuine browser with the same claimed UA.
-        let mut checked = 0;
-        for s in data
+        // Category-1/2 fraud sessions' fingerprints mostly differ from a
+        // genuine browser with the same claimed UA. Not all: a category-2
+        // product whose embedded core shares the claimed UA's coarse
+        // feature cluster is indistinguishable — the paper's own false
+        // negatives (Table 5) — so check the population rate rather than
+        // a small draw-order-sensitive prefix.
+        let detectable: Vec<&Session> = data
             .sessions
             .iter()
             .filter(|s| s.truth.is_detectable_fraud())
-            .take(20)
-        {
-            let genuine = fs.extract(&BrowserInstance::genuine(s.claimed));
-            if genuine.values() != s.values.as_slice() {
-                checked += 1;
-            }
-        }
+            .collect();
         assert!(
-            checked >= 15,
-            "most detectable fraud must differ, got {checked}/20"
+            detectable.len() >= 50,
+            "need a meaningful fraud slice, got {}",
+            detectable.len()
+        );
+        let differing = detectable
+            .iter()
+            .filter(|s| {
+                let genuine = fs.extract(&BrowserInstance::genuine(s.claimed));
+                genuine.values() != s.values.as_slice()
+            })
+            .count();
+        let rate = differing as f64 / detectable.len() as f64;
+        assert!(
+            rate >= 0.7,
+            "most detectable fraud must differ, got {differing}/{}",
+            detectable.len()
         );
     }
 

@@ -1,0 +1,189 @@
+//! Parallel execution must be bit-identical to sequential execution.
+//!
+//! The training kernels split work by index (restart, tree, row chunk)
+//! with per-index RNG streams and fold every floating-point reduction in
+//! a fixed chunk order, so the same seed must produce the same bits on
+//! any thread count. These tests pin that contract across thread counts
+//! {1, 2, 8} and several seeds, from the individual kernels all the way
+//! up to a full `TrainedModel::fit` → `predict_cluster` round trip.
+
+use browser_polygraph::core::{TrainConfig, TrainedModel, TrainingSet};
+use browser_polygraph::fingerprint::FeatureSet;
+use browser_polygraph::ml::iforest::IsolationForestConfig;
+use browser_polygraph::ml::kmeans::{elbow_scan, elbow_scan_with_pool, KMeansConfig};
+use browser_polygraph::ml::{IsolationForest, KMeans, Matrix, Pca, ThreadPool};
+use browser_polygraph::traffic::{generate, TrafficConfig};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+const SEEDS: [u64; 3] = [1, 42, 0xDEAD_BEEF];
+
+/// Deterministic synthetic data: enough rows to span multiple ROW_CHUNK
+/// blocks so chunk-order folds are actually exercised.
+fn synthetic(rows: usize, cols: usize, salt: u64) -> Matrix {
+    let mut state = salt | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 10_000) as f64 / 100.0
+    };
+    let data: Vec<f64> = (0..rows * cols).map(|_| next()).collect();
+    Matrix::from_vec(rows, cols, data).expect("well-formed")
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i}: {x} vs {y}");
+    }
+}
+
+#[test]
+fn kmeans_fit_is_bit_identical_across_thread_counts() {
+    let x = synthetic(1500, 4, 0xA11CE);
+    for seed in SEEDS {
+        for n_init in [1usize, 4] {
+            let cfg = KMeansConfig::new(5).with_seed(seed).with_n_init(n_init);
+            let baseline = KMeans::fit(&x, cfg).expect("fit");
+            for threads in THREAD_COUNTS {
+                let par = KMeans::fit_with_pool(&x, cfg, &ThreadPool::new(threads)).expect("fit");
+                assert_bits_eq(
+                    baseline.centroids().as_slice(),
+                    par.centroids().as_slice(),
+                    &format!("centroids seed={seed} n_init={n_init} threads={threads}"),
+                );
+                assert_eq!(
+                    baseline.wcss().to_bits(),
+                    par.wcss().to_bits(),
+                    "wcss seed={seed} n_init={n_init} threads={threads}"
+                );
+                assert_eq!(baseline.iterations(), par.iterations());
+            }
+        }
+    }
+}
+
+#[test]
+fn isolation_forest_is_bit_identical_across_thread_counts() {
+    let x = synthetic(1200, 3, 0xF0357);
+    for seed in SEEDS {
+        let cfg = IsolationForestConfig {
+            n_trees: 60,
+            sample_size: 128,
+            seed,
+        };
+        let baseline = IsolationForest::fit(&x, cfg).expect("fit");
+        let base_scores = baseline.score(&x);
+        let base_outliers = baseline.outlier_indices(&x, 0.01).expect("outliers");
+        for threads in THREAD_COUNTS {
+            let pool = ThreadPool::new(threads);
+            let par = IsolationForest::fit_with_pool(&x, cfg, &pool).expect("fit");
+            assert_bits_eq(
+                &base_scores,
+                &par.score_with_pool(&x, &pool),
+                &format!("scores seed={seed} threads={threads}"),
+            );
+            assert_eq!(
+                base_outliers,
+                par.outlier_indices_with_pool(&x, 0.01, &pool).expect("outliers"),
+                "outlier set seed={seed} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn elbow_scan_is_bit_identical_across_thread_counts() {
+    let x = synthetic(900, 3, 0xE1B0);
+    let ks = [1usize, 2, 3, 4, 5, 6];
+    for seed in SEEDS {
+        let baseline = elbow_scan(&x, &ks, seed).expect("scan");
+        for threads in THREAD_COUNTS {
+            let par =
+                elbow_scan_with_pool(&x, &ks, seed, &ThreadPool::new(threads)).expect("scan");
+            assert_eq!(baseline.points.len(), par.points.len());
+            for (b, p) in baseline.points.iter().zip(&par.points) {
+                assert_eq!(b.k, p.k);
+                assert_eq!(b.wcss.to_bits(), p.wcss.to_bits(), "wcss at k={}", b.k);
+                assert_eq!(
+                    b.relative_improvement.to_bits(),
+                    p.relative_improvement.to_bits(),
+                    "relative improvement at k={}",
+                    b.k
+                );
+            }
+            assert_eq!(baseline.knee(), par.knee());
+        }
+    }
+}
+
+#[test]
+fn covariance_and_pca_are_bit_identical_across_thread_counts() {
+    // > 2 ROW_CHUNK rows: partial sums must cross chunk boundaries.
+    let x = synthetic(2500, 5, 0xC0F3);
+    let base_cov = x.covariance().expect("covariance");
+    let base_pca = Pca::fit(&x, 3).expect("pca");
+    for threads in THREAD_COUNTS {
+        let pool = ThreadPool::new(threads);
+        let cov = x.covariance_with_pool(&pool).expect("covariance");
+        assert_bits_eq(
+            base_cov.as_slice(),
+            cov.as_slice(),
+            &format!("covariance threads={threads}"),
+        );
+        let pca = Pca::fit_with_pool(&x, 3, &pool).expect("pca");
+        assert_bits_eq(
+            base_pca.explained_variance(),
+            pca.explained_variance(),
+            &format!("eigenvalues threads={threads}"),
+        );
+        for row in x.iter_rows().take(20) {
+            assert_bits_eq(
+                &base_pca.transform_row(row).expect("transform"),
+                &pca.transform_row(row).expect("transform"),
+                &format!("projection threads={threads}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn full_training_round_trip_is_bit_identical_across_thread_counts() {
+    // End to end: traffic → TrainedModel::fit on every thread count must
+    // give the same cluster table, accuracy bits, and per-row cluster
+    // predictions.
+    let features = FeatureSet::table8();
+    let data = generate(
+        &features,
+        &TrafficConfig::paper_training().with_sessions(4_000),
+    );
+    let (rows, uas) = data.rows_and_user_agents();
+    let training = TrainingSet::from_rows(rows, uas).expect("well-formed");
+    let config = TrainConfig::default();
+
+    let baseline =
+        TrainedModel::fit(features.clone(), &training, config).expect("serial fit");
+    for threads in THREAD_COUNTS {
+        let pool = ThreadPool::new(threads);
+        let par = TrainedModel::fit_with_pool(features.clone(), &training, config, &pool)
+            .expect("parallel fit");
+        assert_eq!(
+            baseline.cluster_table(),
+            par.cluster_table(),
+            "cluster table, {threads} threads"
+        );
+        assert_eq!(
+            baseline.train_accuracy().to_bits(),
+            par.train_accuracy().to_bits(),
+            "accuracy, {threads} threads"
+        );
+        assert_eq!(baseline.outliers_removed(), par.outliers_removed());
+        for row in training.rows().iter().take(200) {
+            assert_eq!(
+                baseline.predict_cluster(row).expect("predict"),
+                par.predict_cluster(row).expect("predict"),
+                "{threads} threads"
+            );
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Concurrency stress: pipelined clients hammering the risk server while
+//! the detector is hot-swapped underneath them.
+//!
+//! Eight client threads each stream a pipelined burst of frames (write
+//! everything, then read everything — exercising the server's
+//! batch-per-guard drain) while the main thread swaps the serving
+//! detector fifty times. No verdict may be lost, duplicated or
+//! reordered, and the shared counters must reconcile exactly with what
+//! the clients saw.
+
+use browser_polygraph::core::{Detector, TrainConfig, TrainedModel, TrainingSet};
+use browser_polygraph::engine::{UserAgent, Vendor};
+use browser_polygraph::fingerprint::{encode_submission, FeatureSet, Submission};
+use browser_polygraph::service::proto::VERDICT_LEN;
+use browser_polygraph::service::{start_risk_server, Verdict, VerdictStatus, MAX_BATCH_PER_GUARD};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::thread;
+use std::time::Duration;
+
+const CLIENTS: usize = 8;
+const FRAMES_PER_CLIENT: usize = 200;
+const SWAPS: usize = 50;
+
+/// A detector over three well-separated eras; `seed` varies the k-means
+/// restarts without changing the learned geometry, so swapped-in models
+/// agree on every probe the clients send.
+fn era_detector(seed: u64) -> Detector {
+    let mut set = TrainingSet::new(2);
+    for (base, ua) in [
+        (0.0, UserAgent::new(Vendor::Chrome, 60)),
+        (10.0, UserAgent::new(Vendor::Chrome, 100)),
+        (20.0, UserAgent::new(Vendor::Firefox, 100)),
+    ] {
+        for j in 0..40 {
+            set.push(vec![base + (j % 2) as f64 * 0.1, base], ua)
+                .expect("push");
+        }
+    }
+    let fs = FeatureSet::table8().subset(&[0, 1]);
+    let config = TrainConfig {
+        k: 3,
+        n_components: 2,
+        min_samples_for_majority: 1,
+        seed,
+        ..Default::default()
+    };
+    Detector::new(TrainedModel::fit(fs, &set, config).expect("fit"))
+}
+
+fn frame_for(values: Vec<u32>, ua: UserAgent, session: u8) -> Vec<u8> {
+    let sub = Submission {
+        session_id: [session; 16],
+        user_agent: ua.to_ua_string(),
+        values,
+    };
+    encode_submission(&sub).expect("encode").to_vec()
+}
+
+#[test]
+fn pipelined_clients_survive_fifty_hot_swaps() {
+    let server = start_risk_server("127.0.0.1:0", era_detector(1)).expect("bind");
+    let addr = server.local_addr();
+
+    let honest = frame_for(vec![10, 10], UserAgent::new(Vendor::Chrome, 100), 1);
+    let lying = frame_for(vec![20, 20], UserAgent::new(Vendor::Chrome, 100), 2);
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let honest = honest.clone();
+            let lying = lying.clone();
+            thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).expect("nodelay");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    .expect("timeout");
+
+                // Pipeline the full burst before reading a single verdict,
+                // so the server sees a deep backlog to drain in batches.
+                let mut wire = Vec::new();
+                for i in 0..FRAMES_PER_CLIENT {
+                    let frame = if (c + i) % 2 == 0 { &honest } else { &lying };
+                    wire.extend_from_slice(&(frame.len() as u16).to_le_bytes());
+                    wire.extend_from_slice(frame);
+                }
+                stream.write_all(&wire).expect("write burst");
+
+                let mut assessed = 0usize;
+                let mut flagged = 0usize;
+                for i in 0..FRAMES_PER_CLIENT {
+                    let mut buf = [0u8; VERDICT_LEN];
+                    stream.read_exact(&mut buf).expect("read verdict");
+                    let v = Verdict::decode(&buf).expect("decode");
+                    assert_eq!(v.status, VerdictStatus::Assessed, "client {c} frame {i}");
+                    // Verdicts must come back in frame order regardless of
+                    // how the server batched them: the honest/lying
+                    // alternation is position-determined.
+                    assert_eq!(
+                        v.flagged,
+                        (c + i) % 2 == 1,
+                        "client {c} frame {i}: verdict out of order"
+                    );
+                    assessed += 1;
+                    if v.flagged {
+                        flagged += 1;
+                    }
+                }
+                (assessed, flagged)
+            })
+        })
+        .collect();
+
+    // Hot-swap the serving detector while the bursts are in flight. The
+    // swapped-in models are trained on the same eras (different k-means
+    // seed), so every in-flight probe keeps its expected verdict.
+    for s in 0..SWAPS {
+        server.swap_detector(era_detector(2 + s as u64));
+        thread::sleep(Duration::from_millis(1));
+    }
+
+    let mut total_assessed = 0usize;
+    let mut total_flagged = 0usize;
+    for c in clients {
+        let (assessed, flagged) = c.join().expect("client thread");
+        assert_eq!(assessed, FRAMES_PER_CLIENT);
+        total_assessed += assessed;
+        total_flagged += flagged;
+    }
+
+    // Let the last connection workers fold their counters.
+    thread::sleep(Duration::from_millis(50));
+    let stats = server.stats();
+    assert_eq!(
+        stats.assessed.load(Ordering::Relaxed),
+        total_assessed,
+        "every client-observed verdict must be counted exactly once"
+    );
+    assert_eq!(total_assessed, CLIENTS * FRAMES_PER_CLIENT);
+    assert_eq!(stats.flagged.load(Ordering::Relaxed), total_flagged);
+    assert_eq!(stats.malformed.load(Ordering::Relaxed), 0);
+    assert_eq!(stats.swaps.load(Ordering::Relaxed), SWAPS);
+
+    let batches = stats.batches.load(Ordering::Relaxed);
+    assert!(
+        batches >= total_assessed / MAX_BATCH_PER_GUARD,
+        "batches must cover all frames: {batches}"
+    );
+    assert!(
+        batches <= total_assessed,
+        "a batch holds at least one frame: {batches}"
+    );
+    server.shutdown();
+}

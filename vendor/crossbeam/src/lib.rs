@@ -1,0 +1,332 @@
+//! Offline vendored crossbeam subset.
+//!
+//! Provides `crossbeam::deque::{Injector, Worker, Stealer, Steal}` with
+//! the real crate's shapes and semantics, implemented on
+//! `Mutex<VecDeque>` rather than lock-free arrays (no `unsafe` allowed in
+//! this workspace's vendored code, and the polygraph workloads hand out
+//! coarse-grained tasks where lock overhead is immaterial).
+
+#![forbid(unsafe_code)]
+
+pub mod deque {
+    //! Work-stealing double-ended queues.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// The result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The source was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The operation lost a race and may be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Whether the source was empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// A shared FIFO injector queue: any thread may push or steal.
+    #[derive(Debug)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// An empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push a task onto the global queue.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(task);
+        }
+
+        /// Steal one task from the front.
+        pub fn steal(&self) -> Steal<T> {
+            match self
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+            {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steal a batch into `dest`'s local queue and pop one task.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+            let take = (q.len() / 2).clamp(usize::from(!q.is_empty()), 16);
+            let mut batch: Vec<T> = Vec::with_capacity(take);
+            for _ in 0..take {
+                match q.pop_front() {
+                    Some(t) => batch.push(t),
+                    None => break,
+                }
+            }
+            drop(q);
+            let mut first = None;
+            for t in batch {
+                if first.is_none() {
+                    first = Some(t);
+                } else {
+                    dest.push(t);
+                }
+            }
+            match first {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty()
+        }
+
+        /// Queue length.
+        pub fn len(&self) -> usize {
+            self.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+    }
+
+    /// A worker-owned deque. The owner pushes/pops one end; [`Stealer`]s
+    /// take from the other.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+        lifo: bool,
+    }
+
+    impl<T> Worker<T> {
+        /// A FIFO worker queue.
+        pub fn new_fifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+                lifo: false,
+            }
+        }
+
+        /// A LIFO worker queue.
+        pub fn new_lifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+                lifo: true,
+            }
+        }
+
+        /// Push a task onto the owner end.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(task);
+        }
+
+        /// Pop a task from the owner end.
+        pub fn pop(&self) -> Option<T> {
+            let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if self.lifo {
+                q.pop_back()
+            } else {
+                q.pop_front()
+            }
+        }
+
+        /// A handle other threads can steal through.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty()
+        }
+
+        /// Queue length.
+        pub fn len(&self) -> usize {
+            self.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+    }
+
+    /// A stealing handle to a [`Worker`] queue: takes from the front
+    /// (the end opposite a LIFO owner).
+    #[derive(Debug, Clone)]
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal one task.
+        pub fn steal(&self) -> Steal<T> {
+            match self
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+            {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty()
+        }
+    }
+}
+
+pub mod utils {
+    //! Minimal concurrency helpers.
+
+    /// An exponential spin/yield backoff for contended loops.
+    #[derive(Debug, Default)]
+    pub struct Backoff {
+        step: u32,
+    }
+
+    impl Backoff {
+        /// A fresh backoff.
+        pub fn new() -> Self {
+            Backoff::default()
+        }
+
+        /// Spin briefly (cheap contention).
+        pub fn spin(&mut self) {
+            for _ in 0..(1u32 << self.step.min(6)) {
+                std::hint::spin_loop();
+            }
+            self.step = self.step.saturating_add(1);
+        }
+
+        /// Yield to the scheduler (likely waiting on another thread).
+        pub fn snooze(&mut self) {
+            if self.step < 4 {
+                self.spin();
+            } else {
+                std::thread::yield_now();
+            }
+            self.step = self.step.saturating_add(1);
+        }
+
+        /// Whether callers should switch to blocking/parking.
+        pub fn is_completed(&self) -> bool {
+            self.step > 10
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal, Worker};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn injector_fifo_order() {
+        let inj = Injector::new();
+        inj.push(1);
+        inj.push(2);
+        assert_eq!(inj.steal(), Steal::Success(1));
+        assert_eq!(inj.steal(), Steal::Success(2));
+        assert!(inj.steal().is_empty());
+    }
+
+    #[test]
+    fn worker_lifo_and_stealer_fifo() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        let s = w.stealer();
+        assert_eq!(w.pop(), Some(3), "owner pops the hot end");
+        assert_eq!(s.steal(), Steal::Success(1), "thief takes the cold end");
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn steal_batch_and_pop_moves_work() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_fifo();
+        let got = inj.steal_batch_and_pop(&w);
+        assert_eq!(got, Steal::Success(0));
+        assert!(!w.is_empty());
+        assert_eq!(w.len() + inj.len() + 1, 10, "no task lost or duplicated");
+    }
+
+    #[test]
+    fn concurrent_drain_loses_nothing() {
+        let inj = Arc::new(Injector::new());
+        const N: usize = 10_000;
+        for i in 0..N {
+            inj.push(i);
+        }
+        let seen = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let inj = Arc::clone(&inj);
+                let seen = Arc::clone(&seen);
+                std::thread::spawn(move || {
+                    let w = Worker::<usize>::new_fifo();
+                    loop {
+                        let task = w.pop().or_else(|| inj.steal_batch_and_pop(&w).success());
+                        match task {
+                            Some(_) => {
+                                seen.fetch_add(1, Ordering::Relaxed);
+                            }
+                            None => break,
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(seen.load(Ordering::Relaxed), N);
+    }
+}

@@ -1,0 +1,466 @@
+//! Offline vendored proptest.
+//!
+//! A deterministic property-testing harness exposing the subset of the
+//! proptest API this workspace uses: the `proptest!` macro with
+//! `arg in strategy` bindings, integer/float range strategies, `any::<T>()`,
+//! `proptest::collection::vec`, `proptest::option::of`, string strategies
+//! from a small regex subset (character classes with `{n,m}` repetition),
+//! and panic-based `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from real proptest: cases are derived from a fixed
+//! per-test seed (fully reproducible runs, no persisted failure corpus)
+//! and failing inputs are reported without shrinking. Case count defaults
+//! to 64 and can be raised via `PROPTEST_CASES`.
+
+#![forbid(unsafe_code)]
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Number of cases each property runs (`PROPTEST_CASES` overrides).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// The harness RNG: SplitMix64, seeded from the test name and case index
+/// so every run of every test is reproducible.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for one case of one named property.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift with rejection (Lemire).
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(bound);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo + 1) as u128;
+                if span > u128::from(u64::MAX) {
+                    return rng.next_u64() as $t; // full-width range
+                }
+                (lo + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let unit = rng.unit_f64() as $t;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let unit = rng.unit_f64() as $t;
+                self.start() + unit * (self.end() - self.start())
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
+/// Types `any::<T>()` can generate.
+pub trait Arbitrary {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, broad-magnitude values.
+        let mag = rng.unit_f64() * 600.0 - 300.0;
+        let sign = if rng.next_u64() & 1 == 1 { 1.0 } else { -1.0 };
+        sign * (mag / 10.0).exp2()
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+/// The `any::<T>()` strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// An unconstrained generator for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A `Vec` strategy: `size` elements drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.start < self.size.end, "empty size range");
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// An `Option` strategy (~75% `Some`).
+    #[derive(Debug, Clone)]
+    pub struct OfStrategy<S>(S);
+
+    /// `None` or `Some(inner)`.
+    pub fn of<S: Strategy>(inner: S) -> OfStrategy<S> {
+        OfStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OfStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.sample(rng))
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------- regex strategy
+
+/// One parsed atom of the supported regex subset.
+#[derive(Debug, Clone)]
+enum RegexAtom {
+    /// Candidate characters (expanded from a class or a literal).
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct RegexPiece {
+    atom: RegexAtom,
+    min: usize,
+    max: usize,
+}
+
+/// Parses the supported subset: literals, `[a-z ...]` classes, and
+/// `{n}` / `{n,m}` repetition. Panics on anything else — loudly, so an
+/// unsupported pattern is caught the first time a test runs.
+fn parse_regex_subset(pattern: &str) -> Vec<RegexPiece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in regex {pattern:?}"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        assert!(lo <= hi, "inverted range in regex {pattern:?}");
+                        set.extend((lo..=hi).filter_map(char::from_u32));
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in regex {pattern:?}");
+                i = close + 1;
+                RegexAtom::Class(set)
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in regex {pattern:?}"));
+                i += 2;
+                RegexAtom::Class(vec![c])
+            }
+            c if !"{}()|*+?.".contains(c) => {
+                i += 1;
+                RegexAtom::Class(vec![c])
+            }
+            c => panic!("unsupported regex construct {c:?} in {pattern:?}"),
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{ in regex {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let parts: Vec<&str> = body.split(',').collect();
+            let parsed = match parts.as_slice() {
+                [n] => {
+                    let n = n.trim().parse().expect("bad {n}");
+                    (n, n)
+                }
+                [n, m] => (
+                    n.trim().parse().expect("bad {n,m}"),
+                    m.trim().parse().expect("bad {n,m}"),
+                ),
+                _ => panic!("bad repetition in regex {pattern:?}"),
+            };
+            i = close + 1;
+            parsed
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repetition in regex {pattern:?}");
+        pieces.push(RegexPiece { atom, min, max });
+    }
+    pieces
+}
+
+/// String literals act as regex strategies (subset documented on
+/// [`parse_regex_subset`]), mirroring proptest's `&str` strategy.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_regex_subset(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let n = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+            let RegexAtom::Class(set) = &piece.atom;
+            for _ in 0..n {
+                out.push(set[rng.below(set.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+/// Everything tests import: the macros, [`any`], and [`Strategy`].
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// Runs each property over [`cases`](crate::cases) deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cases = $crate::cases();
+            for __case in 0..__cases {
+                let mut __rng = $crate::TestRng::for_case(stringify!($name), __case);
+                $(let $arg = $crate::Strategy::sample(&$strat, &mut __rng);)+
+                $body
+            }
+        }
+    )+};
+}
+
+/// Assert a property; panics with the failing condition on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Assert equality; panics with both values on violation.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+/// Assert inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::for_case("ranges", 0);
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(46u32..130), &mut rng);
+            assert!((46..130).contains(&v));
+            let f = Strategy::sample(&(-100.0f64..100.0), &mut rng);
+            assert!((-100.0..100.0).contains(&f));
+            let i = Strategy::sample(&(0u8..=20), &mut rng);
+            assert!(i <= 20);
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_printable_ascii() {
+        let mut rng = crate::TestRng::for_case("regex", 3);
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[ -~]{0,200}", &mut rng);
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::for_case("det", 7);
+        let mut b = crate::TestRng::for_case("det", 7);
+        let sa = Strategy::sample(&"[a-z]{8}", &mut a);
+        let sb = Strategy::sample(&"[a-z]{8}", &mut b);
+        assert_eq!(sa, sb);
+    }
+
+    proptest! {
+        #[test]
+        fn macro_compiles_and_runs(
+            v in 0u32..100,
+            flag in any::<bool>(),
+            id in any::<[u8; 16]>(),
+            xs in crate::collection::vec(0i64..10, 0..5),
+            opt in crate::option::of(1usize..4),
+        ) {
+            prop_assert!(v < 100);
+            let _ = flag;
+            prop_assert_eq!(id.len(), 16);
+            prop_assert!(xs.len() < 5);
+            if let Some(o) = opt {
+                prop_assert!((1..4).contains(&o));
+            }
+        }
+    }
+}

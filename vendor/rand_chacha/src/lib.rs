@@ -1,0 +1,202 @@
+//! Offline vendored ChaCha8 random number generator.
+//!
+//! A genuine ChaCha8 keystream generator (Bernstein 2008) behind the
+//! `rand_chacha::ChaCha8Rng` name, built because the build environment
+//! cannot fetch crates.io. The full 32-byte seed keys the cipher; the
+//! keystream is emitted as little-endian `u32` words in block order, so
+//! every draw is a pure function of (seed, position).
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+const ROUNDS: usize = 8;
+/// "expand 32-byte k" — the ChaCha constant words.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// A ChaCha8 keystream RNG with a 256-bit seed.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key words (state words 4..12).
+    key: [u32; 8],
+    /// 64-bit block counter (state words 12..14).
+    counter: u64,
+    /// Stream/nonce words (state words 14..16).
+    stream: [u32; 2],
+    /// The current 16-word output block.
+    block: [u32; 16],
+    /// Next unread word in `block`; 16 means "exhausted".
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = self.stream[0];
+        state[15] = self.stream[1];
+
+        let mut working = state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter(&mut working, 0, 4, 8, 12);
+            quarter(&mut working, 1, 5, 9, 13);
+            quarter(&mut working, 2, 6, 10, 14);
+            quarter(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter(&mut working, 0, 5, 10, 15);
+            quarter(&mut working, 1, 6, 11, 12);
+            quarter(&mut working, 2, 7, 8, 13);
+            quarter(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self.block.iter_mut().zip(working.iter().zip(&state)) {
+            *out = w.wrapping_add(s);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+
+    /// Selects an independent keystream ("stream id") under the same key —
+    /// the tool for deterministic RNG splitting across workers.
+    pub fn set_stream(&mut self, stream: u64) {
+        self.stream = [stream as u32, (stream >> 32) as u32];
+        // Restart the stream's keystream from its origin.
+        self.counter = 0;
+        self.index = 16;
+    }
+
+    /// The current stream id.
+    pub fn get_stream(&self) -> u64 {
+        u64::from(self.stream[0]) | (u64::from(self.stream[1]) << 32)
+    }
+}
+
+#[inline(always)]
+fn quarter(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        Self {
+            key,
+            counter: 0,
+            stream: [0, 0],
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32();
+        let hi = self.next_u32();
+        u64::from(lo) | (u64::from(hi) << 32)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let w = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 test vector structure adapted to ChaCha8: with the
+    /// all-zero key and nonce the first block must match the published
+    /// ChaCha8 keystream.
+    #[test]
+    fn chacha8_zero_key_first_word_is_stable() {
+        let mut rng = ChaCha8Rng::from_seed([0u8; 32]);
+        // Known first keystream words of ChaCha8 with zero key/nonce
+        // (e.g. from the eSTREAM reference implementation):
+        // 3e00ef2f895f40d67f5bb8e81f09a5a1 2c840ec3ce9a7f3b181be188ef711a1e
+        let expect_first = u32::from_le_bytes([0x3e, 0x00, 0xef, 0x2f]);
+        let got = rng.next_u32();
+        assert_eq!(
+            got, expect_first,
+            "got {got:08x}, want {expect_first:08x} — ChaCha8 core mismatch"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn streams_are_independent_and_deterministic() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        a.set_stream(1);
+        b.set_stream(2);
+        let first_a: Vec<u32> = (0..8).map(|_| a.next_u32()).collect();
+        let first_b: Vec<u32> = (0..8).map(|_| b.next_u32()).collect();
+        assert_ne!(first_a, first_b, "streams must differ");
+        b.set_stream(1);
+        let again: Vec<u32> = (0..8).map(|_| b.next_u32()).collect();
+        assert_eq!(first_a, again, "same stream restarts identically");
+    }
+
+    #[test]
+    fn fill_bytes_matches_word_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        let mut bytes = [0u8; 12];
+        a.fill_bytes(&mut bytes);
+        let w0 = b.next_u32().to_le_bytes();
+        let w1 = b.next_u32().to_le_bytes();
+        let w2 = b.next_u32().to_le_bytes();
+        assert_eq!(&bytes[..4], &w0);
+        assert_eq!(&bytes[4..8], &w1);
+        assert_eq!(&bytes[8..12], &w2);
+    }
+
+    #[test]
+    fn clone_continues_the_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..10 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,769 @@
+//! Offline vendored serde facade.
+//!
+//! The build environment cannot reach crates.io, so this crate provides
+//! the slice of serde that browser-polygraph actually exercises: a
+//! tree-model [`Value`] (shared with the vendored `serde_json`), a pair of
+//! tree-model traits ([`Serialize`] / [`Deserialize`]) and the derive
+//! macros re-exported from the vendored `serde_derive`.
+//!
+//! Design notes:
+//! - The traits are *tree-model* rather than visitor-based: `to_value` /
+//!   `from_value` against [`Value`]. No code in this workspace implements
+//!   the serde traits by hand or uses them as public generic bounds, so the
+//!   simpler shape is observationally equivalent.
+//! - [`Map`] is a `BTreeMap`, making every serialisation deterministic —
+//!   a property the workspace's reproducibility tests rely on.
+//! - Maps with non-string keys serialise as sorted `[key, value]` pair
+//!   arrays (real serde_json rejects them; here they only need to
+//!   round-trip through this same crate).
+
+#![forbid(unsafe_code)]
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON object: deterministic (sorted) key order.
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON number: integer-preserving, like serde_json's.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer that does not fit `i64`.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+}
+
+impl Number {
+    /// The value as `f64` (always succeeds; integers cast).
+    pub fn as_f64(&self) -> Option<f64> {
+        Some(match *self {
+            Number::I64(v) => v as f64,
+            Number::U64(v) => v as f64,
+            Number::F64(v) => v,
+        })
+    }
+
+    /// The value as `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::I64(v) => Some(v),
+            Number::U64(v) => i64::try_from(v).ok(),
+            Number::F64(_) => None,
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::I64(v) => u64::try_from(v).ok(),
+            Number::U64(v) => Some(v),
+            Number::F64(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        use Number::*;
+        match (*self, *other) {
+            (I64(a), I64(b)) => a == b,
+            (U64(a), U64(b)) => a == b,
+            (I64(a), U64(b)) | (U64(b), I64(a)) => a >= 0 && a as u64 == b,
+            (F64(a), F64(b)) => a == b,
+            (F64(f), I64(i)) | (I64(i), F64(f)) => f == i as f64,
+            (F64(f), U64(u)) | (U64(u), F64(f)) => f == u as f64,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::I64(v) => write!(f, "{v}"),
+            Number::U64(v) => write!(f, "{v}"),
+            // Rust's shortest-round-trip Display keeps `from_str` lossless.
+            Number::F64(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered list.
+    Array(Vec<Value>),
+    /// A key-sorted object.
+    Object(Map),
+}
+
+impl Value {
+    /// Borrow as `&str` if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow as `bool` if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Borrow the array items.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow the object map.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// serde_json semantics: missing keys and non-objects index to `Null`.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+/// A total order over values, used to sort non-string map keys so their
+/// serialisation is deterministic. Cross-type order is by variant rank.
+pub fn cmp_values(a: &Value, b: &Value) -> Ordering {
+    fn rank(v: &Value) -> u8 {
+        match v {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Number(_) => 2,
+            Value::String(_) => 3,
+            Value::Array(_) => 4,
+            Value::Object(_) => 5,
+        }
+    }
+    match (a, b) {
+        (Value::Null, Value::Null) => Ordering::Equal,
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::Number(x), Value::Number(y)) => {
+            let (fx, fy) = (x.as_f64().unwrap_or(0.0), y.as_f64().unwrap_or(0.0));
+            fx.total_cmp(&fy)
+        }
+        (Value::String(x), Value::String(y)) => x.cmp(y),
+        (Value::Array(x), Value::Array(y)) => {
+            for (i, j) in x.iter().zip(y.iter()) {
+                let ord = cmp_values(i, j);
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        (Value::Object(x), Value::Object(y)) => {
+            for ((kx, vx), (ky, vy)) in x.iter().zip(y.iter()) {
+                let ord = kx.cmp(ky).then_with(|| cmp_values(vx, vy));
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        _ => rank(a).cmp(&rank(b)),
+    }
+}
+
+/// A deserialisation failure: a path-less message, enough for the
+/// workspace's error handling (everything bubbles into `io::Error`).
+#[derive(Debug, Clone)]
+pub struct DeError(String);
+
+impl DeError {
+    /// A new error carrying `msg`.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Tree-model serialisation: render `self` as a [`Value`].
+pub trait Serialize {
+    /// The value tree for `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Tree-model deserialisation: rebuild `Self` from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuild from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Called for a struct field absent from its object. `Option` fields
+    /// default to `None`; everything else errors.
+    fn missing_field(name: &str) -> Result<Self, DeError> {
+        Err(DeError::new(format!("missing field `{name}`")))
+    }
+}
+
+/// Fetch and deserialise a struct field (used by derived code).
+pub fn field<T: Deserialize>(m: &Map, name: &str) -> Result<T, DeError> {
+    match m.get(name) {
+        Some(v) => T::from_value(v),
+        None => T::missing_field(name),
+    }
+}
+
+// ---------------------------------------------------------------- numbers
+
+macro_rules! impl_serde_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::I64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                v.as_i64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| {
+                        DeError::new(format!(
+                            "expected {} in range, got {v:?}",
+                            stringify!($t)
+                        ))
+                    })
+            }
+        }
+    )*};
+}
+impl_serde_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                v.as_u64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| {
+                        DeError::new(format!(
+                            "expected {} in range, got {v:?}",
+                            stringify!($t)
+                        ))
+                    })
+            }
+        }
+    )*};
+}
+impl_serde_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let f = *self as f64;
+                if f.is_finite() {
+                    Value::Number(Number::F64(f))
+                } else if f.is_nan() {
+                    Value::String("NaN".into())
+                } else if f > 0.0 {
+                    Value::String("inf".into())
+                } else {
+                    Value::String("-inf".into())
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Number(n) => Ok(n.as_f64().unwrap_or(0.0) as $t),
+                    Value::String(s) => match s.as_str() {
+                        "NaN" => Ok(<$t>::NAN),
+                        "inf" => Ok(<$t>::INFINITY),
+                        "-inf" => Ok(<$t>::NEG_INFINITY),
+                        _ => Err(DeError::new(format!("expected float, got {s:?}"))),
+                    },
+                    _ => Err(DeError::new(format!("expected float, got {v:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+// ----------------------------------------------------------- scalar misc
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool()
+            .ok_or_else(|| DeError::new(format!("expected bool, got {v:?}")))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::new(format!("expected string, got {v:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| DeError::new(format!("expected char, got {v:?}")))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new(format!("expected 1-char string, got {s:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+// ------------------------------------------------------------ containers
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::new(format!("expected array, got {v:?}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let got = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::new(format!("expected array of {N}, got {got}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn missing_field(_name: &str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let arr = v
+                    .as_array()
+                    .ok_or_else(|| DeError::new(format!("expected tuple array, got {v:?}")))?;
+                let want = [$($idx),+].len();
+                if arr.len() != want {
+                    return Err(DeError::new(format!(
+                        "expected tuple of {want}, got {}",
+                        arr.len()
+                    )));
+                }
+                Ok(($($name::from_value(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Maps serialise as sorted `[key, value]` pair arrays so non-string keys
+/// (e.g. `HashMap<UserAgent, _>`) survive; sorting keeps it deterministic.
+impl<K, V, S> Serialize for HashMap<K, V, S>
+where
+    K: Serialize + Eq + Hash,
+    V: Serialize,
+    S: BuildHasher,
+{
+    fn to_value(&self) -> Value {
+        let mut pairs: Vec<(Value, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_value(), v.to_value()))
+            .collect();
+        pairs.sort_by(|a, b| cmp_values(&a.0, &b.0));
+        Value::Array(
+            pairs
+                .into_iter()
+                .map(|(k, v)| Value::Array(vec![k, v]))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| DeError::new(format!("expected pair array, got {v:?}")))?;
+        let mut out = HashMap::with_capacity_and_hasher(arr.len(), S::default());
+        for pair in arr {
+            let kv = <(K, V)>::from_value(pair)?;
+            out.insert(kv.0, kv.1);
+        }
+        Ok(out)
+    }
+}
+
+impl<K, V> Serialize for BTreeMap<K, V>
+where
+    K: Serialize + Ord,
+    V: Serialize,
+{
+    fn to_value(&self) -> Value {
+        let mut pairs: Vec<(Value, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_value(), v.to_value()))
+            .collect();
+        pairs.sort_by(|a, b| cmp_values(&a.0, &b.0));
+        Value::Array(
+            pairs
+                .into_iter()
+                .map(|(k, v)| Value::Array(vec![k, v]))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for BTreeMap<K, V>
+where
+    K: Deserialize + Ord,
+    V: Deserialize,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| DeError::new(format!("expected pair array, got {v:?}")))?;
+        let mut out = BTreeMap::new();
+        for pair in arr {
+            let kv = <(K, V)>::from_value(pair)?;
+            out.insert(kv.0, kv.1);
+        }
+        Ok(out)
+    }
+}
+
+// ------------------------------------------------- From impls for json!
+
+macro_rules! impl_value_from_int {
+    ($variant:ident : $($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::$variant(v as _))
+            }
+        }
+    )*};
+}
+impl_value_from_int!(I64: i8, i16, i32, i64, isize);
+impl_value_from_int!(U64: u8, u16, u32, u64, usize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        // json!(non-finite float) is null, matching serde_json.
+        if v.is_finite() {
+            Value::Number(Number::F64(v))
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::from(v as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>, const N: usize> From<[T; N]> for Value {
+    fn from(v: [T; N]) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl From<Map> for Value {
+    fn from(v: Map) -> Value {
+        Value::Object(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        v.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_cross_type_equality() {
+        assert_eq!(Number::I64(112), Number::U64(112));
+        assert_eq!(Number::F64(2.0), Number::I64(2));
+        assert_ne!(Number::I64(-1), Number::U64(u64::MAX));
+    }
+
+    #[test]
+    fn index_missing_is_null() {
+        let mut m = Map::new();
+        m.insert("a".into(), Value::Bool(true));
+        let v = Value::Object(m);
+        assert_eq!(v["a"], Value::Bool(true));
+        assert!(v["nope"].is_null());
+        assert!(v["a"]["deeper"].is_null());
+    }
+
+    #[test]
+    fn option_round_trip_and_missing() {
+        let some = Some(3usize).to_value();
+        assert_eq!(Option::<usize>::from_value(&some).unwrap(), Some(3));
+        assert_eq!(Option::<usize>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<usize>::missing_field("x").unwrap(), None);
+        assert!(usize::missing_field("x").is_err());
+    }
+
+    #[test]
+    fn hashmap_round_trip_with_struct_like_keys() {
+        let mut m: HashMap<(u32, u32), usize> = HashMap::new();
+        m.insert((3, 4), 7);
+        m.insert((1, 2), 9);
+        let v = m.to_value();
+        let back: HashMap<(u32, u32), usize> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn float_specials_round_trip() {
+        for f in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1.5e-300] {
+            let v = f.to_value();
+            let back = f64::from_value(&v).unwrap();
+            assert!(back == f || (back.is_nan() && f.is_nan()));
+        }
+    }
+
+    #[test]
+    fn array_round_trip() {
+        let a: [u8; 16] = [9; 16];
+        let back: [u8; 16] = Deserialize::from_value(&a.to_value()).unwrap();
+        assert_eq!(back, a);
+    }
+}

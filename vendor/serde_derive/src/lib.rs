@@ -1,0 +1,390 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The real serde_derive needs syn/quote, which cannot be fetched in this
+//! build environment. This macro instead walks the raw [`TokenStream`]
+//! directly — practical because the workspace only derives on plain
+//! braced structs and enums (unit / tuple / braced variants), with no
+//! generics and no `#[serde(...)]` attributes.
+//!
+//! Generated code targets the tree-model traits of the vendored `serde`
+//! crate: structs become objects keyed by field name; unit variants
+//! become their name as a string; data variants become single-key objects
+//! `{"Variant": ...}` (object for braced fields, the bare value for a
+//! one-element tuple, an array otherwise).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    let code = gen_serialize(&shape);
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    let code = gen_deserialize(&shape);
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Braced(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Shape {
+    let mut toks = input.into_iter().peekable();
+    // Skip outer attributes (doc comments arrive as `#[doc = ...]`) and
+    // the visibility qualifier.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(_)) = toks.peek() {
+                    toks.next(); // pub(crate) / pub(super)
+                }
+            }
+            _ => break,
+        }
+    }
+    let keyword = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    let body = loop {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde_derive: generic type `{name}` is not supported")
+            }
+            Some(_) => continue,
+            None => panic!("serde_derive: `{name}` has no braced body (tuple/unit items unsupported)"),
+        }
+    };
+    match keyword.as_str() {
+        "struct" => Shape::Struct {
+            name,
+            fields: parse_named_fields(body.stream()),
+        },
+        "enum" => Shape::Enum {
+            name,
+            variants: parse_variants(body.stream()),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+/// Field names of a braced field list: `(attrs) (vis) name: Type, ...`.
+/// Types are skipped with angle-bracket depth tracking, so a comma inside
+/// `HashMap<K, V>` does not end the field.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(_)) = toks.peek() {
+                        toks.next();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after `{name}`, got {other:?}"),
+        }
+        let mut angle = 0i32;
+        for tok in toks.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        while let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == '#' {
+                toks.next();
+                toks.next();
+            } else {
+                break;
+            }
+        }
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let kind = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                VariantKind::Braced(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_items(g.stream());
+                toks.next();
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip a `= discriminant` and the separating comma.
+        let mut angle = 0i32;
+        for tok in toks.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for tok in stream {
+        any = true;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => commas += 1,
+            _ => {}
+        }
+    }
+    if any {
+        commas + 1
+    } else {
+        0
+    }
+}
+
+// ------------------------------------------------------------- codegen
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            let mut body = String::from("let mut __map = ::serde::Map::new();\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "__map.insert(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            body.push_str("::serde::Value::Object(__map)");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => \
+                         ::serde::Value::String(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__t{i}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_value(__t0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{\n\
+                             let mut __outer = ::serde::Map::new();\n\
+                             __outer.insert(::std::string::String::from(\"{vn}\"), {inner});\n\
+                             ::serde::Value::Object(__outer)\n}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Braced(fields) => {
+                        let mut body = String::from("let mut __fields = ::serde::Map::new();\n");
+                        for f in fields {
+                            body.push_str(&format!(
+                                "__fields.insert(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n{body}\
+                             let mut __outer = ::serde::Map::new();\n\
+                             __outer.insert(::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Object(__fields));\n\
+                             ::serde::Value::Object(__outer)\n}}\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(__map, \"{f}\")?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match __v {{\n\
+                 ::serde::Value::Object(__map) => ::std::result::Result::Ok({name} {{\n{}\n}}),\n\
+                 _ => ::std::result::Result::Err(\
+                 ::serde::DeError::new(\"{name}: expected object\")),\n\
+                 }}\n}}\n}}\n",
+                inits.join("\n")
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let units: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let datas: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let mut body = String::new();
+            if !units.is_empty() {
+                let arms: Vec<String> = units
+                    .iter()
+                    .map(|v| {
+                        format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                            vn = v.name
+                        )
+                    })
+                    .collect();
+                body.push_str(&format!(
+                    "if let ::serde::Value::String(__s) = __v {{\n\
+                     return match __s.as_str() {{\n{}\n\
+                     _ => ::std::result::Result::Err(::serde::DeError::new(\
+                     format!(\"{name}: unknown variant {{__s:?}}\"))),\n}};\n}}\n",
+                    arms.join("\n")
+                ));
+            }
+            if !datas.is_empty() {
+                let mut arms = String::new();
+                for v in &datas {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => unreachable!(),
+                        VariantKind::Tuple(1) => arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__inner)?)),\n"
+                        )),
+                        VariantKind::Tuple(arity) => {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            arms.push_str(&format!(
+                                "\"{vn}\" => match __inner {{\n\
+                                 ::serde::Value::Array(__items) if __items.len() == {arity} => \
+                                 ::std::result::Result::Ok({name}::{vn}({})),\n\
+                                 _ => ::std::result::Result::Err(::serde::DeError::new(\
+                                 \"{name}::{vn}: expected array of {arity}\")),\n}},\n",
+                                items.join(", ")
+                            ));
+                        }
+                        VariantKind::Braced(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::field(__fields, \"{f}\")?,"))
+                                .collect();
+                            arms.push_str(&format!(
+                                "\"{vn}\" => match __inner {{\n\
+                                 ::serde::Value::Object(__fields) => \
+                                 ::std::result::Result::Ok({name}::{vn} {{\n{}\n}}),\n\
+                                 _ => ::std::result::Result::Err(::serde::DeError::new(\
+                                 \"{name}::{vn}: expected object\")),\n}},\n",
+                                inits.join("\n")
+                            ));
+                        }
+                    }
+                }
+                body.push_str(&format!(
+                    "if let ::serde::Value::Object(__m) = __v {{\n\
+                     if __m.len() == 1 {{\n\
+                     let (__k, __inner) = __m.iter().next().expect(\"len checked\");\n\
+                     return match __k.as_str() {{\n{arms}\
+                     _ => ::std::result::Result::Err(::serde::DeError::new(\
+                     format!(\"{name}: unknown variant {{__k:?}}\"))),\n}};\n}}\n}}\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\
+                 ::std::result::Result::Err(::serde::DeError::new(\
+                 format!(\"{name}: unrecognised value {{__v:?}}\")))\n}}\n}}\n"
+            )
+        }
+    }
+}
