@@ -6,8 +6,8 @@ use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion
 use fingerprint::FeatureSet;
 use polygraph_core::{Detector, TrainConfig, TrainedModel, TrainingSet};
 use polygraph_ml::iforest::IsolationForestConfig;
-use polygraph_ml::kmeans::KMeansConfig;
 use polygraph_ml::kmeans::elbow_scan_with_pool;
+use polygraph_ml::kmeans::KMeansConfig;
 use polygraph_ml::{IsolationForest, KMeans, Matrix, Pca, StandardScaler, ThreadPool};
 use traffic::{generate, TrafficConfig};
 

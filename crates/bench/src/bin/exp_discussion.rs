@@ -185,16 +185,15 @@ fn main() {
     let x = Matrix::from_rows(sample.rows()).expect("well-formed");
     let mut scaler = StandardScaler::fit(&x);
     scaler.neutralize_columns(
-        &fingerprint::FeatureSet::table8()
-            .indices_of_kind(fingerprint::FeatureKind::TimeBased),
+        &fingerprint::FeatureSet::table8().indices_of_kind(fingerprint::FeatureKind::TimeBased),
     );
     let scaled = scaler.transform(&x).expect("fitted");
     let pca = Pca::fit(&scaled, 7).expect("pca");
     let projected = pca.transform(&scaled).expect("projected");
 
     let t0 = std::time::Instant::now();
-    let kmeans = KMeans::fit(&projected, KMeansConfig::new(11).with_seed(opts.seed))
-        .expect("kmeans");
+    let kmeans =
+        KMeans::fit(&projected, KMeansConfig::new(11).with_seed(opts.seed)).expect("kmeans");
     let kmeans_time = t0.elapsed();
     let kmeans_acc = majority_cluster_accuracy(
         sample.user_agents(),
@@ -213,12 +212,20 @@ fn main() {
     report(
         &format!("k-means ({} rows): accuracy / time", sample.len()),
         "(the paper's choice)",
-        &format!("{} / {:.0} ms", pct(kmeans_acc), kmeans_time.as_secs_f64() * 1000.0),
+        &format!(
+            "{} / {:.0} ms",
+            pct(kmeans_acc),
+            kmeans_time.as_secs_f64() * 1000.0
+        ),
     );
     report(
         &format!("agglomerative ({} rows): accuracy / time", sample.len()),
         "(comparable accuracy, O(n^2) cost)",
-        &format!("{} / {:.0} ms", pct(agg_acc), agg_time.as_secs_f64() * 1000.0),
+        &format!(
+            "{} / {:.0} ms",
+            pct(agg_acc),
+            agg_time.as_secs_f64() * 1000.0
+        ),
     );
     println!(
         "  (agglomerative needs the full distance matrix: at the paper's 205k\n\

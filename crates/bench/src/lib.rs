@@ -7,6 +7,7 @@
 //! paper's reported value next to the measured one.
 
 use polygraph_core::{TrainConfig, TrainedModel};
+use std::io::Write;
 use traffic::{generate, TrafficConfig, TrafficDataset};
 
 pub use browser_engine;
@@ -43,25 +44,39 @@ pub fn parse_options() -> ExpOptions {
         match args[i].as_str() {
             "--sessions" if i + 1 < args.len() => {
                 opts.sessions = args[i + 1].parse().unwrap_or_else(|_| {
-                    eprintln!("invalid --sessions value {:?}", args[i + 1]);
-                    std::process::exit(2);
+                    usage_error(&format!("invalid --sessions value {:?}", args[i + 1]))
                 });
                 i += 2;
             }
             "--seed" if i + 1 < args.len() => {
                 opts.seed = args[i + 1].parse().unwrap_or_else(|_| {
-                    eprintln!("invalid --seed value {:?}", args[i + 1]);
-                    std::process::exit(2);
+                    usage_error(&format!("invalid --seed value {:?}", args[i + 1]))
                 });
                 i += 2;
             }
             other => {
-                eprintln!("unknown argument {other:?} (expected --sessions N / --seed S)");
-                std::process::exit(2);
+                usage_error(&format!(
+                    "unknown argument {other:?} (expected --sessions N / --seed S)"
+                ));
             }
         }
     }
     opts
+}
+
+/// Writes a usage error to stderr and exits. The experiment harness is the
+/// one place library code talks to the console, and it does so through
+/// explicit [`Write`] sinks rather than `println!`/`eprintln!` so the
+/// workspace-hygiene lint (`cargo xtask lint`, rule POLY-H002) keeps every
+/// other library crate print-free.
+fn usage_error(msg: &str) -> ! {
+    let _ = writeln!(std::io::stderr().lock(), "{msg}");
+    std::process::exit(2);
+}
+
+/// Writes one line to stdout, ignoring a broken pipe.
+fn emit(line: std::fmt::Arguments<'_>) {
+    let _ = writeln!(std::io::stdout().lock(), "{line}");
 }
 
 /// Generates the paper's training window and fits the production model.
@@ -81,13 +96,15 @@ pub fn train_paper_model(opts: ExpOptions) -> (TrainedModel, TrafficDataset) {
 
 /// Prints a `paper vs measured` line in a consistent format.
 pub fn report(metric: &str, paper: &str, measured: &str) {
-    println!("  {metric:<52} paper: {paper:>10}   measured: {measured:>10}");
+    emit(format_args!(
+        "  {metric:<52} paper: {paper:>10}   measured: {measured:>10}"
+    ));
 }
 
 /// Prints a section header.
 pub fn header(title: &str) {
-    println!();
-    println!("== {title} ==");
+    emit(format_args!(""));
+    emit(format_args!("== {title} =="));
 }
 
 /// Formats a ratio as a percentage with two decimals.

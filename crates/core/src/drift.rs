@@ -19,7 +19,7 @@ use crate::error::PolygraphError;
 use crate::train::TrainedModel;
 use browser_engine::UserAgent;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The accuracy floor below which retraining is triggered (§6.6).
 pub const ACCURACY_THRESHOLD: f64 = 0.98;
@@ -79,7 +79,10 @@ impl<'m> DriftDetector<'m> {
         data: &TrainingSet,
         release: UserAgent,
     ) -> Result<DriftObservation, PolygraphError> {
-        let mut cluster_counts: HashMap<usize, usize> = HashMap::new();
+        // BTreeMap: the majority scan below must break count ties the same
+        // way on every run, or a 50/50 release would flip its "predominant
+        // cluster" between retraining checks.
+        let mut cluster_counts: BTreeMap<usize, usize> = BTreeMap::new();
         let mut sessions = 0usize;
         for (row, ua) in data.rows().iter().zip(data.user_agents()) {
             if *ua != release {

@@ -12,13 +12,16 @@ use crate::error::PolygraphError;
 use crate::train::TrainedModel;
 use browser_engine::UserAgent;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Incremental per-release cluster counters over a trained model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DriftAccumulator {
-    /// (release → (cluster → sessions)) counters.
-    counts: HashMap<UserAgent, HashMap<usize, usize>>,
+    /// (release → (cluster → sessions)) counters. BTreeMap: the majority
+    /// scan in `observe` must break count ties identically on every run
+    /// (and identically to the batch detector), or a 50/50 release would
+    /// flip its predominant cluster between checkpoints.
+    counts: BTreeMap<UserAgent, BTreeMap<usize, usize>>,
     /// Total sessions ingested (all releases).
     ingested: usize,
 }
@@ -32,7 +35,10 @@ impl Default for DriftAccumulator {
 impl DriftAccumulator {
     /// An empty accumulator.
     pub fn new() -> Self {
-        Self { counts: HashMap::new(), ingested: 0 }
+        Self {
+            counts: BTreeMap::new(),
+            ingested: 0,
+        }
     }
 
     /// Total sessions ingested since the last reset.
@@ -50,7 +56,12 @@ impl DriftAccumulator {
         claimed: UserAgent,
     ) -> Result<(), PolygraphError> {
         let cluster = model.nearest_populated_cluster(model.predict_cluster(values)?);
-        *self.counts.entry(claimed).or_default().entry(cluster).or_default() += 1;
+        *self
+            .counts
+            .entry(claimed)
+            .or_default()
+            .entry(cluster)
+            .or_default() += 1;
         self.ingested += 1;
         Ok(())
     }
@@ -132,9 +143,13 @@ mod tests {
 
     fn toy_model() -> TrainedModel {
         let mut set = TrainingSet::new(2);
-        for (base, u) in [(0.0, ua(Vendor::Chrome, 100)), (10.0, ua(Vendor::Chrome, 110))] {
+        for (base, u) in [
+            (0.0, ua(Vendor::Chrome, 100)),
+            (10.0, ua(Vendor::Chrome, 110)),
+        ] {
             for j in 0..40 {
-                set.push(vec![base + (j % 2) as f64 * 0.1, base], u).unwrap();
+                set.push(vec![base + (j % 2) as f64 * 0.1, base], u)
+                    .unwrap();
             }
         }
         let fs = FeatureSet::table8().subset(&[0, 1]);
@@ -157,7 +172,10 @@ mod tests {
         // A mixed window: Chrome 111 stable, Chrome 112 shifted.
         let mut rows: Vec<(Vec<f64>, UserAgent)> = Vec::new();
         for i in 0..60 {
-            rows.push((vec![10.0 + (i % 2) as f64 * 0.1, 10.0], ua(Vendor::Chrome, 111)));
+            rows.push((
+                vec![10.0 + (i % 2) as f64 * 0.1, 10.0],
+                ua(Vendor::Chrome, 111),
+            ));
         }
         for _ in 0..40 {
             rows.push((vec![0.0, 0.0], ua(Vendor::Chrome, 112)));
@@ -187,12 +205,15 @@ mod tests {
         let model = toy_model();
         let mut acc = DriftAccumulator::new();
         for _ in 0..50 {
-            acc.ingest(&model, &[0.0, 0.0], ua(Vendor::Chrome, 111)).unwrap();
+            acc.ingest(&model, &[0.0, 0.0], ua(Vendor::Chrome, 111))
+                .unwrap();
         }
-        let (obs, decision) =
-            acc.checkpoint(&model, &[ua(Vendor::Chrome, 111)]).unwrap();
+        let (obs, decision) = acc.checkpoint(&model, &[ua(Vendor::Chrome, 111)]).unwrap();
         assert_eq!(obs.len(), 1);
-        assert!(matches!(decision, DriftDecision::Retrain { .. }), "era flip must trigger");
+        assert!(
+            matches!(decision, DriftDecision::Retrain { .. }),
+            "era flip must trigger"
+        );
     }
 
     #[test]
@@ -200,7 +221,8 @@ mod tests {
         let model = toy_model();
         let mut acc = DriftAccumulator::new();
         assert!(acc.observe(&model, ua(Vendor::Firefox, 119)).is_err());
-        acc.ingest(&model, &[10.0, 10.0], ua(Vendor::Chrome, 111)).unwrap();
+        acc.ingest(&model, &[10.0, 10.0], ua(Vendor::Chrome, 111))
+            .unwrap();
         assert!(acc.observe(&model, ua(Vendor::Chrome, 111)).is_ok());
         acc.reset();
         assert_eq!(acc.ingested(), 0);

@@ -10,7 +10,7 @@ use polygraph_ml::kmeans::KMeansConfig;
 use polygraph_ml::metrics::majority_cluster_accuracy;
 use polygraph_ml::{IsolationForest, KMeans, Matrix, Pca, StandardScaler, ThreadPool};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Hyper-parameters of the training pipeline. The defaults are the
 /// paper's chosen operating point: 7 PCA components, k = 11, and an
@@ -124,7 +124,7 @@ impl ClusterTable {
     /// Renders a cluster's residents in the paper's compact range form,
     /// e.g. `"Chrome 110-113, Edge 110-113"`.
     pub fn describe_cluster(&self, cluster: usize) -> String {
-        let mut by_vendor: HashMap<Vendor, Vec<u32>> = HashMap::new();
+        let mut by_vendor: BTreeMap<Vendor, Vec<u32>> = BTreeMap::new();
         for ua in self.user_agents_in(cluster) {
             by_vendor.entry(ua.vendor).or_default().push(ua.version);
         }
@@ -238,7 +238,7 @@ impl TrainedModel {
         )?;
         let outlier_idx = forest.outlier_indices_with_pool(&scaled, config.contamination, pool)?;
         let outliers_removed = outlier_idx.len();
-        let is_outlier: std::collections::HashSet<usize> = outlier_idx.into_iter().collect();
+        let is_outlier: BTreeSet<usize> = outlier_idx.into_iter().collect();
         let kept = data.filtered(|i| !is_outlier.contains(&i));
         let kept_scaled = scaled.filter_rows(|i| !is_outlier.contains(&i))?;
 
@@ -261,7 +261,7 @@ impl TrainedModel {
 
         // Manual alignment for sparse user-agents (§6.4.3): predict the
         // genuine lab fingerprint instead of trusting a thin majority.
-        let mut counts: HashMap<UserAgent, usize> = HashMap::new();
+        let mut counts: BTreeMap<UserAgent, usize> = BTreeMap::new();
         for ua in kept.user_agents() {
             *counts.entry(*ua).or_default() += 1;
         }
@@ -281,8 +281,7 @@ impl TrainedModel {
         // genuine lab instance too, so the detector does not treat a
         // merely-rare browser as an unknown claim.
         if config.lab_alignment {
-            let seen: std::collections::HashSet<UserAgent> =
-                entries.iter().map(|(ua, _)| *ua).collect();
+            let seen: BTreeSet<UserAgent> = entries.iter().map(|(ua, _)| *ua).collect();
             let mut observed: Vec<UserAgent> = data.user_agents().to_vec();
             observed.sort();
             observed.dedup();

@@ -155,9 +155,15 @@ mod tests {
                 Probe::Count { prototype } => format!("({prototype}.prototype)"),
                 Probe::Presence(p) => format!("hasOwnProperty('{}')", p.property),
             };
-            let pos = js[last..].find(&needle).map(|p| last + p).unwrap_or_else(|| {
-                panic!("probe {} not found after position {last}", probe.expression())
-            });
+            let pos = js[last..]
+                .find(&needle)
+                .map(|p| last + p)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "probe {} not found after position {last}",
+                        probe.expression()
+                    )
+                });
             last = pos;
         }
     }

@@ -126,7 +126,9 @@ impl IsolationForest {
     /// the output is bit-identical to the serial scan.
     pub fn score_with_pool(&self, x: &Matrix, pool: &ThreadPool) -> Vec<f64> {
         pool.run_chunks(x.rows(), ROW_CHUNK, |lo, hi| {
-            (lo..hi).map(|r| self.score_row(x.row(r))).collect::<Vec<f64>>()
+            (lo..hi)
+                .map(|r| self.score_row(x.row(r)))
+                .collect::<Vec<f64>>()
         })
         .into_iter()
         .flatten()
@@ -139,16 +141,7 @@ impl IsolationForest {
     /// This mirrors the paper's usage: a 0.002-ish contamination removes the
     /// handful of rows that match no legitimate browser.
     pub fn outlier_indices(&self, x: &Matrix, contamination: f64) -> Result<Vec<usize>, MlError> {
-        if !(0.0..=0.5).contains(&contamination) {
-            return Err(MlError::InvalidParameter {
-                name: "contamination",
-                reason: format!("must be in [0, 0.5], got {contamination}"),
-            });
-        }
-        if contamination == 0.0 {
-            return Ok(Vec::new());
-        }
-        self.rank_outliers(self.score(x), x.rows(), contamination)
+        self.outlier_indices_with_pool(x, contamination, &ThreadPool::serial())
     }
 
     /// [`IsolationForest::outlier_indices`] with the scoring pass run on a

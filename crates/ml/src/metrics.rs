@@ -6,23 +6,27 @@
 //! Accuracy is the fraction of correctly-assigned samples.
 
 use crate::error::MlError;
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 /// Outcome of a majority-cluster evaluation.
+///
+/// Labels are kept in a `BTreeMap` so every walk over the per-label
+/// clusters happens in sorted key order: retraining the pipeline on the
+/// same data yields the same iteration order, which the semi-supervised
+/// cluster table and the drift detector both depend on.
 #[derive(Debug, Clone)]
-pub struct ClusterAccuracy<L: Eq + Hash> {
+pub struct ClusterAccuracy<L: Ord> {
     /// Fraction of samples assigned to their label's majority cluster.
     pub accuracy: f64,
     /// Majority cluster per label.
-    pub label_clusters: HashMap<L, usize>,
+    pub label_clusters: BTreeMap<L, usize>,
     /// Number of misclustered samples.
     pub miscount: usize,
     /// Total samples evaluated.
     pub total: usize,
 }
 
-impl<L: Eq + Hash + Clone> ClusterAccuracy<L> {
+impl<L: Ord + Clone> ClusterAccuracy<L> {
     /// Per-label accuracy: fraction of that label's samples in its majority
     /// cluster. Used by the drift detector, which tracks accuracy of *new
     /// releases* individually (Table 6's "Accuracy" column).
@@ -36,7 +40,7 @@ impl<L: Eq + Hash + Clone> ClusterAccuracy<L> {
         if indices.is_empty() {
             return None;
         }
-        let mut counts: HashMap<usize, usize> = HashMap::new();
+        let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
         for &i in &indices {
             *counts.entry(clusters[i]).or_default() += 1;
         }
@@ -50,7 +54,7 @@ impl<L: Eq + Hash + Clone> ClusterAccuracy<L> {
 /// `labels[i]` is the ground-truth label (user-agent) of sample `i`;
 /// `clusters[i]` its predicted cluster. The slices must be equal-length and
 /// non-empty.
-pub fn majority_cluster_accuracy<L: Eq + Hash + Clone>(
+pub fn majority_cluster_accuracy<L: Ord + Clone>(
     labels: &[L],
     clusters: &[usize],
 ) -> Result<ClusterAccuracy<L>, MlError> {
@@ -66,7 +70,7 @@ pub fn majority_cluster_accuracy<L: Eq + Hash + Clone>(
     }
 
     // label -> cluster -> count
-    let mut per_label: HashMap<L, HashMap<usize, usize>> = HashMap::new();
+    let mut per_label: BTreeMap<L, BTreeMap<usize, usize>> = BTreeMap::new();
     for (l, &c) in labels.iter().zip(clusters) {
         *per_label
             .entry(l.clone())
@@ -75,7 +79,7 @@ pub fn majority_cluster_accuracy<L: Eq + Hash + Clone>(
             .or_default() += 1;
     }
 
-    let mut label_clusters = HashMap::with_capacity(per_label.len());
+    let mut label_clusters = BTreeMap::new();
     let mut correct = 0usize;
     for (l, counts) in &per_label {
         // Deterministic tie-break: lowest cluster id wins.
@@ -99,9 +103,9 @@ pub fn majority_cluster_accuracy<L: Eq + Hash + Clone>(
 /// Inverts a label→cluster map into cluster→labels (sorted for stable
 /// display) — the shape of the paper's Table 3.
 pub fn clusters_to_labels<L: Clone + Ord>(
-    label_clusters: &HashMap<L, usize>,
+    label_clusters: &BTreeMap<L, usize>,
 ) -> Vec<(usize, Vec<L>)> {
-    let mut by_cluster: HashMap<usize, Vec<L>> = HashMap::new();
+    let mut by_cluster: BTreeMap<usize, Vec<L>> = BTreeMap::new();
     for (l, &c) in label_clusters {
         by_cluster.entry(c).or_default().push(l.clone());
     }

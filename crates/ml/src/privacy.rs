@@ -6,17 +6,21 @@
 //! feature carries more normalised entropy than the user-agent string
 //! itself (Table 7). These functions regenerate both analyses.
 
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 /// Shannon entropy (base 2) of a discrete sample.
 ///
+/// Counting happens in a `BTreeMap` so the probability terms are summed
+/// in sorted value order: floating-point addition is not associative, and
+/// hash-order summation made the low bits of the entropy depend on the
+/// process's hash seed.
+///
 /// Returns 0 for an empty slice.
-pub fn shannon_entropy<T: Eq + Hash>(values: &[T]) -> f64 {
+pub fn shannon_entropy<T: Ord>(values: &[T]) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
-    let mut counts: HashMap<&T, usize> = HashMap::new();
+    let mut counts: BTreeMap<&T, usize> = BTreeMap::new();
     for v in values {
         *counts.entry(v).or_default() += 1;
     }
@@ -33,7 +37,7 @@ pub fn shannon_entropy<T: Eq + Hash>(values: &[T]) -> f64 {
 /// Entropy normalised by `log2(n)` — the convention of the AmIUnique study
 /// the paper compares against, where `n` is the number of samples. A value
 /// of 1 means every sample is distinct.
-pub fn normalized_entropy<T: Eq + Hash>(values: &[T]) -> f64 {
+pub fn normalized_entropy<T: Ord>(values: &[T]) -> f64 {
     let n = values.len();
     if n <= 1 {
         return 0.0;
@@ -86,8 +90,8 @@ pub struct AnonymityReport {
 /// The anonymity set of a sample is the number of samples (including
 /// itself) sharing its exact fingerprint value. Bucket boundaries follow
 /// Figure 5: 1, 2–10, 11–50, 51–500, 501–5000, >5000.
-pub fn anonymity_sets<T: Eq + Hash>(values: &[T]) -> AnonymityReport {
-    let mut counts: HashMap<&T, usize> = HashMap::new();
+pub fn anonymity_sets<T: Ord>(values: &[T]) -> AnonymityReport {
+    let mut counts: BTreeMap<&T, usize> = BTreeMap::new();
     for v in values {
         *counts.entry(v).or_default() += 1;
     }

@@ -45,7 +45,9 @@ impl RiskClient {
         browser: &BrowserInstance,
     ) -> io::Result<Verdict> {
         let mut session_id = [0u8; 16];
-        session_id[..8].copy_from_slice(&self.next_session.to_le_bytes());
+        for (dst, src) in session_id.iter_mut().zip(self.next_session.to_le_bytes()) {
+            *dst = src;
+        }
         self.next_session += 1;
         let sub = Submission {
             session_id,

@@ -19,6 +19,20 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The deployment layer answers `Malformed`, it never unwinds: backs the
+// panic-safety zone of `cargo xtask lint` (POLY-P001..P004) with clippy's
+// equivalents. Tests keep their unwraps.
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::todo,
+        clippy::unimplemented,
+        clippy::indexing_slicing
+    )
+)]
 
 pub mod client;
 pub mod orchestrator;

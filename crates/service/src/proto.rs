@@ -86,9 +86,10 @@ impl Verdict {
 
     /// Encodes the fixed-size frame.
     pub fn encode(&self) -> [u8; VERDICT_LEN] {
+        let [magic0, magic1] = VERDICT_MAGIC;
         [
-            VERDICT_MAGIC[0],
-            VERDICT_MAGIC[1],
+            magic0,
+            magic1,
             VERDICT_VERSION,
             self.status.to_byte(),
             self.flagged as u8,
@@ -98,30 +99,34 @@ impl Verdict {
         ]
     }
 
-    /// Decodes a frame, validating every field.
+    /// Decodes a frame, validating every field. This parser faces the
+    /// network, so it reads fields by destructuring the fixed-size array
+    /// rather than indexing — there is no input that can make it panic.
     pub fn decode(frame: &[u8]) -> Result<Self, VerdictError> {
-        if frame.len() != VERDICT_LEN {
+        let Ok([magic0, magic1, version, status, flag, risk, predicted, expected]) =
+            <[u8; VERDICT_LEN]>::try_from(frame)
+        else {
             return Err(VerdictError::BadLength(frame.len()));
-        }
-        if frame[0..2] != VERDICT_MAGIC {
+        };
+        if [magic0, magic1] != VERDICT_MAGIC {
             return Err(VerdictError::BadMagic);
         }
-        if frame[2] != VERDICT_VERSION {
-            return Err(VerdictError::BadVersion(frame[2]));
+        if version != VERDICT_VERSION {
+            return Err(VerdictError::BadVersion(version));
         }
-        let status = VerdictStatus::from_byte(frame[3]).ok_or(VerdictError::BadStatus(frame[3]))?;
-        if frame[4] > 1 {
-            return Err(VerdictError::BadFlag(frame[4]));
+        let status = VerdictStatus::from_byte(status).ok_or(VerdictError::BadStatus(status))?;
+        if flag > 1 {
+            return Err(VerdictError::BadFlag(flag));
         }
         Ok(Self {
             status,
-            flagged: frame[4] == 1,
-            risk_factor: frame[5],
-            predicted_cluster: frame[6],
-            expected_cluster: if frame[7] == NO_CLUSTER {
+            flagged: flag == 1,
+            risk_factor: risk,
+            predicted_cluster: predicted,
+            expected_cluster: if expected == NO_CLUSTER {
                 None
             } else {
-                Some(frame[7])
+                Some(expected)
             },
         })
     }

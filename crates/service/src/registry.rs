@@ -93,7 +93,7 @@ impl ModelRegistry {
         }
         let cut = versions.len() - keep.max(1);
         let mut removed = Vec::new();
-        for &v in &versions[..cut] {
+        for &v in versions.get(..cut).unwrap_or_default() {
             fs::remove_file(self.model_path(v))?;
             removed.push(v);
         }

@@ -167,16 +167,27 @@ enum FrameStatus {
 }
 
 fn frame_status(pending: &[u8]) -> FrameStatus {
-    if pending.len() < 2 {
+    // Destructure instead of indexing: this parser faces the network, so
+    // the panic-safety lint bans `pending[..]` on the serve path.
+    let [len0, len1, body @ ..] = pending else {
         return FrameStatus::NeedMore;
-    }
-    let len = u16::from_le_bytes([pending[0], pending[1]]) as usize;
+    };
+    let len = u16::from_le_bytes([*len0, *len1]) as usize;
     if len > MAX_SUBMISSION_BYTES {
         FrameStatus::Oversize
-    } else if pending.len() < 2 + len {
+    } else if body.len() < len {
         FrameStatus::NeedMore
     } else {
         FrameStatus::Ready
+    }
+}
+
+/// The declared body length of a buffered header, if two header bytes are
+/// present.
+fn header_len(pending: &[u8]) -> Option<usize> {
+    match pending {
+        [len0, len1, ..] => Some(u16::from_le_bytes([*len0, *len1]) as usize),
+        _ => None,
     }
 }
 
@@ -188,15 +199,19 @@ fn split_frames(pending: &mut Vec<u8>, max: usize) -> (Vec<Vec<u8>>, bool) {
     let mut offset = 0;
     let mut oversize = false;
     while frames.len() < max {
-        match frame_status(&pending[offset..]) {
+        let tail = pending.get(offset..).unwrap_or_default();
+        match frame_status(tail) {
             FrameStatus::NeedMore => break,
             FrameStatus::Oversize => {
                 oversize = true;
                 break;
             }
             FrameStatus::Ready => {
-                let len = u16::from_le_bytes([pending[offset], pending[offset + 1]]) as usize;
-                frames.push(pending[offset + 2..offset + 2 + len].to_vec());
+                let Some(len) = header_len(tail) else { break };
+                let Some(body) = tail.get(2..2 + len) else {
+                    break;
+                };
+                frames.push(body.to_vec());
                 offset += 2 + len;
             }
         }
@@ -220,7 +235,7 @@ fn serve_connection(
         while frame_status(&pending) == FrameStatus::NeedMore {
             match stream.read(&mut chunk) {
                 Ok(0) => return Ok(()), // peer closed at (or mid-) frame boundary
-                Ok(n) => pending.extend_from_slice(&chunk[..n]),
+                Ok(n) => pending.extend_from_slice(chunk.get(..n).unwrap_or_default()),
                 Err(e) => return Err(e),
             }
         }
@@ -234,7 +249,7 @@ fn serve_connection(
             }
             match stream.read(&mut chunk) {
                 Ok(0) => break,
-                Ok(n) => pending.extend_from_slice(&chunk[..n]),
+                Ok(n) => pending.extend_from_slice(chunk.get(..n).unwrap_or_default()),
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) => {
                     stream.set_nonblocking(false)?;
@@ -279,12 +294,17 @@ fn serve_connection(
 fn count_frames(pending: &[u8]) -> usize {
     let mut offset = 0;
     let mut n = 0;
-    while frame_status(&pending[offset..]) == FrameStatus::Ready {
-        let len = u16::from_le_bytes([pending[offset], pending[offset + 1]]) as usize;
+    loop {
+        let tail = pending.get(offset..).unwrap_or_default();
+        if frame_status(tail) != FrameStatus::Ready {
+            return n;
+        }
+        let Some(len) = header_len(tail) else {
+            return n;
+        };
         offset += 2 + len;
         n += 1;
     }
-    n
 }
 
 /// Decodes a submission frame and assesses it against the serving model.

@@ -1,0 +1,481 @@
+//! A minimal Rust lexer for the lint pass.
+//!
+//! The workspace is vendored-offline, so there is no `syn`/`proc-macro2`
+//! to lean on; instead this module scans source text into a flat token
+//! stream that is just rich enough for the lint rules:
+//!
+//! * comments (line, nested block) and doc comments are dropped;
+//! * string / raw-string / byte-string / char literals are dropped, so a
+//!   `"panic!"` inside a log message never trips a rule;
+//! * identifiers (and numeric literals, which rules treat as ident-like
+//!   when deciding whether a `[` is an index expression) and single-char
+//!   punctuation survive, each tagged with its 1-based line;
+//! * a second pass marks every token inside a `#[cfg(test)]`-gated item,
+//!   so rules can skip test code.
+
+/// One surviving token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// Whether the token sits inside a `#[cfg(test)]`-gated item.
+    pub in_test: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier, keyword, or numeric literal.
+    Ident(String),
+    /// A single punctuation character.
+    Punct(char),
+}
+
+impl Token {
+    /// The identifier text, if this token is ident-like.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            TokenKind::Punct(_) => None,
+        }
+    }
+
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+
+    /// Whether this token is the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+}
+
+/// Tokenizes `source`, then marks `#[cfg(test)]` regions.
+pub fn tokenize(source: &str) -> Vec<Token> {
+    let mut tokens = scan(source);
+    mark_test_regions(&mut tokens);
+    tokens
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Scanner {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Scanner {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    /// Consumes a quoted literal body after its opening `"`, honouring
+    /// backslash escapes.
+    fn skip_string_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw-string body after `r`/`br`, starting at the `#`s or
+    /// the opening quote. Returns false if this is not actually a raw
+    /// string (e.g. a raw identifier `r#fn`).
+    fn skip_raw_string(&mut self) -> bool {
+        let mut hashes = 0;
+        while self.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(hashes) != Some('"') {
+            return false;
+        }
+        for _ in 0..=hashes {
+            self.bump();
+        }
+        // Scan for `"` followed by `hashes` hash marks.
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut n = 0;
+                while n < hashes && self.peek(n) == Some('#') {
+                    n += 1;
+                }
+                if n == hashes {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    return true;
+                }
+            }
+        }
+        true
+    }
+
+    /// Consumes a `'…'` char literal or a `'ident` lifetime, after the
+    /// opening quote has been peeked (not consumed).
+    fn skip_char_or_lifetime(&mut self) {
+        self.bump(); // the opening '
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume to the closing quote.
+                self.bump();
+                self.bump(); // the escape payload's first char
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        return;
+                    }
+                }
+            }
+            Some(c) if is_ident_start(c) && self.peek(1) != Some('\'') => {
+                // A lifetime: consume its identifier and stop.
+                while matches!(self.peek(0), Some(c) if is_ident_continue(c)) {
+                    self.bump();
+                }
+            }
+            Some(_) => {
+                // Plain char literal 'x'.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+            }
+            None => {}
+        }
+    }
+}
+
+fn scan(source: &str) -> Vec<Token> {
+    let mut s = Scanner {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(c) = s.peek(0) {
+        // Comments.
+        if c == '/' && s.peek(1) == Some('/') {
+            while let Some(c) = s.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                s.bump();
+            }
+            continue;
+        }
+        if c == '/' && s.peek(1) == Some('*') {
+            s.bump();
+            s.bump();
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (s.peek(0), s.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        s.bump();
+                        s.bump();
+                        depth += 1;
+                    }
+                    (Some('*'), Some('/')) => {
+                        s.bump();
+                        s.bump();
+                        depth -= 1;
+                    }
+                    (Some(_), _) => {
+                        s.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            continue;
+        }
+        // String-ish literals.
+        if c == '"' {
+            s.bump();
+            s.skip_string_body();
+            continue;
+        }
+        if c == '\'' {
+            s.skip_char_or_lifetime();
+            continue;
+        }
+        // Raw / byte string prefixes, and plain identifiers.
+        if is_ident_start(c) {
+            let line = s.line;
+            // r"…" / r#"…"# / b"…" / br#"…"# / b'…'
+            if c == 'r' && matches!(s.peek(1), Some('"') | Some('#')) {
+                s.bump();
+                if s.skip_raw_string() {
+                    continue;
+                }
+                // `r#ident`: fall through and lex the identifier.
+            }
+            if c == 'b' {
+                match s.peek(1) {
+                    Some('"') => {
+                        s.bump();
+                        s.bump();
+                        s.skip_string_body();
+                        continue;
+                    }
+                    Some('\'') => {
+                        s.bump();
+                        s.skip_char_or_lifetime();
+                        continue;
+                    }
+                    Some('r') if matches!(s.peek(2), Some('"') | Some('#')) => {
+                        s.bump();
+                        s.bump();
+                        s.skip_raw_string();
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            let mut ident = String::new();
+            while matches!(s.peek(0), Some(c) if is_ident_continue(c)) {
+                if let Some(c) = s.bump() {
+                    ident.push(c);
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident(ident),
+                line,
+                in_test: false,
+            });
+            continue;
+        }
+        // Numeric literals (kept as ident-like tokens).
+        if c.is_ascii_digit() {
+            let line = s.line;
+            let mut num = String::new();
+            while matches!(s.peek(0), Some(c) if is_ident_continue(c)) {
+                if let Some(c) = s.bump() {
+                    num.push(c);
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident(num),
+                line,
+                in_test: false,
+            });
+            continue;
+        }
+        if c.is_whitespace() {
+            s.bump();
+            continue;
+        }
+        let line = s.line;
+        s.bump();
+        tokens.push(Token {
+            kind: TokenKind::Punct(c),
+            line,
+            in_test: false,
+        });
+    }
+    tokens
+}
+
+/// Marks every token belonging to a `#[cfg(test)]`-gated item (including
+/// the attribute itself) with `in_test`.
+fn mark_test_regions(tokens: &mut [Token]) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        let Some(attr_end) = matching_bracket(tokens, i + 1) else {
+            break;
+        };
+        if !attr_is_cfg_test(&tokens[i..=attr_end]) {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes stacked on the same item.
+        let mut j = attr_end + 1;
+        while j < tokens.len()
+            && tokens[j].is_punct('#')
+            && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            match matching_bracket(tokens, j + 1) {
+                Some(e) => j = e + 1,
+                None => break,
+            }
+        }
+        // Find the end of the item: a `;` at delimiter depth 0, or the
+        // close of its first depth-0 brace block.
+        let mut depth = 0i32;
+        let mut end = j;
+        while end < tokens.len() {
+            match tokens[end].kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+                TokenKind::Punct('{') => {
+                    if let Some(close) = matching_brace(tokens, end) {
+                        end = close;
+                    } else {
+                        end = tokens.len() - 1;
+                    }
+                    break;
+                }
+                TokenKind::Punct(';') if depth == 0 => break,
+                _ => {}
+            }
+            end += 1;
+        }
+        let end = end.min(tokens.len() - 1);
+        for t in tokens.iter_mut().take(end + 1).skip(i) {
+            t.in_test = true;
+        }
+        i = end + 1;
+    }
+}
+
+/// Whether an attribute token run `#[…]` is a `cfg(…)` that enables the
+/// item under `test` (and not under `not(test)`).
+fn attr_is_cfg_test(attr: &[Token]) -> bool {
+    let has_cfg = attr.iter().any(|t| t.is_ident("cfg"));
+    if !has_cfg {
+        return false;
+    }
+    for (i, t) in attr.iter().enumerate() {
+        if t.is_ident("test") {
+            // Reject `not(test)`: look back past the opening paren.
+            let negated = i >= 2 && attr[i - 1].is_punct('(') && attr[i - 2].is_ident("not");
+            if !negated {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Given the index of a `[`, returns the index of its matching `]`.
+fn matching_bracket(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        match t.kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Given the index of a `{`, returns the index of its matching `}`.
+fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        match t.kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .into_iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_dropped() {
+        let src = r###"
+            // HashMap in a comment
+            /* unwrap() in a block /* nested */ comment */
+            let s = "panic!(inside a string)";
+            let r = r#"unwrap() in a raw string"#;
+            let b = b"expect(bytes)";
+            let c = 'x';
+            let esc = '\'';
+            real_ident();
+        "###;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.iter().any(|i| i == "HashMap"));
+        assert!(!ids.iter().any(|i| i == "unwrap"));
+        assert!(!ids.iter().any(|i| i == "panic"));
+        assert!(!ids.iter().any(|i| i == "expect"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { unwrap_me(x) }";
+        let ids = idents(src);
+        assert!(ids.contains(&"unwrap_me".to_string()));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let src = "a\nb\n\nc";
+        let toks = tokenize(src);
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\nfn after() {}";
+        let toks = tokenize(src);
+        let unwrap_tok = toks.iter().find(|t| t.is_ident("unwrap")).unwrap();
+        assert!(unwrap_tok.in_test);
+        let live = toks.iter().find(|t| t.is_ident("live")).unwrap();
+        assert!(!live.in_test);
+        let after = toks.iter().find(|t| t.is_ident("after")).unwrap();
+        assert!(!after.in_test);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_marked() {
+        let src = "#[cfg(not(test))]\nfn live() { x.unwrap(); }";
+        let toks = tokenize(src);
+        let unwrap_tok = toks.iter().find(|t| t.is_ident("unwrap")).unwrap();
+        assert!(!unwrap_tok.in_test);
+    }
+
+    #[test]
+    fn stacked_attributes_are_covered() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn t() { y.expect(\"boom\"); }";
+        let toks = tokenize(src);
+        let expect_tok = toks.iter().find(|t| t.is_ident("expect")).unwrap();
+        assert!(expect_tok.in_test);
+    }
+}

@@ -1,0 +1,221 @@
+//! polygraph-lint: the workspace's static-analysis pass.
+//!
+//! `cargo xtask lint` walks every `.rs` file in the workspace, tokenizes
+//! it with [`lexer`], and enforces the project invariants that `rustc`
+//! cannot see (see [`rules`] for the rule table and DESIGN.md for the
+//! rationale). Violations carry `file:line` positions; `lint.toml` holds
+//! audited exceptions.
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use config::{AllowEntry, LintConfig};
+pub use report::LintReport;
+pub use rules::{Diagnostic, FileClass};
+
+use std::path::Path;
+
+/// Lints every `.rs` file under `root`, applying the allowlist, and
+/// returns the report. Errors only on I/O or configuration problems —
+/// rule violations are data, not errors.
+pub fn lint_workspace(root: &Path, config: &LintConfig) -> Result<LintReport, String> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &config.exclude, &mut files)?;
+    files.sort();
+
+    let mut diagnostics = Vec::new();
+    for rel in &files {
+        let source = std::fs::read_to_string(root.join(rel))
+            .map_err(|e| format!("failed to read {rel}: {e}"))?;
+        let tokens = lexer::tokenize(&source);
+        let class = classify(rel, config);
+        diagnostics.extend(rules::check_file(rel, &tokens, class));
+    }
+
+    let (diagnostics, suppressed, unused_allows) = apply_allowlist(diagnostics, &config.allow);
+    let mut diagnostics = diagnostics;
+    diagnostics
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(LintReport {
+        diagnostics,
+        files_scanned: files.len(),
+        suppressed,
+        unused_allows,
+    })
+}
+
+/// Classifies one workspace-relative path against the configured zones.
+pub fn classify(rel: &str, config: &LintConfig) -> FileClass {
+    FileClass {
+        determinism: config
+            .determinism_zone
+            .iter()
+            .any(|p| rel.starts_with(p.as_str())),
+        panic_safety: config
+            .panic_zone
+            .iter()
+            .any(|p| rel.starts_with(p.as_str())),
+        library: is_library_file(rel),
+    }
+}
+
+/// Whether a workspace-relative path is library source code, subject to
+/// the hygiene rules (POLY-H002/H003). Binary targets (`src/bin/`,
+/// `src/main.rs`) own the console; tests, benches, and examples are
+/// scanned for the other rules but may print.
+fn is_library_file(rel: &str) -> bool {
+    let in_src = rel.contains("/src/") || rel.starts_with("src/");
+    if !in_src {
+        return false;
+    }
+    if rel.contains("/src/bin/") || rel.starts_with("src/bin/") {
+        return false;
+    }
+    let basename = rel.rsplit('/').next().unwrap_or(rel);
+    basename != "main.rs"
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    exclude: &[String],
+    out: &mut Vec<String>,
+) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("failed to list {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("failed to list {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let Some(rel) = relative_slash_path(root, &path) else {
+            continue;
+        };
+        let file_type = entry
+            .file_type()
+            .map_err(|e| format!("failed to stat {rel}: {e}"))?;
+        if file_type.is_dir() {
+            let rel_dir = format!("{rel}/");
+            if exclude.iter().any(|p| rel_dir.starts_with(p.as_str())) {
+                continue;
+            }
+            collect_rs_files(root, &path, exclude, out)?;
+        } else if file_type.is_file()
+            && rel.ends_with(".rs")
+            && !exclude.iter().any(|p| rel.starts_with(p.as_str()))
+        {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// The `/`-separated path of `path` relative to `root`, or None for
+/// non-UTF-8 names (which cannot be workspace sources).
+fn relative_slash_path(root: &Path, path: &Path) -> Option<String> {
+    let rel = path.strip_prefix(root).ok()?;
+    let mut out = String::new();
+    for comp in rel.components() {
+        if !out.is_empty() {
+            out.push('/');
+        }
+        out.push_str(comp.as_os_str().to_str()?);
+    }
+    Some(out)
+}
+
+/// Splits diagnostics into (surviving, suppressed-count, unused allows).
+/// An allow entry matches on rule + file, optionally narrowed to a line.
+fn apply_allowlist(
+    diagnostics: Vec<Diagnostic>,
+    allow: &[AllowEntry],
+) -> (Vec<Diagnostic>, usize, Vec<AllowEntry>) {
+    let mut used = vec![false; allow.len()];
+    let mut surviving = Vec::new();
+    let mut suppressed = 0usize;
+    for d in diagnostics {
+        let hit = allow.iter().position(|a| {
+            a.rule == d.rule && a.file == d.file && a.line.is_none_or(|l| l == d.line)
+        });
+        match hit {
+            Some(i) => {
+                used[i] = true;
+                suppressed += 1;
+            }
+            None => surviving.push(d),
+        }
+    }
+    let unused = allow
+        .iter()
+        .zip(&used)
+        .filter(|(_, u)| !**u)
+        .map(|(a, _)| a.clone())
+        .collect();
+    (surviving, suppressed, unused)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_classification() {
+        assert!(is_library_file("crates/ml/src/metrics.rs"));
+        assert!(is_library_file("crates/service/src/server.rs"));
+        assert!(!is_library_file("crates/service/src/main.rs"));
+        assert!(!is_library_file("crates/bench/src/bin/exp_tables.rs"));
+        assert!(!is_library_file("crates/core/tests/train_integration.rs"));
+        assert!(!is_library_file("crates/ml/benches/kmodes.rs"));
+    }
+
+    #[test]
+    fn zone_classification_uses_prefixes() {
+        let c = LintConfig::default();
+        assert!(classify("crates/ml/src/kmodes.rs", &c).determinism);
+        assert!(!classify("crates/ml/src/kmodes.rs", &c).panic_safety);
+        assert!(classify("crates/service/src/proto.rs", &c).panic_safety);
+        assert!(!classify("crates/service/src/lib.rs", &c).panic_safety);
+    }
+
+    #[test]
+    fn allowlist_matches_rule_file_and_optional_line() {
+        let diags = vec![
+            Diagnostic {
+                rule: "POLY-P001",
+                file: "a.rs".into(),
+                line: 3,
+                message: String::new(),
+            },
+            Diagnostic {
+                rule: "POLY-P001",
+                file: "a.rs".into(),
+                line: 9,
+                message: String::new(),
+            },
+        ];
+        let allow = vec![AllowEntry {
+            rule: "POLY-P001".into(),
+            file: "a.rs".into(),
+            line: Some(3),
+            reason: "test".into(),
+        }];
+        let (left, suppressed, unused) = apply_allowlist(diags, &allow);
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].line, 9);
+        assert_eq!(suppressed, 1);
+        assert!(unused.is_empty());
+    }
+
+    #[test]
+    fn unused_allow_entries_are_reported() {
+        let allow = vec![AllowEntry {
+            rule: "POLY-D001".into(),
+            file: "never.rs".into(),
+            line: None,
+            reason: "stale".into(),
+        }];
+        let (_, suppressed, unused) = apply_allowlist(Vec::new(), &allow);
+        assert_eq!(suppressed, 0);
+        assert_eq!(unused.len(), 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! `cargo xtask` — workspace automation.
+//!
+//! Subcommands:
+//!
+//! * `lint [--json] [--root PATH] [--config PATH]` — run the
+//!   polygraph-lint static-analysis pass. Exit 0 when clean, 1 when
+//!   violations survive the allowlist, 2 on usage or I/O errors.
+//!
+//! This is a binary target, so the console belongs to it (POLY-H002
+//! exempts `main.rs`); everything else lives in the `xtask` library so
+//! the integration tests can drive it in-process.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use xtask::LintConfig;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint_command(&args[1..]),
+        Some(other) => {
+            let _ = writeln!(std::io::stderr(), "unknown subcommand {other:?}\n{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            let _ = writeln!(std::io::stderr(), "{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage: cargo xtask lint [--json] [--root PATH] [--config PATH]";
+
+fn lint_command(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args.get(i).map(String::as_str) {
+            Some("--json") => {
+                json = true;
+                i += 1;
+            }
+            Some("--root") if i + 1 < args.len() => {
+                root = args.get(i + 1).map(PathBuf::from);
+                i += 2;
+            }
+            Some("--config") if i + 1 < args.len() => {
+                config_path = args.get(i + 1).map(PathBuf::from);
+                i += 2;
+            }
+            Some(other) => {
+                let _ = writeln!(std::io::stderr(), "unknown argument {other:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            None => break,
+        }
+    }
+
+    let root = match root.map(Ok).unwrap_or_else(find_workspace_root) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = writeln!(std::io::stderr(), "error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut config = LintConfig::default();
+    let config_file = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    match std::fs::read_to_string(&config_file) {
+        Ok(text) => {
+            if let Err(e) = config.apply_toml(&text) {
+                let _ = writeln!(std::io::stderr(), "error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => {
+            let _ = writeln!(
+                std::io::stderr(),
+                "error: failed to read {}: {e}",
+                config_file.display()
+            );
+            return ExitCode::from(2);
+        }
+    }
+
+    let report = match xtask::lint_workspace(&root, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = writeln!(std::io::stderr(), "error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let rendered = if json {
+        report.render_json()
+    } else {
+        report.render_text()
+    };
+    let _ = write!(std::io::stdout(), "{rendered}");
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` that
+/// declares `[workspace]`.
+fn find_workspace_root() -> Result<PathBuf, String> {
+    let start = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    let mut dir: &Path = &start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir.to_path_buf());
+            }
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => {
+                return Err(format!(
+                    "no workspace Cargo.toml found above {}",
+                    start.display()
+                ))
+            }
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Determinism-zone fixture. Never compiled — scanned by
+//! `tests/xtask_lint.rs`, which asserts rule codes and exact lines.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn tally(names: &[&str]) -> usize {
+    let mut seen = HashMap::new();
+    let started = Instant::now();
+    let mut rng = thread_rng();
+    let mut fallback = StdRng::from_entropy();
+    names.len()
+}

@@ -1,0 +1,11 @@
+//! Determinism-zone fixture: the clean counterpart of `det_bad.rs`.
+//! `Instant` in type position is fine; only `Instant::now` reads the clock.
+
+use std::collections::BTreeMap;
+
+pub fn tally(seed: u64, deadline: Instant) -> usize {
+    let mut seen = BTreeMap::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    seen.insert(seed, rng.next_u64());
+    seen.len()
+}

@@ -1,0 +1,17 @@
+//! Panic-safety fixture. Never compiled — scanned by
+//! `tests/xtask_lint.rs`, which asserts rule codes and exact lines.
+
+pub fn decode(frame: &[u8], text: &str) -> u8 {
+    let first = frame[0];
+    let parsed = text.parse().unwrap();
+    let second = frame.first().expect("non-empty");
+    panic!("unreachable: {parsed} {second}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        decode(&[1], "2").checked_add(1).unwrap();
+    }
+}

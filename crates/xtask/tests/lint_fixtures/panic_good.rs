@@ -1,0 +1,8 @@
+//! Panic-safety fixture: the clean counterpart of `panic_bad.rs`.
+//! Slice patterns and `.get` replace indexing; `?` replaces unwrap.
+
+pub fn decode(frame: &[u8]) -> Option<u8> {
+    let [first, _rest @ ..] = frame else { return None; };
+    let second = frame.get(1)?;
+    first.checked_add(*second)
+}

@@ -1,0 +1,7 @@
+//! Hygiene fixture (a "library" file: it lives under `src/`).
+
+pub fn debug_dump(x: u32) -> u32 {
+    println!("x = {x}");
+    let p = unsafe { probe(x) };
+    p
+}

@@ -1,0 +1,5 @@
+//! Pool-twin fixture: `fit_with_pool` has no serial twin.
+
+pub fn fit_with_pool(x: u32) -> u32 {
+    x
+}

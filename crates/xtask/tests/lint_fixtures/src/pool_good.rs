@@ -1,0 +1,9 @@
+//! Pool-twin fixture: serial twin delegates to the pooled variant.
+
+pub fn fit(x: u32) -> u32 {
+    fit_with_pool(x)
+}
+
+pub fn fit_with_pool(x: u32) -> u32 {
+    x
+}

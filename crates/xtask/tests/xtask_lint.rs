@@ -1,0 +1,161 @@
+//! End-to-end tests of the polygraph-lint pass, driven in-process against
+//! the bad/good fixtures under `tests/lint_fixtures/` and against the real
+//! workspace (which must stay clean).
+
+use std::path::{Path, PathBuf};
+use xtask::{lint_workspace, LintConfig};
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/lint_fixtures")
+}
+
+/// A config whose zones match the fixture naming scheme instead of the
+/// real workspace layout.
+fn fixture_config() -> LintConfig {
+    let mut config = LintConfig::default();
+    config
+        .apply_toml(
+            r#"
+[scan]
+exclude = []
+
+[zones]
+determinism = ["det_"]
+panic_safety = ["panic_"]
+"#,
+        )
+        .expect("fixture config parses");
+    config
+}
+
+fn run_fixtures(config: &LintConfig) -> xtask::LintReport {
+    lint_workspace(&fixtures_root(), config).expect("fixture scan succeeds")
+}
+
+#[test]
+fn bad_fixtures_fire_every_rule_at_the_expected_lines() {
+    let report = run_fixtures(&fixture_config());
+    let got: Vec<(String, String, u32)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.file.clone(), d.rule.to_string(), d.line))
+        .collect();
+    let expected: Vec<(&str, &str, u32)> = vec![
+        ("det_bad.rs", "POLY-D001", 4),         // use HashMap
+        ("det_bad.rs", "POLY-D001", 5),         // use HashSet
+        ("det_bad.rs", "POLY-D001", 8),         // HashMap::new()
+        ("det_bad.rs", "POLY-D002", 9),         // Instant::now()
+        ("det_bad.rs", "POLY-D002", 10),        // thread_rng()
+        ("det_bad.rs", "POLY-D002", 11),        // from_entropy
+        ("det_bad.rs", "POLY-D003", 11),        // StdRng
+        ("panic_bad.rs", "POLY-P004", 5),       // frame[0]
+        ("panic_bad.rs", "POLY-P001", 6),       // unwrap()
+        ("panic_bad.rs", "POLY-P002", 7),       // expect(…)
+        ("panic_bad.rs", "POLY-P003", 8),       // panic!
+        ("src/hygiene_bad.rs", "POLY-H002", 4), // println!
+        ("src/hygiene_bad.rs", "POLY-H001", 5), // unsafe
+        ("src/pool_bad.rs", "POLY-H003", 3),    // missing serial twin
+    ];
+    let expected: Vec<(String, String, u32)> = expected
+        .into_iter()
+        .map(|(f, r, l)| (f.to_string(), r.to_string(), l))
+        .collect();
+    assert_eq!(got, expected, "\nfull report:\n{}", report.render_text());
+}
+
+#[test]
+fn good_fixtures_are_clean() {
+    let report = run_fixtures(&fixture_config());
+    for clean in ["det_good.rs", "panic_good.rs", "src/pool_good.rs"] {
+        assert!(
+            report.diagnostics.iter().all(|d| d.file != clean),
+            "{clean} should be clean:\n{}",
+            report.render_text()
+        );
+    }
+}
+
+#[test]
+fn allow_entry_suppresses_exactly_one_diagnostic() {
+    let mut config = fixture_config();
+    config
+        .apply_toml(
+            r#"
+[[allow]]
+rule = "POLY-P004"
+file = "panic_bad.rs"
+line = 5
+reason = "fixture test: index is bounds-checked by construction"
+"#,
+        )
+        .expect("allow entry parses");
+    let baseline = run_fixtures(&fixture_config());
+    let report = run_fixtures(&config);
+    assert_eq!(report.suppressed, 1);
+    assert_eq!(report.diagnostics.len(), baseline.diagnostics.len() - 1);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .all(|d| !(d.rule == "POLY-P004" && d.file == "panic_bad.rs")),
+        "the allowed diagnostic must be gone:\n{}",
+        report.render_text()
+    );
+    assert!(report.unused_allows.is_empty());
+}
+
+#[test]
+fn stale_allow_entries_are_flagged_not_silently_ignored() {
+    let mut config = fixture_config();
+    config
+        .apply_toml(
+            r#"
+[[allow]]
+rule = "POLY-P001"
+file = "det_good.rs"
+reason = "stale: this was fixed long ago"
+"#,
+        )
+        .expect("allow entry parses");
+    let report = run_fixtures(&config);
+    assert_eq!(report.unused_allows.len(), 1);
+    assert_eq!(report.unused_allows[0].file, "det_good.rs");
+    assert!(report.render_text().contains("unused allow entry"));
+}
+
+#[test]
+fn json_report_is_deterministic_and_carries_positions() {
+    let a = run_fixtures(&fixture_config()).render_json();
+    let b = run_fixtures(&fixture_config()).render_json();
+    assert_eq!(a, b, "same input must render byte-identical JSON");
+    assert!(a.contains("\"rule\": \"POLY-P001\""));
+    assert!(a.contains("\"file\": \"panic_bad.rs\""));
+    assert!(a.contains("\"line\": 6"));
+    assert!(!a.contains("timestamp"));
+}
+
+/// The real workspace must be lint-clean under the committed `lint.toml`
+/// — the same invocation CI runs as `cargo xtask lint`.
+#[test]
+fn real_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut config = LintConfig::default();
+    let lint_toml = root.join("lint.toml");
+    if let Ok(text) = std::fs::read_to_string(&lint_toml) {
+        config
+            .apply_toml(&text)
+            .expect("committed lint.toml parses");
+    }
+    let report = lint_workspace(&root, &config).expect("workspace scan succeeds");
+    assert!(
+        report.is_clean(),
+        "the workspace must pass its own lint:\n{}",
+        report.render_text()
+    );
+    assert!(
+        report.unused_allows.is_empty(),
+        "committed lint.toml has stale allow entries:\n{}",
+        report.render_text()
+    );
+    assert!(report.files_scanned > 50, "scan looks truncated");
+}

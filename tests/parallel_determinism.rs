@@ -85,7 +85,8 @@ fn isolation_forest_is_bit_identical_across_thread_counts() {
             );
             assert_eq!(
                 base_outliers,
-                par.outlier_indices_with_pool(&x, 0.01, &pool).expect("outliers"),
+                par.outlier_indices_with_pool(&x, 0.01, &pool)
+                    .expect("outliers"),
                 "outlier set seed={seed} threads={threads}"
             );
         }
@@ -99,8 +100,7 @@ fn elbow_scan_is_bit_identical_across_thread_counts() {
     for seed in SEEDS {
         let baseline = elbow_scan(&x, &ks, seed).expect("scan");
         for threads in THREAD_COUNTS {
-            let par =
-                elbow_scan_with_pool(&x, &ks, seed, &ThreadPool::new(threads)).expect("scan");
+            let par = elbow_scan_with_pool(&x, &ks, seed, &ThreadPool::new(threads)).expect("scan");
             assert_eq!(baseline.points.len(), par.points.len());
             for (b, p) in baseline.points.iter().zip(&par.points) {
                 assert_eq!(b.k, p.k);
@@ -161,8 +161,7 @@ fn full_training_round_trip_is_bit_identical_across_thread_counts() {
     let training = TrainingSet::from_rows(rows, uas).expect("well-formed");
     let config = TrainConfig::default();
 
-    let baseline =
-        TrainedModel::fit(features.clone(), &training, config).expect("serial fit");
+    let baseline = TrainedModel::fit(features.clone(), &training, config).expect("serial fit");
     for threads in THREAD_COUNTS {
         let pool = ThreadPool::new(threads);
         let par = TrainedModel::fit_with_pool(features.clone(), &training, config, &pool)

@@ -42,8 +42,14 @@ struct Variant {
 }
 
 enum Shape {
-    Struct { name: String, fields: Vec<String> },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 // ------------------------------------------------------------- parsing
@@ -82,7 +88,9 @@ fn parse_item(input: TokenStream) -> Shape {
                 panic!("serde_derive: generic type `{name}` is not supported")
             }
             Some(_) => continue,
-            None => panic!("serde_derive: `{name}` has no braced body (tuple/unit items unsupported)"),
+            None => {
+                panic!("serde_derive: `{name}` has no braced body (tuple/unit items unsupported)")
+            }
         }
     };
     match keyword.as_str() {
