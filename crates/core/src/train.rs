@@ -9,8 +9,32 @@ use polygraph_ml::iforest::IsolationForestConfig;
 use polygraph_ml::kmeans::KMeansConfig;
 use polygraph_ml::metrics::majority_cluster_accuracy;
 use polygraph_ml::{IsolationForest, KMeans, Matrix, Pca, StandardScaler, ThreadPool};
+use polygraph_obs::Registry;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Metric names an observed fit ([`TrainedModel::fit_observed`]) records
+/// into its registry: one span histogram per §6.4 phase plus run/task
+/// counters.
+pub mod fit_metric_names {
+    /// Fits completed (counter).
+    pub const RUNS: &str = "fit.runs";
+    /// Thread-pool tasks executed during the fit (counter). Read as a
+    /// process-wide delta, so concurrent fits blur into each other.
+    pub const POOL_TASKS: &str = "fit.pool_tasks";
+    /// Scaling phase duration in µs (histogram).
+    pub const SCALE_MICROS: &str = "fit.scale_micros";
+    /// Isolation-Forest outlier-removal phase duration in µs (histogram).
+    pub const OUTLIER_MICROS: &str = "fit.outlier_micros";
+    /// PCA phase duration in µs (histogram).
+    pub const PCA_MICROS: &str = "fit.pca_micros";
+    /// k-means phase duration in µs (histogram).
+    pub const KMEANS_MICROS: &str = "fit.kmeans_micros";
+    /// Cluster-table + accuracy phase duration in µs (histogram).
+    pub const TABLE_MICROS: &str = "fit.table_micros";
+    /// Whole-pipeline duration in µs (histogram).
+    pub const TOTAL_MICROS: &str = "fit.total_micros";
+}
 
 /// Hyper-parameters of the training pipeline. The defaults are the
 /// paper's chosen operating point: 7 PCA components, k = 11, and an
@@ -202,6 +226,23 @@ impl TrainedModel {
         config: TrainConfig,
         pool: &ThreadPool,
     ) -> Result<Self, PolygraphError> {
+        // Unobserved fits record into a throwaway registry: a handful of
+        // atomic writes per phase, dropped on return.
+        Self::fit_observed(feature_set, data, config, pool, &Registry::monotonic())
+    }
+
+    /// [`TrainedModel::fit_with_pool`] with per-phase span timers and
+    /// run/task counters recorded into `registry` (see
+    /// [`fit_metric_names`]). The orchestrator passes the risk server's
+    /// registry so retrain phase timings ride the same `STATS` snapshot
+    /// as the serving metrics.
+    pub fn fit_observed(
+        feature_set: FeatureSet,
+        data: &TrainingSet,
+        config: TrainConfig,
+        pool: &ThreadPool,
+        registry: &Registry,
+    ) -> Result<Self, PolygraphError> {
         if data.width() != feature_set.len() {
             return Err(PolygraphError::FeatureWidthMismatch {
                 got: data.width(),
@@ -216,9 +257,13 @@ impl TrainedModel {
             )));
         }
 
+        let tasks_before = polygraph_ml::total_tasks_executed();
+        let total_span = registry.span(fit_metric_names::TOTAL_MICROS);
+
         // 6.4.1: scale the deviation-based columns only — "the time-based
         // attributes were already in the binary format which was
         // suitable" — then drop Isolation-Forest outliers.
+        let scale_span = registry.span(fit_metric_names::SCALE_MICROS);
         let raw = data.to_matrix()?;
         let mut scaler = StandardScaler::fit(&raw);
         if !config.scale_time_based {
@@ -227,6 +272,9 @@ impl TrainedModel {
             );
         }
         let scaled = scaler.transform(&raw)?;
+        scale_span.finish();
+
+        let outlier_span = registry.span(fit_metric_names::OUTLIER_MICROS);
         let forest = IsolationForest::fit_with_pool(
             &scaled,
             IsolationForestConfig {
@@ -241,12 +289,16 @@ impl TrainedModel {
         let is_outlier: BTreeSet<usize> = outlier_idx.into_iter().collect();
         let kept = data.filtered(|i| !is_outlier.contains(&i));
         let kept_scaled = scaled.filter_rows(|i| !is_outlier.contains(&i))?;
+        outlier_span.finish();
 
         // 6.4.2: PCA.
+        let pca_span = registry.span(fit_metric_names::PCA_MICROS);
         let pca = Pca::fit_with_pool(&kept_scaled, config.n_components, pool)?;
         let projected = pca.transform(&kept_scaled)?;
+        pca_span.finish();
 
         // 6.4.3: k-means.
+        let kmeans_span = registry.span(fit_metric_names::KMEANS_MICROS);
         let kmeans = KMeans::fit_with_pool(
             &projected,
             KMeansConfig::new(config.k)
@@ -255,8 +307,10 @@ impl TrainedModel {
             pool,
         )?;
         let assignments = kmeans.predict(&projected)?;
+        kmeans_span.finish();
 
         // Semi-supervised table + accuracy.
+        let table_span = registry.span(fit_metric_names::TABLE_MICROS);
         let accuracy = majority_cluster_accuracy(kept.user_agents(), &assignments)?;
 
         // Manual alignment for sparse user-agents (§6.4.3): predict the
@@ -296,6 +350,12 @@ impl TrainedModel {
             }
         }
         let cluster_table = ClusterTable::from_entries(config.k, entries);
+        table_span.finish();
+        total_span.finish();
+        registry.counter(fit_metric_names::RUNS).inc();
+        registry
+            .counter(fit_metric_names::POOL_TASKS)
+            .add(polygraph_ml::total_tasks_executed().saturating_sub(tasks_before));
 
         Ok(Self {
             feature_set,

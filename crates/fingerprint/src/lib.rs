@@ -34,4 +34,7 @@ pub mod wire;
 pub use probe::{FeatureKind, Probe};
 pub use script::{collection_script, ScriptOptions};
 pub use vector::{FeatureSet, Fingerprint};
-pub use wire::{decode_submission, encode_submission, Submission, WireError, MAX_SUBMISSION_BYTES};
+pub use wire::{
+    decode_submission, encode_stats_request, encode_submission, is_stats_request, Submission,
+    WireError, MAX_SUBMISSION_BYTES,
+};

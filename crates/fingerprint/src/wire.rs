@@ -35,6 +35,27 @@ pub const MAX_UA_LEN: usize = 512;
 /// Maximum number of feature values accepted on decode.
 pub const MAX_VALUES: usize = 1024;
 
+/// Magic prefix of a `STATS` request frame (disjoint from the submission
+/// [`MAGIC`], so the two request kinds can share one length-prefixed
+/// stream).
+pub const STATS_MAGIC: [u8; 2] = *b"BS";
+
+/// Encoded size of a `STATS` request body.
+pub const STATS_REQUEST_LEN: usize = 3;
+
+/// Encodes a `STATS` request: asks the risk server for a metrics
+/// snapshot instead of a verdict. Sent inside the same u16-length-prefixed
+/// framing as submissions.
+pub fn encode_stats_request() -> [u8; STATS_REQUEST_LEN] {
+    let [m0, m1] = STATS_MAGIC;
+    [m0, m1, WIRE_VERSION]
+}
+
+/// Whether a request frame body is a `STATS` request.
+pub fn is_stats_request(frame: &[u8]) -> bool {
+    matches!(frame, [m0, m1, v] if [*m0, *m1] == STATS_MAGIC && *v == WIRE_VERSION)
+}
+
 /// A fingerprint submission: what the in-page script sends to the
 /// collection endpoint.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -341,6 +362,22 @@ mod tests {
     #[test]
     fn empty_input_is_truncated_not_panic() {
         assert_eq!(decode_submission(&[]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn stats_request_is_disjoint_from_submissions() {
+        let req = encode_stats_request();
+        assert!(is_stats_request(&req));
+        // A stats request can never decode as a submission…
+        assert!(decode_submission(&req).is_err());
+        // …and no valid submission frame reads as a stats request (the
+        // magics differ, and submissions are longer anyway).
+        let sub = encode_submission(&sample()).unwrap();
+        assert!(!is_stats_request(&sub));
+        // Wrong version or length is not a stats request.
+        assert!(!is_stats_request(&[b'B', b'S', 99]));
+        assert!(!is_stats_request(b"BS"));
+        assert!(!is_stats_request(&[b'B', b'S', WIRE_VERSION, 0]));
     }
 
     proptest! {

@@ -47,5 +47,5 @@ pub use iforest::IsolationForest;
 pub use kmeans::{ElbowReport, KMeans};
 pub use matrix::Matrix;
 pub use pca::Pca;
-pub use pool::ThreadPool;
+pub use pool::{total_tasks_executed, ThreadPool};
 pub use scaler::StandardScaler;

@@ -24,7 +24,18 @@
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use crossbeam::utils::Backoff;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Process-wide count of tasks executed by every pool (serial runs
+/// included). `ThreadPool` is `Copy`, so the counter lives here rather
+/// than per-instance; observability layers read it before and after a
+/// pipeline run and record the delta (approximate when fits overlap).
+static TASKS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+
+/// Total pool tasks executed by this process so far.
+pub fn total_tasks_executed() -> u64 {
+    TASKS_EXECUTED.load(Ordering::Relaxed)
+}
 
 /// A scoped work-stealing thread pool of a fixed width.
 ///
@@ -87,6 +98,7 @@ impl ThreadPool {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
+        TASKS_EXECUTED.fetch_add(n as u64, Ordering::Relaxed);
         if self.threads == 1 || n <= 1 {
             return (0..n).map(task).collect();
         }

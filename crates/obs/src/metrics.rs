@@ -1,0 +1,197 @@
+//! The three metric kinds: counters, gauges, and fixed-bucket histograms.
+//!
+//! All of them are lock-free atomics, safe to hammer from connection
+//! workers. The histogram layout is *fixed at compile time* —
+//! power-of-two microsecond buckets — so a snapshot's shape never depends
+//! on the values observed, which keeps the text exposition byte-stable
+//! across platforms and runs.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge (set / add / sub).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (negative to decrease).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: upper bounds `2^0 .. 2^20` microseconds
+/// (1 µs … ~1.05 s) plus one overflow bucket.
+pub const BUCKETS: usize = 22;
+
+/// Index of the overflow (`+inf`) bucket.
+pub const OVERFLOW_BUCKET: usize = BUCKETS - 1;
+
+/// The inclusive upper bound of bucket `i`, or `None` for the overflow
+/// bucket.
+pub fn bucket_bound(i: usize) -> Option<u64> {
+    if i < OVERFLOW_BUCKET {
+        Some(1u64 << i)
+    } else {
+        None
+    }
+}
+
+/// The bucket a value lands in: the smallest `i` with
+/// `value <= bucket_bound(i)`, or the overflow bucket.
+pub fn bucket_index(value: u64) -> usize {
+    if value <= 1 {
+        return 0;
+    }
+    // ceil(log2(value)) for value >= 2.
+    let idx = (u64::BITS - (value - 1).leading_zeros()) as usize;
+    idx.min(OVERFLOW_BUCKET)
+}
+
+/// A fixed-bucket histogram of `u64` observations (microseconds on the
+/// latency paths, frame counts on the batch-size path).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        if let Some(b) = self.buckets.get(bucket_index(value)) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket observation counts, in bound order.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| {
+            self.buckets
+                .get(i)
+                .map(|b| b.load(Ordering::Relaxed))
+                .unwrap_or(0)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 20), 20);
+        assert_eq!(bucket_index((1 << 20) + 1), OVERFLOW_BUCKET);
+        assert_eq!(bucket_index(u64::MAX), OVERFLOW_BUCKET);
+    }
+
+    #[test]
+    fn bucket_bounds_are_powers_of_two() {
+        assert_eq!(bucket_bound(0), Some(1));
+        assert_eq!(bucket_bound(10), Some(1024));
+        assert_eq!(bucket_bound(20), Some(1 << 20));
+        assert_eq!(bucket_bound(OVERFLOW_BUCKET), None);
+    }
+
+    #[test]
+    fn every_value_lands_in_its_bound() {
+        for v in (0..4096u64).chain([1 << 19, (1 << 20) - 1, 1 << 20]) {
+            let i = bucket_index(v);
+            if let Some(bound) = bucket_bound(i) {
+                assert!(v <= bound, "{v} must be <= {bound}");
+                if i > 0 {
+                    let below = bucket_bound(i - 1).unwrap();
+                    assert!(v > below, "{v} must be > {below} (bucket {i})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_count_and_sum() {
+        let h = Histogram::default();
+        for v in [0, 1, 2, 1000, 2_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 2_001_003);
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 2); // 0 and 1
+        assert_eq!(counts[1], 1); // 2
+        assert_eq!(counts[10], 1); // 1000 <= 1024
+        assert_eq!(counts[OVERFLOW_BUCKET], 1); // 2s > ~1.05s cap
+        assert_eq!(counts.iter().sum::<u64>(), h.count());
+    }
+
+    #[test]
+    fn counter_and_gauge() {
+        let c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::default();
+        g.set(7);
+        g.add(-9);
+        assert_eq!(g.get(), -2);
+    }
+}

@@ -1,38 +1,78 @@
 //! Client for the risk-assessment service.
 
-use crate::proto::{Verdict, VerdictError, VERDICT_LEN};
+use crate::proto::{
+    decode_stats_response_header, Verdict, VerdictError, STATS_RESPONSE_HEADER_LEN, VERDICT_LEN,
+};
 use browser_engine::BrowserInstance;
-use fingerprint::{encode_submission, FeatureSet, Submission};
+use fingerprint::{encode_stats_request, encode_submission, FeatureSet, Submission};
+use polygraph_obs::{Counter, Histogram, Registry, Snapshot, Span};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// Metric names the client records into its registry.
+pub mod metric_names {
+    /// Submit-to-verdict latency in µs (histogram).
+    pub const ROUND_TRIP_MICROS: &str = "client.round_trip_micros";
+    /// Submissions sent (counter).
+    pub const REQUESTS: &str = "client.requests";
+    /// `STATS` snapshots fetched (counter).
+    pub const STATS_FETCHES: &str = "client.stats_fetches";
+}
 
 /// A connection to a risk server.
 pub struct RiskClient {
     stream: TcpStream,
     next_session: u64,
+    registry: Arc<Registry>,
+    round_trip: Arc<Histogram>,
+    requests: Arc<Counter>,
+    stats_fetches: Arc<Counter>,
 }
 
 impl RiskClient {
-    /// Connects to a risk server.
+    /// Connects to a risk server, recording round-trip latency into a
+    /// private monotonic-clock registry (see [`RiskClient::registry`]).
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        Self::connect_with(addr, Arc::new(Registry::monotonic()))
+    }
+
+    /// [`RiskClient::connect`] recording into a shared (possibly
+    /// deterministically-clocked) registry.
+    pub fn connect_with(addr: SocketAddr, registry: Arc<Registry>) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_read_timeout(Some(Duration::from_secs(5)))?;
         stream.set_nodelay(true)?;
         Ok(Self {
             stream,
             next_session: 1,
+            round_trip: registry.histogram(metric_names::ROUND_TRIP_MICROS),
+            requests: registry.counter(metric_names::REQUESTS),
+            stats_fetches: registry.counter(metric_names::STATS_FETCHES),
+            registry,
         })
+    }
+
+    /// The registry this client's latency metrics land in.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Submits one prepared submission and awaits the verdict.
     pub fn assess_submission(&mut self, sub: &Submission) -> io::Result<Verdict> {
         let frame = encode_submission(sub)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        self.requests.inc();
+        let span = Span::on(
+            Arc::clone(&self.round_trip),
+            Arc::clone(self.registry.clock()),
+        );
         self.stream.write_all(&(frame.len() as u16).to_le_bytes())?;
         self.stream.write_all(&frame)?;
         let mut buf = [0u8; VERDICT_LEN];
         self.stream.read_exact(&mut buf)?;
+        span.finish();
         Verdict::decode(&buf)
             .map_err(|e: VerdictError| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
     }
@@ -55,6 +95,25 @@ impl RiskClient {
             values: features.extract(browser).values().to_vec(),
         };
         self.assess_submission(&sub)
+    }
+
+    /// Pulls the server's metrics snapshot over the wire (a `STATS`
+    /// request frame, answered in order with a JSON snapshot).
+    pub fn fetch_stats(&mut self) -> io::Result<Snapshot> {
+        let req = encode_stats_request();
+        self.stream.write_all(&(req.len() as u16).to_le_bytes())?;
+        self.stream.write_all(&req)?;
+        let mut header = [0u8; STATS_RESPONSE_HEADER_LEN];
+        self.stream.read_exact(&mut header)?;
+        let len = decode_stats_response_header(&header)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut body = vec![0u8; len];
+        self.stream.read_exact(&mut body)?;
+        self.stats_fetches.inc();
+        let json = String::from_utf8(body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Snapshot::parse_json(&json)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "unparseable snapshot"))
     }
 }
 
@@ -107,6 +166,15 @@ mod tests {
         };
         let v = client.assess_submission(&lying).unwrap();
         assert!(v.flagged);
+
+        // Every round trip landed in the client's latency histogram.
+        let snap = client.registry().snapshot();
+        let h = snap
+            .histograms
+            .get(metric_names::ROUND_TRIP_MICROS)
+            .unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(snap.counters.get(metric_names::REQUESTS), Some(&2));
         drop(client);
         server.shutdown();
     }
@@ -123,6 +191,30 @@ mod tests {
         let v = client.assess_browser(&FeatureSet::table8(), &b).unwrap();
         assert_eq!(v.status, VerdictStatus::SchemaMismatch);
         assert_eq!(client.next_session, 2);
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn fetch_stats_round_trips_a_snapshot() {
+        let server = start_risk_server("127.0.0.1:0", tiny_detector()).unwrap();
+        let mut client = RiskClient::connect(server.local_addr()).unwrap();
+        let sub = Submission {
+            session_id: [1u8; 16],
+            user_agent: UserAgent::new(Vendor::Chrome, 100).to_ua_string(),
+            values: vec![10, 10],
+        };
+        client.assess_submission(&sub).unwrap();
+        let snap = client.fetch_stats().unwrap();
+        assert_eq!(
+            snap.counters.get(crate::server::metric_names::ASSESSED),
+            Some(&1)
+        );
+        assert_eq!(
+            snap.counters
+                .get(crate::server::metric_names::STATS_REQUESTS),
+            Some(&1)
+        );
         drop(client);
         server.shutdown();
     }

@@ -7,8 +7,12 @@
 //! * [`proto`] — the verdict wire format: a session submits its ≤1 KB
 //!   fingerprint frame and receives a compact assessment (flagged +
 //!   `risk_factor`) the login flow can act on.
+//! * [`framing`] — the panic-free u16-length-prefixed request framing
+//!   shared by the server's read loop and its tests.
 //! * [`server`] — a threaded TCP risk service with a hot-swappable
-//!   detector: retraining never drops a connection.
+//!   detector: retraining never drops a connection. Fully instrumented
+//!   with a `polygraph-obs` registry, exposed over the wire via `STATS`
+//!   frames.
 //! * [`client`] — the matching client.
 //! * [`registry`] — a versioned on-disk model store (JSON), with atomic
 //!   publish and latest-model lookup.
@@ -35,6 +39,7 @@
 )]
 
 pub mod client;
+pub mod framing;
 pub mod orchestrator;
 pub mod policy;
 pub mod proto;
@@ -46,4 +51,7 @@ pub use orchestrator::{Orchestrator, OrchestratorConfig, RetrainOutcome};
 pub use policy::{AuthAction, RiskPolicy};
 pub use proto::{Verdict, VerdictStatus};
 pub use registry::ModelRegistry;
-pub use server::{start_risk_server, RiskServerHandle, RiskServerStats, MAX_BATCH_PER_GUARD};
+pub use server::{
+    start_risk_server, start_risk_server_with, RiskServerConfig, RiskServerHandle, RiskServerStats,
+    MAX_BATCH_PER_GUARD,
+};

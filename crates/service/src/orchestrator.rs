@@ -13,7 +13,25 @@ use polygraph_core::{
     Detector, DriftDecision, DriftDetector, DriftObservation, PolygraphError, TrainConfig,
     TrainedModel, TrainingSet,
 };
+use polygraph_ml::ThreadPool;
 use std::io;
+
+/// Metric names the orchestrator records into the risk server's registry,
+/// so one `STATS` snapshot covers serving *and* retraining.
+pub mod metric_names {
+    /// Drift checkpoints run (counter).
+    pub const CHECKPOINTS: &str = "orchestrator.checkpoints";
+    /// Per-release drift observations measured (counter).
+    pub const DRIFT_EVALUATIONS: &str = "orchestrator.drift.evaluations";
+    /// Checkpoints that retrained and swapped a new model in (counter).
+    pub const RETRAINS: &str = "orchestrator.drift.retrains";
+    /// Checkpoints whose candidate failed the accuracy bar (counter).
+    pub const RETRAINS_REJECTED: &str = "orchestrator.drift.rejected";
+    /// End-to-end retrain duration in µs, fit through swap (histogram).
+    pub const RETRAIN_MICROS: &str = "orchestrator.retrain_micros";
+    /// Models published to the on-disk registry (counter).
+    pub const REGISTRY_PUBLISHES: &str = "orchestrator.registry.publishes";
+}
 
 /// Orchestrator settings.
 #[derive(Debug, Clone, Copy)]
@@ -130,6 +148,9 @@ impl<'s> Orchestrator<'s> {
         fresh: &TrainingSet,
         releases: &[UserAgent],
     ) -> Result<RetrainOutcome, OrchestratorError> {
+        let obs = self.server.registry();
+        obs.counter(metric_names::CHECKPOINTS).inc();
+
         // Measure against the *currently serving* model.
         let (observations, decision) = {
             let slot = self.server.detector_slot();
@@ -137,6 +158,8 @@ impl<'s> Orchestrator<'s> {
             let monitor = DriftDetector::new(guard.model());
             monitor.checkpoint(fresh, releases)?
         };
+        obs.counter(metric_names::DRIFT_EVALUATIONS)
+            .add(observations.len() as u64);
 
         let triggers = match decision {
             DriftDecision::Stable => return Ok(RetrainOutcome::Stable { observations }),
@@ -144,20 +167,33 @@ impl<'s> Orchestrator<'s> {
         };
 
         // Retrain on the fresh window with the serving feature schema.
+        // The fit records its per-phase timings (`fit.*`) into the
+        // server's registry; this span wraps the whole fit-to-swap path.
+        let retrain_span = obs.span(metric_names::RETRAIN_MICROS);
         let feature_set = {
             let slot = self.server.detector_slot();
             let guard = slot.read();
             guard.model().feature_set().clone()
         };
-        let candidate = TrainedModel::fit(feature_set, fresh, self.config.train)?;
+        let candidate = TrainedModel::fit_observed(
+            feature_set,
+            fresh,
+            self.config.train,
+            &ThreadPool::serial(),
+            &obs,
+        )?;
         let accuracy = candidate.train_accuracy();
         if accuracy < self.config.min_accuracy {
+            obs.counter(metric_names::RETRAINS_REJECTED).inc();
             return Ok(RetrainOutcome::RetrainRejected { triggers, accuracy });
         }
 
         let version = self.registry.publish(&candidate)?;
+        obs.counter(metric_names::REGISTRY_PUBLISHES).inc();
         self.registry.prune(self.config.keep_versions)?;
         self.server.swap_detector(Detector::new(candidate));
+        obs.counter(metric_names::RETRAINS).inc();
+        retrain_span.finish();
         Ok(RetrainOutcome::Retrained {
             triggers,
             version,
@@ -230,13 +266,7 @@ mod tests {
         }
         let outcome = orch.checkpoint(&fresh, &[ua(Vendor::Chrome, 111)]).unwrap();
         assert!(matches!(outcome, RetrainOutcome::Stable { .. }));
-        assert_eq!(
-            server
-                .stats()
-                .swaps
-                .load(std::sync::atomic::Ordering::Relaxed),
-            0
-        );
+        assert_eq!(server.stats().swaps, 0);
         assert_eq!(orch.registry().versions().unwrap(), Vec::<u64>::new());
         server.shutdown();
     }
@@ -270,13 +300,7 @@ mod tests {
             }
             other => panic!("expected retrain, got {other:?}"),
         }
-        assert_eq!(
-            server
-                .stats()
-                .swaps
-                .load(std::sync::atomic::Ordering::Relaxed),
-            1
-        );
+        assert_eq!(server.stats().swaps, 1);
         // The published model is loadable and knows the new release.
         let restored = orch.registry().load_latest().unwrap().expect("published");
         assert!(restored
@@ -307,13 +331,7 @@ mod tests {
         }
         let outcome = orch.checkpoint(&fresh, &[ua(Vendor::Chrome, 111)]).unwrap();
         assert!(matches!(outcome, RetrainOutcome::RetrainRejected { .. }));
-        assert_eq!(
-            server
-                .stats()
-                .swaps
-                .load(std::sync::atomic::Ordering::Relaxed),
-            0
-        );
+        assert_eq!(server.stats().swaps, 0);
         assert!(orch.registry().versions().unwrap().is_empty());
         server.shutdown();
     }

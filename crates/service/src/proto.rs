@@ -1,4 +1,4 @@
-//! The verdict wire format.
+//! The verdict and stats wire formats.
 //!
 //! Requests reuse the fingerprint submission frame
 //! ([`fingerprint::wire`]); the response is a fixed-size 8-byte verdict,
@@ -10,6 +10,17 @@
 //! | "BV" | ver | status | flagged | risk | pred. cl | exp. cl  |
 //! | 2 B  | 1 B |  1 B   |   1 B   | 1 B  |   1 B    |   1 B    |
 //! +------+-----+--------+---------+------+----------+----------+
+//! ```
+//!
+//! A `STATS` request ([`fingerprint::wire::encode_stats_request`]) is
+//! answered *in request order* with a variable-length snapshot frame
+//! instead of a verdict:
+//!
+//! ```text
+//! +------+-----+-------------+------------------+
+//! | "BO" | ver | json length | snapshot JSON    |
+//! | 2 B  | 1 B |   u32 LE    | ≤ 1 MiB          |
+//! +------+-----+-------------+------------------+
 //! ```
 
 use serde::{Deserialize, Serialize};
@@ -132,6 +143,78 @@ impl Verdict {
     }
 }
 
+/// Magic prefix of a stats response frame.
+pub const STATS_RESPONSE_MAGIC: [u8; 2] = *b"BO";
+/// Stats response wire version.
+pub const STATS_RESPONSE_VERSION: u8 = 1;
+/// Size of a stats response header (magic + version + u32 length).
+pub const STATS_RESPONSE_HEADER_LEN: usize = 7;
+/// Hard cap on a stats response body, to bound client allocations.
+pub const MAX_STATS_RESPONSE_BYTES: usize = 1 << 20;
+
+/// Encodes a stats response frame around a rendered snapshot JSON body.
+/// Bodies above [`MAX_STATS_RESPONSE_BYTES`] are truncated to an empty
+/// object — a registry that large indicates a bug, and the serve path
+/// must not fail or unwind on it.
+pub fn encode_stats_response(json: &[u8]) -> Vec<u8> {
+    let body: &[u8] = if json.len() <= MAX_STATS_RESPONSE_BYTES {
+        json
+    } else {
+        b"{}"
+    };
+    let mut out = Vec::with_capacity(STATS_RESPONSE_HEADER_LEN + body.len());
+    out.extend_from_slice(&STATS_RESPONSE_MAGIC);
+    out.push(STATS_RESPONSE_VERSION);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Decodes a stats response header, returning the body length to read
+/// next.
+pub fn decode_stats_response_header(
+    header: &[u8; STATS_RESPONSE_HEADER_LEN],
+) -> Result<usize, StatsResponseError> {
+    let [m0, m1, version, l0, l1, l2, l3] = *header;
+    if [m0, m1] != STATS_RESPONSE_MAGIC {
+        return Err(StatsResponseError::BadMagic);
+    }
+    if version != STATS_RESPONSE_VERSION {
+        return Err(StatsResponseError::BadVersion(version));
+    }
+    let len = u32::from_le_bytes([l0, l1, l2, l3]) as usize;
+    if len > MAX_STATS_RESPONSE_BYTES {
+        return Err(StatsResponseError::TooLarge(len));
+    }
+    Ok(len)
+}
+
+/// Errors decoding a stats response header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsResponseError {
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Unknown wire version.
+    BadVersion(u8),
+    /// Declared body length exceeds [`MAX_STATS_RESPONSE_BYTES`].
+    TooLarge(usize),
+}
+
+impl fmt::Display for StatsResponseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsResponseError::BadMagic => write!(f, "bad stats response magic"),
+            StatsResponseError::BadVersion(v) => write!(f, "unknown stats response version {v}"),
+            StatsResponseError::TooLarge(n) => write!(
+                f,
+                "stats response length {n} exceeds {MAX_STATS_RESPONSE_BYTES}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StatsResponseError {}
+
 /// Errors decoding a verdict frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VerdictError {
@@ -215,6 +298,49 @@ mod tests {
         let mut f = Verdict::error(VerdictStatus::Assessed).encode();
         f[4] = 2;
         assert_eq!(Verdict::decode(&f), Err(VerdictError::BadFlag(2)));
+    }
+
+    #[test]
+    fn stats_response_round_trips() {
+        let body = br#"{"counters":{"server.batches":3}}"#;
+        let frame = encode_stats_response(body);
+        assert_eq!(frame.len(), STATS_RESPONSE_HEADER_LEN + body.len());
+        let mut header = [0u8; STATS_RESPONSE_HEADER_LEN];
+        header.copy_from_slice(&frame[..STATS_RESPONSE_HEADER_LEN]);
+        let len = decode_stats_response_header(&header).unwrap();
+        assert_eq!(len, body.len());
+        assert_eq!(&frame[STATS_RESPONSE_HEADER_LEN..], body);
+    }
+
+    #[test]
+    fn stats_response_header_rejects_malformed() {
+        let mut h = [0u8; STATS_RESPONSE_HEADER_LEN];
+        h.copy_from_slice(&encode_stats_response(b"{}")[..STATS_RESPONSE_HEADER_LEN]);
+        let mut bad = h;
+        bad[0] = b'X';
+        assert_eq!(
+            decode_stats_response_header(&bad),
+            Err(StatsResponseError::BadMagic)
+        );
+        let mut bad = h;
+        bad[2] = 9;
+        assert_eq!(
+            decode_stats_response_header(&bad),
+            Err(StatsResponseError::BadVersion(9))
+        );
+        let mut bad = h;
+        bad[3..7].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_stats_response_header(&bad),
+            Err(StatsResponseError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_stats_body_is_replaced_not_panicking() {
+        let huge = vec![b'x'; MAX_STATS_RESPONSE_BYTES + 1];
+        let frame = encode_stats_response(&huge);
+        assert_eq!(&frame[STATS_RESPONSE_HEADER_LEN..], b"{}");
     }
 
     proptest! {

@@ -7,15 +7,41 @@
 //! retrained model without interrupting traffic — the paper's "ongoing
 //! system enhancements … minimises delays during user interaction"
 //! property (§6.5).
+//!
+//! ## Observability
+//!
+//! Every counter and latency measurement lives in a `polygraph-obs`
+//! [`Registry`] (see [`metric_names`] for the full catalogue). Clients
+//! can pull a snapshot over the wire with a `STATS` request frame
+//! ([`fingerprint::wire::encode_stats_request`]), answered in request
+//! order with a JSON snapshot; in-process callers use
+//! [`RiskServerHandle::snapshot`]. The registry's clock is injected
+//! ([`RiskServerConfig::clock`]), so tests drive a deterministic
+//! `TestClock` and production uses the monotonic wall clock.
+//!
+//! ## Connection lifecycle
+//!
+//! * Finished connection workers are reaped (joined and counted) on
+//!   every acceptor iteration — a long-running server does not
+//!   accumulate dead `JoinHandle`s.
+//! * An idle keep-alive client that triggers the read timeout with *no
+//!   partial frame buffered* stays connected (`server.idle_timeouts`
+//!   counts the ticks); only a stalled partial frame fails the
+//!   connection.
+//! * Workers observe the server's stop flag each loop, so shutdown is
+//!   bounded by roughly one read-timeout tick even with connected
+//!   clients.
 
-use crate::proto::{Verdict, VerdictStatus};
+use crate::framing::{count_frames, frame_status, split_frames, FrameStatus};
+use crate::proto::{encode_stats_response, Verdict, VerdictStatus};
 use browser_engine::UserAgent;
-use fingerprint::{decode_submission, MAX_SUBMISSION_BYTES};
+use fingerprint::{decode_submission, is_stats_request};
 use parking_lot::RwLock;
 use polygraph_core::Detector;
+use polygraph_obs::{Clock, Counter, Histogram, MonotonicClock, Registry, Snapshot};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
@@ -26,24 +52,167 @@ use std::time::Duration;
 /// one busy connection.
 pub const MAX_BATCH_PER_GUARD: usize = 32;
 
-/// Counters of a running risk server.
-#[derive(Debug, Default)]
+/// The metric names the risk server registers, grouped here so the wire
+/// consumers and the docs share one catalogue.
+pub mod metric_names {
+    /// Submissions assessed (counter).
+    pub const ASSESSED: &str = "server.frames.assessed";
+    /// Assessments that flagged the session (counter).
+    pub const FLAGGED: &str = "server.frames.flagged";
+    /// Malformed frames answered with an error verdict (counter).
+    pub const MALFORMED: &str = "server.frames.malformed";
+    /// Detector swaps performed (counter).
+    pub const SWAPS: &str = "server.swaps";
+    /// Detector read-guard acquisitions taken to assess frames (counter).
+    pub const BATCHES: &str = "server.batches";
+    /// Per-batch assessment latency in µs (histogram).
+    pub const BATCH_MICROS: &str = "server.assess.batch_micros";
+    /// Submission frames per drained batch (histogram).
+    pub const BATCH_FRAMES: &str = "server.assess.batch_frames";
+    /// Bytes read off client sockets (counter).
+    pub const BYTES_READ: &str = "server.bytes.read";
+    /// Bytes written back to clients (counter).
+    pub const BYTES_WRITTEN: &str = "server.bytes.written";
+    /// Connections accepted (counter).
+    pub const CONNECTIONS_OPENED: &str = "server.connections.opened";
+    /// Connections that ended cleanly (counter).
+    pub const CONNECTIONS_CLOSED: &str = "server.connections.closed";
+    /// Connections that ended with an I/O or framing error (counter).
+    pub const CONNECTIONS_ERRORED: &str = "server.connections.errored";
+    /// Finished worker handles reaped by the acceptor loop (counter).
+    pub const CONNECTIONS_REAPED: &str = "server.connections.reaped";
+    /// Read-timeout ticks survived by idle keep-alive clients (counter).
+    pub const IDLE_TIMEOUTS: &str = "server.idle_timeouts";
+    /// `STATS` request frames answered (counter).
+    pub const STATS_REQUESTS: &str = "server.stats_requests";
+}
+
+/// Configuration of a risk server.
+#[derive(Debug, Clone)]
+pub struct RiskServerConfig {
+    /// Socket read timeout: the idle-tick length. Also bounds how long a
+    /// worker can take to notice shutdown, and the write timeout.
+    pub read_timeout: Duration,
+    /// Time source for every latency metric. Production keeps the
+    /// default monotonic clock; tests inject a deterministic
+    /// `TestClock` so snapshots are byte-reproducible.
+    pub clock: Arc<dyn Clock>,
+}
+
+impl Default for RiskServerConfig {
+    fn default() -> Self {
+        Self {
+            read_timeout: Duration::from_secs(5),
+            clock: Arc::new(MonotonicClock::new()),
+        }
+    }
+}
+
+/// Point-in-time counters of a running risk server, read from the
+/// metrics registry. Plain values — a comparison or assertion needs no
+/// atomics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RiskServerStats {
     /// Submissions assessed.
-    pub assessed: AtomicUsize,
+    pub assessed: u64,
     /// Assessments that flagged the session.
-    pub flagged: AtomicUsize,
+    pub flagged: u64,
     /// Malformed frames answered with an error verdict.
-    pub malformed: AtomicUsize,
+    pub malformed: u64,
     /// Detector swaps performed.
-    pub swaps: AtomicUsize,
+    pub swaps: u64,
     /// Detector read-guard acquisitions taken to assess frames. With
     /// pipelined clients this grows slower than `assessed`: each batch of
     /// up to [`MAX_BATCH_PER_GUARD`] queued frames shares one acquisition.
-    pub batches: AtomicUsize,
+    pub batches: u64,
+    /// Read-timeout ticks survived by idle keep-alive clients.
+    pub idle_timeouts: u64,
+    /// `STATS` request frames answered.
+    pub stats_requests: u64,
+    /// Connections accepted.
+    pub connections_opened: u64,
+    /// Connections that ended cleanly.
+    pub connections_closed: u64,
+    /// Connections that ended with an error.
+    pub connections_errored: u64,
+    /// Finished worker handles reaped by the acceptor loop.
+    pub connections_reaped: u64,
+    /// Bytes read off client sockets.
+    pub bytes_read: u64,
+    /// Bytes written back to clients.
+    pub bytes_written: u64,
 }
 
-/// Per-connection counters, folded into the shared [`RiskServerStats`]
+/// The server's registered metric handles: resolved once at startup so
+/// the per-frame path touches only atomics, never the registry map lock.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    registry: Arc<Registry>,
+    assessed: Arc<Counter>,
+    flagged: Arc<Counter>,
+    malformed: Arc<Counter>,
+    swaps: Arc<Counter>,
+    batches: Arc<Counter>,
+    batch_micros: Arc<Histogram>,
+    batch_frames: Arc<Histogram>,
+    bytes_read: Arc<Counter>,
+    bytes_written: Arc<Counter>,
+    connections_opened: Arc<Counter>,
+    connections_closed: Arc<Counter>,
+    connections_errored: Arc<Counter>,
+    connections_reaped: Arc<Counter>,
+    idle_timeouts: Arc<Counter>,
+    stats_requests: Arc<Counter>,
+}
+
+impl ServerMetrics {
+    /// Registers (or re-resolves) every server metric in `registry`.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        Self {
+            assessed: registry.counter(metric_names::ASSESSED),
+            flagged: registry.counter(metric_names::FLAGGED),
+            malformed: registry.counter(metric_names::MALFORMED),
+            swaps: registry.counter(metric_names::SWAPS),
+            batches: registry.counter(metric_names::BATCHES),
+            batch_micros: registry.histogram(metric_names::BATCH_MICROS),
+            batch_frames: registry.histogram(metric_names::BATCH_FRAMES),
+            bytes_read: registry.counter(metric_names::BYTES_READ),
+            bytes_written: registry.counter(metric_names::BYTES_WRITTEN),
+            connections_opened: registry.counter(metric_names::CONNECTIONS_OPENED),
+            connections_closed: registry.counter(metric_names::CONNECTIONS_CLOSED),
+            connections_errored: registry.counter(metric_names::CONNECTIONS_ERRORED),
+            connections_reaped: registry.counter(metric_names::CONNECTIONS_REAPED),
+            idle_timeouts: registry.counter(metric_names::IDLE_TIMEOUTS),
+            stats_requests: registry.counter(metric_names::STATS_REQUESTS),
+            registry,
+        }
+    }
+
+    /// The backing registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    fn stats(&self) -> RiskServerStats {
+        RiskServerStats {
+            assessed: self.assessed.get(),
+            flagged: self.flagged.get(),
+            malformed: self.malformed.get(),
+            swaps: self.swaps.get(),
+            batches: self.batches.get(),
+            idle_timeouts: self.idle_timeouts.get(),
+            stats_requests: self.stats_requests.get(),
+            connections_opened: self.connections_opened.get(),
+            connections_closed: self.connections_closed.get(),
+            connections_errored: self.connections_errored.get(),
+            connections_reaped: self.connections_reaped.get(),
+            bytes_read: self.bytes_read.get(),
+            bytes_written: self.bytes_written.get(),
+        }
+    }
+}
+
+/// Per-connection counters, folded into the shared [`ServerMetrics`]
 /// once per drained batch instead of once per frame.
 #[derive(Debug, Default)]
 struct LocalCounters {
@@ -53,15 +222,15 @@ struct LocalCounters {
 }
 
 impl LocalCounters {
-    fn fold_into(&self, stats: &RiskServerStats) {
+    fn fold_into(&self, metrics: &ServerMetrics) {
         if self.assessed > 0 {
-            stats.assessed.fetch_add(self.assessed, Ordering::Relaxed);
+            metrics.assessed.add(self.assessed as u64);
         }
         if self.flagged > 0 {
-            stats.flagged.fetch_add(self.flagged, Ordering::Relaxed);
+            metrics.flagged.add(self.flagged as u64);
         }
         if self.malformed > 0 {
-            stats.malformed.fetch_add(self.malformed, Ordering::Relaxed);
+            metrics.malformed.add(self.malformed as u64);
         }
     }
 }
@@ -71,7 +240,7 @@ pub struct RiskServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     detector: Arc<RwLock<Detector>>,
-    stats: Arc<RiskServerStats>,
+    metrics: Arc<ServerMetrics>,
     acceptor: Option<thread::JoinHandle<()>>,
 }
 
@@ -81,9 +250,22 @@ impl RiskServerHandle {
         self.addr
     }
 
-    /// Shared counters.
-    pub fn stats(&self) -> &RiskServerStats {
-        &self.stats
+    /// Point-in-time copy of the shared counters.
+    pub fn stats(&self) -> RiskServerStats {
+        self.metrics.stats()
+    }
+
+    /// The server's metrics registry (counters, histograms, spans). The
+    /// orchestrator records its drift/retrain metrics here so one `STATS`
+    /// frame exposes the whole pipeline.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(self.metrics.registry())
+    }
+
+    /// A full metrics snapshot for in-process callers — the same data a
+    /// `STATS` wire frame returns.
+    pub fn snapshot(&self) -> Snapshot {
+        self.metrics.registry().snapshot()
     }
 
     /// A handle to the serving detector slot (for the orchestrator).
@@ -95,10 +277,13 @@ impl RiskServerHandle {
     /// finish on the old model; the next frame uses the new one.
     pub fn swap_detector(&self, detector: Detector) {
         *self.detector.write() = detector;
-        self.stats.swaps.fetch_add(1, Ordering::Relaxed);
+        self.metrics.swaps.inc();
     }
 
-    /// Stops accepting and joins the acceptor thread.
+    /// Stops the acceptor *and* every connection worker, then joins them.
+    /// Workers check the stop flag on every loop, so this returns within
+    /// roughly one read-timeout tick even with connected-but-silent
+    /// clients.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(h) = self.acceptor.take() {
@@ -107,137 +292,147 @@ impl RiskServerHandle {
     }
 }
 
+/// Everything a connection worker needs, cloned per accept.
+#[derive(Clone)]
+struct ConnContext {
+    detector: Arc<RwLock<Detector>>,
+    metrics: Arc<ServerMetrics>,
+    stop: Arc<AtomicBool>,
+    read_timeout: Duration,
+}
+
 /// Starts a risk server on `addr` (use `127.0.0.1:0` for an ephemeral
-/// port) serving `detector`.
+/// port) serving `detector`, with the default production configuration.
 pub fn start_risk_server(addr: &str, detector: Detector) -> io::Result<RiskServerHandle> {
+    start_risk_server_with(addr, detector, RiskServerConfig::default())
+}
+
+/// [`start_risk_server`] with explicit timeouts and an injected clock.
+pub fn start_risk_server_with(
+    addr: &str,
+    detector: Detector,
+    config: RiskServerConfig,
+) -> io::Result<RiskServerHandle> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let local = listener.local_addr()?;
 
     let stop = Arc::new(AtomicBool::new(false));
     let detector = Arc::new(RwLock::new(detector));
-    let stats = Arc::new(RiskServerStats::default());
+    let registry = Arc::new(Registry::new(Arc::clone(&config.clock)));
+    let metrics = Arc::new(ServerMetrics::new(registry));
 
     let acceptor = {
-        let stop = Arc::clone(&stop);
-        let detector = Arc::clone(&detector);
-        let stats = Arc::clone(&stats);
-        thread::spawn(move || {
-            let mut workers = Vec::new();
-            while !stop.load(Ordering::SeqCst) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let detector = Arc::clone(&detector);
-                        let stats = Arc::clone(&stats);
-                        workers.push(thread::spawn(move || {
-                            let _ = serve_connection(stream, &detector, &stats);
-                        }));
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        thread::sleep(Duration::from_millis(2));
-                    }
-                    Err(_) => break,
-                }
-            }
-            for w in workers {
-                let _ = w.join();
-            }
-        })
+        let ctx = ConnContext {
+            detector: Arc::clone(&detector),
+            metrics: Arc::clone(&metrics),
+            stop: Arc::clone(&stop),
+            read_timeout: config.read_timeout,
+        };
+        thread::spawn(move || acceptor_loop(listener, ctx))
     };
 
     Ok(RiskServerHandle {
         addr: local,
         stop,
         detector,
-        stats,
+        metrics,
         acceptor: Some(acceptor),
     })
 }
 
-/// How far the parser got through the connection's pending bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum FrameStatus {
-    /// No complete frame buffered yet; keep reading.
-    NeedMore,
-    /// At least one complete frame is ready to assess.
-    Ready,
-    /// The next header declares an oversize body: answer what came before
-    /// it, then fail the connection (no way to resynchronise past it).
-    Oversize,
-}
-
-fn frame_status(pending: &[u8]) -> FrameStatus {
-    // Destructure instead of indexing: this parser faces the network, so
-    // the panic-safety lint bans `pending[..]` on the serve path.
-    let [len0, len1, body @ ..] = pending else {
-        return FrameStatus::NeedMore;
-    };
-    let len = u16::from_le_bytes([*len0, *len1]) as usize;
-    if len > MAX_SUBMISSION_BYTES {
-        FrameStatus::Oversize
-    } else if body.len() < len {
-        FrameStatus::NeedMore
-    } else {
-        FrameStatus::Ready
-    }
-}
-
-/// The declared body length of a buffered header, if two header bytes are
-/// present.
-fn header_len(pending: &[u8]) -> Option<usize> {
-    match pending {
-        [len0, len1, ..] => Some(u16::from_le_bytes([*len0, *len1]) as usize),
-        _ => None,
-    }
-}
-
-/// Splits up to `max` complete length-prefixed frames off the front of
-/// `pending`, leaving any partial tail in place. The second return is true
-/// when parsing stopped at an oversize header.
-fn split_frames(pending: &mut Vec<u8>, max: usize) -> (Vec<Vec<u8>>, bool) {
-    let mut frames = Vec::new();
-    let mut offset = 0;
-    let mut oversize = false;
-    while frames.len() < max {
-        let tail = pending.get(offset..).unwrap_or_default();
-        match frame_status(tail) {
-            FrameStatus::NeedMore => break,
-            FrameStatus::Oversize => {
-                oversize = true;
-                break;
+fn acceptor_loop(listener: TcpListener, ctx: ConnContext) {
+    let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
+    while !ctx.stop.load(Ordering::SeqCst) {
+        // Reap finished workers every iteration so a long-running server
+        // holds handles only for live connections.
+        reap_finished(&mut workers, &ctx.metrics);
+        match listener.accept() {
+            Ok((stream, _)) => {
+                ctx.metrics.connections_opened.inc();
+                let conn = ctx.clone();
+                workers.push(thread::spawn(move || {
+                    match serve_connection(stream, &conn) {
+                        Ok(()) => conn.metrics.connections_closed.inc(),
+                        Err(_) => conn.metrics.connections_errored.inc(),
+                    }
+                }));
             }
-            FrameStatus::Ready => {
-                let Some(len) = header_len(tail) else { break };
-                let Some(body) = tail.get(2..2 + len) else {
-                    break;
-                };
-                frames.push(body.to_vec());
-                offset += 2 + len;
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
             }
+            Err(_) => break,
         }
     }
-    pending.drain(..offset);
-    (frames, oversize)
+    // Final joins at shutdown: workers observe the stop flag within one
+    // read-timeout tick. These are not counted as reaps — `reaped` means
+    // reclaimed while the server kept running.
+    for w in workers {
+        let _ = w.join();
+    }
 }
 
-fn serve_connection(
-    mut stream: TcpStream,
-    detector: &RwLock<Detector>,
-    stats: &RiskServerStats,
-) -> io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+fn reap_finished(workers: &mut Vec<thread::JoinHandle<()>>, metrics: &ServerMetrics) {
+    if workers.iter().all(|h| !h.is_finished()) {
+        return;
+    }
+    let mut live = Vec::with_capacity(workers.len());
+    for handle in workers.drain(..) {
+        if handle.is_finished() {
+            let _ = handle.join();
+            metrics.connections_reaped.inc();
+        } else {
+            live.push(handle);
+        }
+    }
+    *workers = live;
+}
+
+/// Whether a read error is the socket timeout firing (Unix reports
+/// `WouldBlock` for `SO_RCVTIMEO`, Windows `TimedOut`).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+fn serve_connection(mut stream: TcpStream, ctx: &ConnContext) -> io::Result<()> {
+    stream.set_read_timeout(Some(ctx.read_timeout))?;
+    // A peer that stops reading must not block shutdown forever either.
+    stream.set_write_timeout(Some(ctx.read_timeout))?;
     stream.set_nodelay(true)?;
+    let metrics = &ctx.metrics;
     let mut pending: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
     loop {
         // Blocking phase: wait until at least one complete frame (or an
-        // oversize header) is buffered.
+        // oversize header) is buffered. Timeout ticks with an empty
+        // buffer are keep-alive idleness, not failures; a timeout with a
+        // stalled partial frame is.
         while frame_status(&pending) == FrameStatus::NeedMore {
+            if ctx.stop.load(Ordering::SeqCst) {
+                return Ok(());
+            }
             match stream.read(&mut chunk) {
                 Ok(0) => return Ok(()), // peer closed at (or mid-) frame boundary
-                Ok(n) => pending.extend_from_slice(chunk.get(..n).unwrap_or_default()),
+                Ok(n) => {
+                    metrics.bytes_read.add(n as u64);
+                    pending.extend_from_slice(chunk.get(..n).unwrap_or_default());
+                }
+                Err(e) if is_timeout(&e) => {
+                    if pending.is_empty() {
+                        metrics.idle_timeouts.inc();
+                        continue;
+                    }
+                    return Err(e); // partial frame stalled past the timeout
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(e),
             }
+        }
+        if ctx.stop.load(Ordering::SeqCst) {
+            return Ok(());
         }
 
         // Drain phase: pull in whatever else the client already pipelined,
@@ -249,7 +444,10 @@ fn serve_connection(
             }
             match stream.read(&mut chunk) {
                 Ok(0) => break,
-                Ok(n) => pending.extend_from_slice(chunk.get(..n).unwrap_or_default()),
+                Ok(n) => {
+                    metrics.bytes_read.add(n as u64);
+                    pending.extend_from_slice(chunk.get(..n).unwrap_or_default());
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) => {
                     stream.set_nonblocking(false)?;
@@ -261,63 +459,86 @@ fn serve_connection(
 
         let (frames, oversize) = split_frames(&mut pending, MAX_BATCH_PER_GUARD);
 
-        // Assess the whole batch under ONE detector read guard; a model
-        // swap therefore lands between batches, never inside one.
-        let mut local = LocalCounters::default();
-        let verdicts: Vec<Verdict> = {
-            let guard = detector.read();
-            frames
-                .iter()
-                .map(|f| assess_frame_with(f, &guard, &mut local))
-                .collect()
-        };
-        if !verdicts.is_empty() {
-            stats.batches.fetch_add(1, Ordering::Relaxed);
+        // Assess the whole batch of submission frames under ONE detector
+        // read guard; a model swap therefore lands between batches, never
+        // inside one. `STATS` frames are answered outside the guard.
+        let n_submissions = frames.iter().filter(|f| !is_stats_request(f)).count();
+        let mut verdicts: Vec<Verdict> = Vec::with_capacity(n_submissions);
+        if n_submissions > 0 {
+            let mut local = LocalCounters::default();
+            let span = polygraph_obs::Span::on(
+                Arc::clone(&metrics.batch_micros),
+                Arc::clone(metrics.registry().clock()),
+            );
+            {
+                let guard = ctx.detector.read();
+                for f in &frames {
+                    if !is_stats_request(f) {
+                        verdicts.push(assess_frame_with(f, &guard, &mut local));
+                    }
+                }
+            }
+            span.finish();
+            metrics.batches.inc();
+            metrics.batch_frames.record(n_submissions as u64);
+            local.fold_into(metrics);
         }
-        local.fold_into(stats);
 
-        // Verdicts go back in frame order, one write per batch.
+        // Replies go back in frame order, one write per batch. A `STATS`
+        // frame sees every assessment of its own batch: the local
+        // counters fold before the snapshot renders.
         let mut out = Vec::with_capacity(verdicts.len() * crate::proto::VERDICT_LEN);
-        for v in &verdicts {
-            out.extend_from_slice(&v.encode());
+        let mut next_verdict = verdicts.iter();
+        let mut stats_json: Option<Vec<u8>> = None;
+        for f in &frames {
+            if is_stats_request(f) {
+                metrics.stats_requests.inc();
+                let json = stats_json.get_or_insert_with(|| {
+                    metrics.registry().snapshot().render_json().into_bytes()
+                });
+                out.extend_from_slice(&encode_stats_response(json));
+            } else if let Some(v) = next_verdict.next() {
+                out.extend_from_slice(&v.encode());
+            }
         }
+        metrics.bytes_written.add(out.len() as u64);
         stream.write_all(&out)?;
 
         if oversize {
-            stats.malformed.fetch_add(1, Ordering::Relaxed);
-            let _ = stream.write_all(&Verdict::error(VerdictStatus::Malformed).encode());
+            metrics.malformed.inc();
+            let err = Verdict::error(VerdictStatus::Malformed).encode();
+            metrics.bytes_written.add(err.len() as u64);
+            let _ = stream.write_all(&err);
             return Ok(()); // cannot resynchronise past an unread body
         }
     }
 }
 
-fn count_frames(pending: &[u8]) -> usize {
-    let mut offset = 0;
-    let mut n = 0;
-    loop {
-        let tail = pending.get(offset..).unwrap_or_default();
-        if frame_status(tail) != FrameStatus::Ready {
-            return n;
-        }
-        let Some(len) = header_len(tail) else {
-            return n;
-        };
-        offset += 2 + len;
-        n += 1;
-    }
-}
-
 /// Decodes a submission frame and assesses it against the serving model.
 /// Shared by the TCP path and in-process callers (the CLI). Takes the
-/// detector lock for the single frame; the TCP path amortises the guard
-/// over whole batches via the internal batched variant.
-pub fn assess_frame(frame: &[u8], detector: &RwLock<Detector>, stats: &RiskServerStats) -> Verdict {
+/// detector lock for the single frame and charges the counters in
+/// `registry`; the TCP path amortises both over whole batches.
+pub fn assess_frame(frame: &[u8], detector: &RwLock<Detector>, registry: &Registry) -> Verdict {
     let mut local = LocalCounters::default();
     let verdict = {
         let guard = detector.read();
         assess_frame_with(frame, &guard, &mut local)
     };
-    local.fold_into(stats);
+    if local.assessed > 0 {
+        registry
+            .counter(metric_names::ASSESSED)
+            .add(local.assessed as u64);
+    }
+    if local.flagged > 0 {
+        registry
+            .counter(metric_names::FLAGGED)
+            .add(local.flagged as u64);
+    }
+    if local.malformed > 0 {
+        registry
+            .counter(metric_names::MALFORMED)
+            .add(local.malformed as u64);
+    }
     verdict
 }
 
@@ -395,26 +616,26 @@ mod tests {
     #[test]
     fn assess_frame_honest_and_lying() {
         let detector = RwLock::new(tiny_detector());
-        let stats = RiskServerStats::default();
+        let registry = Registry::monotonic();
 
         let honest = frame_for(vec![10, 10], UserAgent::new(Vendor::Chrome, 100));
-        let v = assess_frame(&honest, &detector, &stats);
+        let v = assess_frame(&honest, &detector, &registry);
         assert_eq!(v.status, VerdictStatus::Assessed);
         assert!(!v.flagged);
 
         let lying = frame_for(vec![20, 20], UserAgent::new(Vendor::Chrome, 100));
-        let v = assess_frame(&lying, &detector, &stats);
+        let v = assess_frame(&lying, &detector, &registry);
         assert!(v.flagged);
         assert_eq!(v.risk_factor, 20);
-        assert_eq!(stats.assessed.load(Ordering::Relaxed), 2);
-        assert_eq!(stats.flagged.load(Ordering::Relaxed), 1);
+        assert_eq!(registry.counter(metric_names::ASSESSED).get(), 2);
+        assert_eq!(registry.counter(metric_names::FLAGGED).get(), 1);
     }
 
     #[test]
     fn assess_frame_rejects_garbage_and_bad_ua() {
         let detector = RwLock::new(tiny_detector());
-        let stats = RiskServerStats::default();
-        let v = assess_frame(&[1, 2, 3], &detector, &stats);
+        let registry = Registry::monotonic();
+        let v = assess_frame(&[1, 2, 3], &detector, &registry);
         assert_eq!(v.status, VerdictStatus::Malformed);
 
         let sub = Submission {
@@ -423,55 +644,18 @@ mod tests {
             values: vec![1, 2],
         };
         let frame = encode_submission(&sub).unwrap();
-        let v = assess_frame(&frame, &detector, &stats);
+        let v = assess_frame(&frame, &detector, &registry);
         assert_eq!(v.status, VerdictStatus::Malformed);
-        assert_eq!(stats.malformed.load(Ordering::Relaxed), 2);
+        assert_eq!(registry.counter(metric_names::MALFORMED).get(), 2);
     }
 
     #[test]
     fn assess_frame_schema_mismatch() {
         let detector = RwLock::new(tiny_detector());
-        let stats = RiskServerStats::default();
+        let registry = Registry::monotonic();
         let frame = frame_for(vec![1, 2, 3, 4], UserAgent::new(Vendor::Chrome, 100));
-        let v = assess_frame(&frame, &detector, &stats);
+        let v = assess_frame(&frame, &detector, &registry);
         assert_eq!(v.status, VerdictStatus::SchemaMismatch);
-    }
-
-    #[test]
-    fn split_frames_parses_and_preserves_partial_tail() {
-        let mut pending = Vec::new();
-        for body in [&b"abc"[..], &b"defgh"[..]] {
-            pending.extend_from_slice(&(body.len() as u16).to_le_bytes());
-            pending.extend_from_slice(body);
-        }
-        pending.extend_from_slice(&5u16.to_le_bytes());
-        pending.extend_from_slice(b"xy"); // incomplete body
-
-        let (frames, oversize) = split_frames(&mut pending, MAX_BATCH_PER_GUARD);
-        assert_eq!(frames, vec![b"abc".to_vec(), b"defgh".to_vec()]);
-        assert!(!oversize);
-        assert_eq!(pending, [&5u16.to_le_bytes()[..], b"xy"].concat());
-
-        // `max` caps the batch.
-        let mut two = Vec::new();
-        for _ in 0..3 {
-            two.extend_from_slice(&1u16.to_le_bytes());
-            two.push(7);
-        }
-        let (frames, _) = split_frames(&mut two, 2);
-        assert_eq!(frames.len(), 2);
-        assert_eq!(count_frames(&two), 1);
-    }
-
-    #[test]
-    fn split_frames_stops_at_oversize_header() {
-        let mut pending = Vec::new();
-        pending.extend_from_slice(&3u16.to_le_bytes());
-        pending.extend_from_slice(b"abc");
-        pending.extend_from_slice(&u16::MAX.to_le_bytes()); // oversize
-        let (frames, oversize) = split_frames(&mut pending, MAX_BATCH_PER_GUARD);
-        assert_eq!(frames, vec![b"abc".to_vec()]);
-        assert!(oversize, "parsing must stop at the oversize header");
     }
 
     #[test]
@@ -505,10 +689,21 @@ mod tests {
 
         // Let the connection worker finish folding before reading stats.
         thread::sleep(Duration::from_millis(20));
-        assert_eq!(server.stats().assessed.load(Ordering::Relaxed), total);
-        assert_eq!(server.stats().flagged.load(Ordering::Relaxed), total / 2);
-        let batches = server.stats().batches.load(Ordering::Relaxed);
-        assert!(batches >= 1 && batches <= total, "got {batches} batches");
+        let stats = server.stats();
+        assert_eq!(stats.assessed, total as u64);
+        assert_eq!(stats.flagged, (total / 2) as u64);
+        assert!(
+            stats.batches >= 1 && stats.batches <= total as u64,
+            "got {} batches",
+            stats.batches
+        );
+        // The batch-size histogram reconciles with the counters exactly.
+        let snap = server.snapshot();
+        let h = snap.histograms.get(metric_names::BATCH_FRAMES).unwrap();
+        assert_eq!(h.sum, stats.assessed);
+        assert_eq!(h.count, stats.batches);
+        assert!(stats.bytes_read as usize >= wire.len());
+        assert!(stats.bytes_written as usize >= total * crate::proto::VERDICT_LEN);
         server.shutdown();
     }
 
@@ -528,6 +723,49 @@ mod tests {
         let v = Verdict::decode(&buf).unwrap();
         assert_eq!(v.status, VerdictStatus::Assessed);
         assert!(!v.flagged);
+        drop(stream);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_frame_returns_snapshot_in_order() {
+        use crate::proto::{decode_stats_response_header, STATS_RESPONSE_HEADER_LEN};
+        let server = start_risk_server("127.0.0.1:0", tiny_detector()).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+
+        // verdict, STATS, verdict — pipelined in one write.
+        let frame = frame_for(vec![10, 10], UserAgent::new(Vendor::Chrome, 100));
+        let stats_req = fingerprint::encode_stats_request();
+        let mut wire = Vec::new();
+        for body in [&frame[..], &stats_req[..], &frame[..]] {
+            wire.extend_from_slice(&(body.len() as u16).to_le_bytes());
+            wire.extend_from_slice(body);
+        }
+        stream.write_all(&wire).unwrap();
+
+        let mut buf = [0u8; crate::proto::VERDICT_LEN];
+        stream.read_exact(&mut buf).unwrap();
+        assert_eq!(
+            Verdict::decode(&buf).unwrap().status,
+            VerdictStatus::Assessed
+        );
+
+        let mut header = [0u8; STATS_RESPONSE_HEADER_LEN];
+        stream.read_exact(&mut header).unwrap();
+        let len = decode_stats_response_header(&header).unwrap();
+        let mut body = vec![0u8; len];
+        stream.read_exact(&mut body).unwrap();
+        let json = String::from_utf8(body).unwrap();
+        assert!(json.contains("\"server.frames.assessed\""));
+        assert!(json.contains("\"server.stats_requests\":1"));
+
+        stream.read_exact(&mut buf).unwrap();
+        assert_eq!(
+            Verdict::decode(&buf).unwrap().status,
+            VerdictStatus::Assessed,
+            "the verdict after the STATS frame must still arrive, in order"
+        );
         drop(stream);
         server.shutdown();
     }
@@ -582,7 +820,7 @@ mod tests {
             ask(server.local_addr()).flagged,
             "model B: (0,0) is Firefox territory"
         );
-        assert_eq!(server.stats().swaps.load(Ordering::Relaxed), 1);
+        assert_eq!(server.stats().swaps, 1);
         server.shutdown();
     }
 }

@@ -117,6 +117,15 @@ fn main() {
         verdict.risk_factor,
         policy.decide(&verdict)
     );
+
+    // Pull the full pipeline's metrics over the wire: serving counters,
+    // batch latency, and the orchestrator's retrain timings all ride the
+    // same STATS snapshot.
+    let snapshot = client.fetch_stats().expect("stats");
+    println!("\nservice metrics exposition:");
+    for line in snapshot.render_text().lines() {
+        println!("  {line}");
+    }
     drop(client);
     server.shutdown();
 }

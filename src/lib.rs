@@ -31,5 +31,6 @@ pub use fingerprint;
 pub use fraud_browsers as fraud;
 pub use polygraph_core as core;
 pub use polygraph_ml as ml;
+pub use polygraph_obs as obs;
 pub use polygraph_service as service;
 pub use traffic;

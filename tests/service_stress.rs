@@ -7,17 +7,32 @@
 //! detector fifty times. No verdict may be lost, duplicated or
 //! reordered, and the shared counters must reconcile exactly with what
 //! the clients saw.
+//!
+//! A second, fully deterministic scenario drives the server with an
+//! injected `TestClock` and a strictly sequential client, and pins the
+//! complete metrics exposition against the committed golden file
+//! `results/obs_exposition.txt` — byte for byte. Regenerate with
+//! `UPDATE_GOLDEN=1 cargo test --test service_stress`.
 
 use browser_polygraph::core::{Detector, TrainConfig, TrainedModel, TrainingSet};
 use browser_polygraph::engine::{UserAgent, Vendor};
-use browser_polygraph::fingerprint::{encode_submission, FeatureSet, Submission};
-use browser_polygraph::service::proto::VERDICT_LEN;
-use browser_polygraph::service::{start_risk_server, Verdict, VerdictStatus, MAX_BATCH_PER_GUARD};
+use browser_polygraph::fingerprint::{
+    encode_stats_request, encode_submission, FeatureSet, Submission,
+};
+use browser_polygraph::obs::{Snapshot, TestClock};
+use browser_polygraph::service::proto::{
+    decode_stats_response_header, STATS_RESPONSE_HEADER_LEN, VERDICT_LEN,
+};
+use browser_polygraph::service::server::metric_names;
+use browser_polygraph::service::{
+    start_risk_server, start_risk_server_with, RiskServerConfig, Verdict, VerdictStatus,
+    MAX_BATCH_PER_GUARD,
+};
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const CLIENTS: usize = 8;
 const FRAMES_PER_CLIENT: usize = 200;
@@ -133,16 +148,15 @@ fn pipelined_clients_survive_fifty_hot_swaps() {
     thread::sleep(Duration::from_millis(50));
     let stats = server.stats();
     assert_eq!(
-        stats.assessed.load(Ordering::Relaxed),
-        total_assessed,
+        stats.assessed as usize, total_assessed,
         "every client-observed verdict must be counted exactly once"
     );
     assert_eq!(total_assessed, CLIENTS * FRAMES_PER_CLIENT);
-    assert_eq!(stats.flagged.load(Ordering::Relaxed), total_flagged);
-    assert_eq!(stats.malformed.load(Ordering::Relaxed), 0);
-    assert_eq!(stats.swaps.load(Ordering::Relaxed), SWAPS);
+    assert_eq!(stats.flagged as usize, total_flagged);
+    assert_eq!(stats.malformed, 0);
+    assert_eq!(stats.swaps as usize, SWAPS);
 
-    let batches = stats.batches.load(Ordering::Relaxed);
+    let batches = stats.batches as usize;
     assert!(
         batches >= total_assessed / MAX_BATCH_PER_GUARD,
         "batches must cover all frames: {batches}"
@@ -151,5 +165,135 @@ fn pipelined_clients_survive_fifty_hot_swaps() {
         batches <= total_assessed,
         "a batch holds at least one frame: {batches}"
     );
+
+    // The batch histograms reconcile exactly with the counters even under
+    // full concurrency: every assessed frame sits in exactly one batch.
+    let snap = server.snapshot();
+    let batch_frames = snap
+        .histograms
+        .get(metric_names::BATCH_FRAMES)
+        .expect("batch_frames histogram");
+    assert_eq!(batch_frames.sum as usize, total_assessed);
+    assert_eq!(batch_frames.count as usize, batches);
+    assert_eq!(
+        batch_frames.buckets.iter().sum::<u64>(),
+        batch_frames.count,
+        "bucket counts must sum to the observation count"
+    );
     server.shutdown();
+}
+
+const DET_FRAMES: usize = 50;
+
+/// Runs the deterministic scenario once and returns the final text
+/// exposition: injected `TestClock` stepping 7 µs per read, one strictly
+/// sequential client (each batch is exactly one frame), one detector
+/// swap, one `STATS` round trip.
+fn deterministic_exposition() -> String {
+    let clock = Arc::new(TestClock::with_step(7));
+    let config = RiskServerConfig {
+        read_timeout: Duration::from_secs(5),
+        clock: clock.clone(),
+    };
+    let server = start_risk_server_with("127.0.0.1:0", era_detector(1), config).expect("bind");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+
+    let honest = frame_for(vec![10, 10], UserAgent::new(Vendor::Chrome, 100), 1);
+    let lying = frame_for(vec![20, 20], UserAgent::new(Vendor::Chrome, 100), 2);
+
+    for i in 0..DET_FRAMES {
+        if i == DET_FRAMES / 2 {
+            // One deterministic mid-run swap, between round trips so no
+            // request is in flight.
+            server.swap_detector(era_detector(99));
+        }
+        let frame = if i % 2 == 0 { &honest } else { &lying };
+        stream
+            .write_all(&(frame.len() as u16).to_le_bytes())
+            .expect("write len");
+        stream.write_all(frame).expect("write frame");
+        let mut buf = [0u8; VERDICT_LEN];
+        stream.read_exact(&mut buf).expect("read verdict");
+        let v = Verdict::decode(&buf).expect("decode");
+        assert_eq!(v.status, VerdictStatus::Assessed);
+        assert_eq!(v.flagged, i % 2 == 1);
+    }
+
+    // One STATS round trip over the same socket; the response is parsed
+    // and must already show every assessment.
+    let req = encode_stats_request();
+    stream
+        .write_all(&(req.len() as u16).to_le_bytes())
+        .expect("write stats len");
+    stream.write_all(&req).expect("write stats");
+    let mut header = [0u8; STATS_RESPONSE_HEADER_LEN];
+    stream.read_exact(&mut header).expect("stats header");
+    let len = decode_stats_response_header(&header).expect("stats header decode");
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).expect("stats body");
+    let wire_snap =
+        Snapshot::parse_json(&String::from_utf8(body).expect("utf8")).expect("parse snapshot");
+    assert_eq!(
+        wire_snap.counters.get(metric_names::ASSESSED),
+        Some(&(DET_FRAMES as u64))
+    );
+    drop(stream);
+
+    // Quiesce: wait until the connection worker has fully retired so the
+    // snapshot's cross-metric identities are exact.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = server.stats();
+        if stats.connections_closed == 1 && stats.connections_reaped == 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "worker never retired: {stats:?}");
+        thread::sleep(Duration::from_millis(5));
+    }
+
+    let snap = server.snapshot();
+    let stats = server.stats();
+    let batch_frames = snap
+        .histograms
+        .get(metric_names::BATCH_FRAMES)
+        .expect("batch_frames");
+    assert_eq!(
+        batch_frames.sum, stats.assessed,
+        "histogram frame counts must sum exactly to `assessed`"
+    );
+    let batch_micros = snap
+        .histograms
+        .get(metric_names::BATCH_MICROS)
+        .expect("batch_micros");
+    // Every batch span covers exactly one 7 µs clock step.
+    assert_eq!(batch_micros.sum, 7 * batch_micros.count);
+    server.shutdown();
+    snap.render_text()
+}
+
+#[test]
+fn deterministic_exposition_matches_golden() {
+    let first = deterministic_exposition();
+    let second = deterministic_exposition();
+    assert_eq!(
+        first, second,
+        "two runs under the injected clock must render byte-identical expositions"
+    );
+
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/results/obs_exposition.txt");
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(golden_path, &first).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("missing results/obs_exposition.txt — run with UPDATE_GOLDEN=1 to create");
+    assert_eq!(
+        first, golden,
+        "exposition drifted from results/obs_exposition.txt; \
+         if the change is intended, regenerate with UPDATE_GOLDEN=1"
+    );
 }
