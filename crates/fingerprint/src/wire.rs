@@ -399,6 +399,29 @@ mod tests {
             let _ = decode_submission(&noise);
         }
 
+        /// The truncation-bug regression, from the encoder's side: for
+        /// *any* input — including user-agents far beyond [`MAX_UA_LEN`]
+        /// and value vectors that burst the budget — `encode_submission`
+        /// either errors or yields a frame that round-trips and whose
+        /// length fits the u16 length-prefixed framing without a lossy
+        /// `as u16` cast. A silently truncated frame can never escape.
+        #[test]
+        fn prop_encode_rejects_rather_than_truncates(
+            ua_len in 0usize..2048,
+            values in proptest::collection::vec(any::<u32>(), 0..300),
+        ) {
+            let sub = Submission {
+                session_id: [9u8; 16],
+                user_agent: "u".repeat(ua_len),
+                values,
+            };
+            if let Ok(bytes) = encode_submission(&sub) {
+                prop_assert!(bytes.len() <= MAX_SUBMISSION_BYTES);
+                prop_assert!(u16::try_from(bytes.len()).is_ok());
+                prop_assert_eq!(decode_submission(&bytes).unwrap(), sub);
+            }
+        }
+
         #[test]
         fn prop_mutated_frames_never_panic(
             flip in 0usize..200,

@@ -161,6 +161,14 @@ impl Span {
         self.record()
     }
 
+    /// Abandons the span: nothing is recorded, now or at drop. Error paths
+    /// use this so a latency histogram counts only *completed* operations
+    /// and failures stay visible in their own error counters — the
+    /// `count + errors == requests` identity the client asserts.
+    pub fn cancel(mut self) {
+        self.recorded = true;
+    }
+
     fn record(&mut self) -> u64 {
         if self.recorded {
             return 0;
@@ -224,6 +232,23 @@ mod tests {
         assert_eq!(span.finish(), 3);
         let h = r.snapshot().histograms.get("once_micros").cloned().unwrap();
         assert_eq!(h.count, 1, "finish + drop must record exactly once");
+    }
+
+    #[test]
+    fn cancel_records_nothing() {
+        let clock = Arc::new(TestClock::new());
+        let r = Registry::new(Arc::clone(&clock) as Arc<dyn Clock>);
+        let span = r.span("cancelled_micros");
+        clock.advance(12);
+        span.cancel();
+        let h = r
+            .snapshot()
+            .histograms
+            .get("cancelled_micros")
+            .cloned()
+            .unwrap();
+        assert_eq!(h.count, 0, "a cancelled span must not record at drop");
+        assert_eq!(h.sum, 0);
     }
 
     #[test]

@@ -1,34 +1,125 @@
 //! Client for the risk-assessment service.
+//!
+//! The verdict is one signal inside a risk-based authentication flow
+//! (§1, §4): an unreachable or misbehaving risk server must degrade
+//! gracefully, never stall a login. The client therefore owns the full
+//! fault story on its side of the wire:
+//!
+//! * **Per-request deadlines** — every exchange runs under
+//!   [`RiskClientConfig::request_timeout`] for both reads and writes.
+//! * **Poisoning** — after *any* I/O or decode error the connection is
+//!   discarded (`client.poisoned`). A timed-out request may still be
+//!   answered later; reusing the stream would let those stale bytes
+//!   misparse as the next verdict. A poisoned stream is never read again.
+//! * **Retry with capped, jittered backoff** — failed exchanges retry up
+//!   to [`RiskClientConfig::max_retries`] times on a fresh connection
+//!   (`client.retries`, `client.reconnects`), sleeping an
+//!   exponentially-growing, ChaCha-jittered interval between attempts so
+//!   a fleet of clients does not stampede a recovering server. The jitter
+//!   is seeded ([`RiskClientConfig::retry_seed`]) — chaos runs reproduce.
+//! * **Accounted failures** — a request that exhausts its retries lands
+//!   in `client.errors`, and its latency span is *cancelled*, so
+//!   `client.round_trip_micros.count + client.errors ==
+//!   client.requests` holds exactly.
 
 use crate::proto::{
     decode_stats_response_header, Verdict, VerdictError, STATS_RESPONSE_HEADER_LEN, VERDICT_LEN,
 };
 use browser_engine::BrowserInstance;
-use fingerprint::{encode_stats_request, encode_submission, FeatureSet, Submission};
+use fingerprint::{
+    encode_stats_request, encode_submission, FeatureSet, Submission, MAX_SUBMISSION_BYTES,
+};
 use polygraph_obs::{Counter, Histogram, Registry, Snapshot, Span};
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
+use std::thread;
 use std::time::Duration;
 
 /// Metric names the client records into its registry.
 pub mod metric_names {
-    /// Submit-to-verdict latency in µs (histogram).
+    /// Submit-to-verdict latency in µs, successful round trips only
+    /// (histogram). `count + client.errors == client.requests`.
     pub const ROUND_TRIP_MICROS: &str = "client.round_trip_micros";
-    /// Submissions sent (counter).
+    /// Logical submission requests started (counter).
     pub const REQUESTS: &str = "client.requests";
+    /// Submission requests that failed after exhausting retries (counter).
+    pub const ERRORS: &str = "client.errors";
+    /// Retry attempts across all request kinds (counter).
+    pub const RETRIES: &str = "client.retries";
+    /// Fresh connections established after the initial connect (counter).
+    pub const RECONNECTS: &str = "client.reconnects";
+    /// Streams discarded after an I/O or decode error (counter).
+    pub const POISONED: &str = "client.poisoned";
     /// `STATS` snapshots fetched (counter).
     pub const STATS_FETCHES: &str = "client.stats_fetches";
+    /// `STATS` fetches that failed after exhausting retries (counter).
+    pub const STATS_ERRORS: &str = "client.stats_errors";
+}
+
+/// Resilience settings of a [`RiskClient`].
+#[derive(Debug, Clone)]
+pub struct RiskClientConfig {
+    /// Per-request read *and* write deadline. A server that takes longer
+    /// is treated as failed for this attempt; the stream is poisoned.
+    pub request_timeout: Duration,
+    /// Retries after the first attempt of each request. `0` disables
+    /// retrying (a single failure is returned to the caller).
+    pub max_retries: u32,
+    /// First-retry backoff; doubles per further attempt.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub backoff_cap: Duration,
+    /// Seed of the ChaCha stream that jitters each backoff into
+    /// `[backoff/2, backoff]` — deterministic per client.
+    pub retry_seed: u64,
+}
+
+impl Default for RiskClientConfig {
+    fn default() -> Self {
+        Self {
+            request_timeout: Duration::from_secs(5),
+            max_retries: 2,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(1),
+            retry_seed: 0,
+        }
+    }
 }
 
 /// A connection to a risk server.
 pub struct RiskClient {
-    stream: TcpStream,
+    addr: SocketAddr,
+    config: RiskClientConfig,
+    /// `None` while poisoned/disconnected; the next attempt reconnects.
+    stream: Option<TcpStream>,
+    rng: ChaCha8Rng,
     next_session: u64,
     registry: Arc<Registry>,
     round_trip: Arc<Histogram>,
     requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    retries: Arc<Counter>,
+    reconnects: Arc<Counter>,
+    poisoned: Arc<Counter>,
     stats_fetches: Arc<Counter>,
+    stats_errors: Arc<Counter>,
+}
+
+/// Encodes a u16-LE frame header, rejecting lengths the framing cannot
+/// carry. The cast bug this guards against: `len as u16` silently
+/// truncates a >65535-byte frame (an adversarially long user-agent) into
+/// a short header, desyncing every frame after it.
+fn frame_header(len: usize) -> io::Result<[u8; 2]> {
+    match u16::try_from(len) {
+        Ok(n) if len <= MAX_SUBMISSION_BYTES => Ok(n.to_le_bytes()),
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame length {len} exceeds the {MAX_SUBMISSION_BYTES}-byte framing limit"),
+        )),
+    }
 }
 
 impl RiskClient {
@@ -41,17 +132,40 @@ impl RiskClient {
     /// [`RiskClient::connect`] recording into a shared (possibly
     /// deterministically-clocked) registry.
     pub fn connect_with(addr: SocketAddr, registry: Arc<Registry>) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-        stream.set_nodelay(true)?;
+        Self::connect_with_config(addr, registry, RiskClientConfig::default())
+    }
+
+    /// [`RiskClient::connect_with`] with explicit resilience settings.
+    pub fn connect_with_config(
+        addr: SocketAddr,
+        registry: Arc<Registry>,
+        config: RiskClientConfig,
+    ) -> io::Result<Self> {
+        let stream = Self::open_stream(addr, &config)?;
         Ok(Self {
-            stream,
+            addr,
+            rng: ChaCha8Rng::seed_from_u64(config.retry_seed),
+            config,
+            stream: Some(stream),
             next_session: 1,
             round_trip: registry.histogram(metric_names::ROUND_TRIP_MICROS),
             requests: registry.counter(metric_names::REQUESTS),
+            errors: registry.counter(metric_names::ERRORS),
+            retries: registry.counter(metric_names::RETRIES),
+            reconnects: registry.counter(metric_names::RECONNECTS),
+            poisoned: registry.counter(metric_names::POISONED),
             stats_fetches: registry.counter(metric_names::STATS_FETCHES),
+            stats_errors: registry.counter(metric_names::STATS_ERRORS),
             registry,
         })
+    }
+
+    fn open_stream(addr: SocketAddr, config: &RiskClientConfig) -> io::Result<TcpStream> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(config.request_timeout))?;
+        stream.set_write_timeout(Some(config.request_timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(stream)
     }
 
     /// The registry this client's latency metrics land in.
@@ -59,20 +173,98 @@ impl RiskClient {
         &self.registry
     }
 
-    /// Submits one prepared submission and awaits the verdict.
+    /// Whether the client currently holds a live (non-poisoned) stream.
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Discards the current stream after an error. A timed-out request may
+    /// still be answered later; reading those stale bytes as the next
+    /// response would return a garbage verdict, so a stream that saw any
+    /// error is never read again.
+    fn poison(&mut self) {
+        if self.stream.take().is_some() {
+            self.poisoned.inc();
+        }
+    }
+
+    fn ensure_connected(&mut self) -> io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let stream = Self::open_stream(self.addr, &self.config)?;
+            self.reconnects.inc();
+            self.stream = Some(stream);
+        }
+        self.stream
+            .as_mut()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "not connected"))
+    }
+
+    /// The jittered, capped exponential backoff before retry `attempt`
+    /// (1-based): `base · 2^(attempt-1)` capped at `backoff_cap`, then
+    /// jittered into `[d/2, d]` by the seeded ChaCha stream.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let base = self
+            .config
+            .backoff_base
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64;
+        let cap = self
+            .config
+            .backoff_cap
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64;
+        let shift = attempt.saturating_sub(1).min(20);
+        let full = base.saturating_mul(1u64 << shift).min(cap.max(base));
+        let half = full / 2;
+        // `full - half + 1` is always ≥ 1, so the modulo cannot divide by
+        // zero and the result lands in [half, full].
+        let jittered = half + self.rng.next_u64() % (full - half + 1);
+        Duration::from_micros(jittered)
+    }
+
+    /// Submits one prepared submission and awaits the verdict, retrying
+    /// on a fresh connection (with backoff) after any I/O failure.
     pub fn assess_submission(&mut self, sub: &Submission) -> io::Result<Verdict> {
         let frame = encode_submission(sub)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let header = frame_header(frame.len())?;
         self.requests.inc();
-        let span = Span::on(
-            Arc::clone(&self.round_trip),
-            Arc::clone(self.registry.clock()),
-        );
-        self.stream.write_all(&(frame.len() as u16).to_le_bytes())?;
-        self.stream.write_all(&frame)?;
+        let mut attempt: u32 = 0;
+        loop {
+            let span = Span::on(
+                Arc::clone(&self.round_trip),
+                Arc::clone(self.registry.clock()),
+            );
+            match self.try_verdict_exchange(&header, &frame) {
+                Ok(v) => {
+                    span.finish();
+                    return Ok(v);
+                }
+                Err(e) => {
+                    // Only completed round trips belong in the latency
+                    // histogram; the failure is counted, not timed.
+                    span.cancel();
+                    self.poison();
+                    if attempt >= self.config.max_retries {
+                        self.errors.inc();
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    self.retries.inc();
+                    thread::sleep(self.backoff(attempt));
+                }
+            }
+        }
+    }
+
+    /// One verdict exchange on the current (or a fresh) stream. Any error
+    /// leaves the stream in an unknown state — the caller must poison.
+    fn try_verdict_exchange(&mut self, header: &[u8; 2], frame: &[u8]) -> io::Result<Verdict> {
+        let stream = self.ensure_connected()?;
+        stream.write_all(header)?;
+        stream.write_all(frame)?;
         let mut buf = [0u8; VERDICT_LEN];
-        self.stream.read_exact(&mut buf)?;
-        span.finish();
+        stream.read_exact(&mut buf)?;
         Verdict::decode(&buf)
             .map_err(|e: VerdictError| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
     }
@@ -98,18 +290,42 @@ impl RiskClient {
     }
 
     /// Pulls the server's metrics snapshot over the wire (a `STATS`
-    /// request frame, answered in order with a JSON snapshot).
+    /// request frame, answered in order with a JSON snapshot), with the
+    /// same poison-and-retry discipline as submissions.
     pub fn fetch_stats(&mut self) -> io::Result<Snapshot> {
         let req = encode_stats_request();
-        self.stream.write_all(&(req.len() as u16).to_le_bytes())?;
-        self.stream.write_all(&req)?;
-        let mut header = [0u8; STATS_RESPONSE_HEADER_LEN];
-        self.stream.read_exact(&mut header)?;
-        let len = decode_stats_response_header(&header)
+        let header = frame_header(req.len())?;
+        let mut attempt: u32 = 0;
+        loop {
+            match self.try_stats_exchange(&header, &req) {
+                Ok(snap) => {
+                    self.stats_fetches.inc();
+                    return Ok(snap);
+                }
+                Err(e) => {
+                    self.poison();
+                    if attempt >= self.config.max_retries {
+                        self.stats_errors.inc();
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    self.retries.inc();
+                    thread::sleep(self.backoff(attempt));
+                }
+            }
+        }
+    }
+
+    fn try_stats_exchange(&mut self, header: &[u8; 2], req: &[u8]) -> io::Result<Snapshot> {
+        let stream = self.ensure_connected()?;
+        stream.write_all(header)?;
+        stream.write_all(req)?;
+        let mut resp_header = [0u8; STATS_RESPONSE_HEADER_LEN];
+        stream.read_exact(&mut resp_header)?;
+        let len = decode_stats_response_header(&resp_header)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         let mut body = vec![0u8; len];
-        self.stream.read_exact(&mut body)?;
-        self.stats_fetches.inc();
+        stream.read_exact(&mut body)?;
         let json = String::from_utf8(body)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         Snapshot::parse_json(&json)
@@ -167,7 +383,8 @@ mod tests {
         let v = client.assess_submission(&lying).unwrap();
         assert!(v.flagged);
 
-        // Every round trip landed in the client's latency histogram.
+        // Every round trip landed in the client's latency histogram, and
+        // the fault-path counters stayed at zero.
         let snap = client.registry().snapshot();
         let h = snap
             .histograms
@@ -175,6 +392,9 @@ mod tests {
             .unwrap();
         assert_eq!(h.count, 2);
         assert_eq!(snap.counters.get(metric_names::REQUESTS), Some(&2));
+        assert_eq!(snap.counters.get(metric_names::ERRORS), Some(&0));
+        assert_eq!(snap.counters.get(metric_names::RETRIES), Some(&0));
+        assert_eq!(snap.counters.get(metric_names::POISONED), Some(&0));
         drop(client);
         server.shutdown();
     }
@@ -216,6 +436,54 @@ mod tests {
             Some(&1)
         );
         drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn frame_header_rejects_untransmittable_lengths() {
+        assert_eq!(frame_header(0).unwrap(), [0, 0]);
+        assert_eq!(frame_header(3).unwrap(), [3, 0]);
+        assert_eq!(
+            frame_header(MAX_SUBMISSION_BYTES).unwrap(),
+            (MAX_SUBMISSION_BYTES as u16).to_le_bytes()
+        );
+        // Over the submission budget: the server would kill the connection
+        // on the oversize header, so the client refuses to send it.
+        let e = frame_header(MAX_SUBMISSION_BYTES + 1).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidInput);
+        // Over u16: the old `len as u16` cast silently truncated this to
+        // 4465, desyncing the stream. Now it is an input error.
+        let e = frame_header(70_001).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn backoff_is_capped_jittered_and_seeded() {
+        let server = start_risk_server("127.0.0.1:0", tiny_detector()).unwrap();
+        let config = RiskClientConfig {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(40),
+            retry_seed: 7,
+            ..Default::default()
+        };
+        let mut a = RiskClient::connect_with_config(
+            server.local_addr(),
+            Arc::new(Registry::monotonic()),
+            config.clone(),
+        )
+        .unwrap();
+        let mut b = RiskClient::connect_with_config(
+            server.local_addr(),
+            Arc::new(Registry::monotonic()),
+            config,
+        )
+        .unwrap();
+        for attempt in 1..=6u32 {
+            let d_a = a.backoff(attempt);
+            let full = Duration::from_millis((10 * (1 << (attempt - 1))).min(40));
+            assert!(d_a >= full / 2 && d_a <= full, "attempt {attempt}: {d_a:?}");
+            assert_eq!(d_a, b.backoff(attempt), "same seed, same jitter");
+        }
         server.shutdown();
     }
 }

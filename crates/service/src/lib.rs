@@ -20,6 +20,11 @@
 //!   traffic, retrain when a release shifts, validate, publish, swap.
 //! * [`policy`] — mapping risk factors to authentication actions (allow /
 //!   step-up / deny), the "risk-based authentication" integration point.
+//! * [`chaos`] — deterministic fault injection: a seeded [`FaultPlan`]
+//!   and a test-only TCP proxy that tears frames, stalls reads past
+//!   deadlines, drips bytes, and resets connections mid-verdict, so the
+//!   client's poison/retry discipline and the server's degradation ladder
+//!   are pinned by reproducible tests instead of assumed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +43,7 @@
     )
 )]
 
+pub mod chaos;
 pub mod client;
 pub mod framing;
 pub mod orchestrator;
@@ -46,7 +52,8 @@ pub mod proto;
 pub mod registry;
 pub mod server;
 
-pub use client::RiskClient;
+pub use chaos::{start_chaos_proxy, ChaosProxy, FaultConfig, FaultPlan};
+pub use client::{RiskClient, RiskClientConfig};
 pub use orchestrator::{Orchestrator, OrchestratorConfig, RetrainOutcome};
 pub use policy::{AuthAction, RiskPolicy};
 pub use proto::{Verdict, VerdictStatus};

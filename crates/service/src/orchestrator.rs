@@ -31,6 +31,9 @@ pub mod metric_names {
     pub const RETRAIN_MICROS: &str = "orchestrator.retrain_micros";
     /// Models published to the on-disk registry (counter).
     pub const REGISTRY_PUBLISHES: &str = "orchestrator.registry.publishes";
+    /// Checkpoints whose retrain *errored* (corrupt window) and fell back
+    /// to the last-good registry model (counter).
+    pub const FALLBACKS: &str = "orchestrator.drift.fallbacks";
 }
 
 /// Orchestrator settings.
@@ -80,6 +83,21 @@ pub enum RetrainOutcome {
         triggers: Vec<UserAgent>,
         /// The rejected candidate's accuracy.
         accuracy: f64,
+    },
+    /// Drift detected but the retrain window itself was unusable (too
+    /// few rows, width mismatch — a corrupt collection run). Instead of
+    /// erroring out of the checkpoint, the orchestrator re-asserted the
+    /// last-good model from the registry so the serving detector is in a
+    /// known-published state, and reports the failure for investigation.
+    Fallback {
+        /// The releases that triggered the retrain attempt.
+        triggers: Vec<UserAgent>,
+        /// The registry version swapped back in, or `None` when the
+        /// registry holds no loadable model (the in-memory detector then
+        /// keeps serving unchanged).
+        version: Option<u64>,
+        /// The retrain error, stringified for the operator.
+        error: String,
     },
 }
 
@@ -175,13 +193,36 @@ impl<'s> Orchestrator<'s> {
             let guard = slot.read();
             guard.model().feature_set().clone()
         };
-        let candidate = TrainedModel::fit_observed(
+        let candidate = match TrainedModel::fit_observed(
             feature_set,
             fresh,
             self.config.train,
             &ThreadPool::serial(),
             &obs,
-        )?;
+        ) {
+            Ok(candidate) => candidate,
+            Err(err) => {
+                // A corrupt retrain window must not take the checkpoint
+                // loop down. Re-assert the last-good *published* model
+                // (which `load_latest_versioned` guarantees is intact)
+                // so serving state is reproducible from the registry,
+                // then surface the failure as an outcome, not an error.
+                retrain_span.cancel();
+                obs.counter(metric_names::FALLBACKS).inc();
+                let version = match self.registry.load_latest_versioned()? {
+                    Some((version, last_good)) => {
+                        self.server.swap_detector(Detector::new(last_good));
+                        Some(version)
+                    }
+                    None => None,
+                };
+                return Ok(RetrainOutcome::Fallback {
+                    triggers,
+                    version,
+                    error: err.to_string(),
+                });
+            }
+        };
         let accuracy = candidate.train_accuracy();
         if accuracy < self.config.min_accuracy {
             obs.counter(metric_names::RETRAINS_REJECTED).inc();
@@ -333,6 +374,69 @@ mod tests {
         assert!(matches!(outcome, RetrainOutcome::RetrainRejected { .. }));
         assert_eq!(server.stats().swaps, 0);
         assert!(orch.registry().versions().unwrap().is_empty());
+        server.shutdown();
+    }
+
+    /// Drift plus an unusable retrain window: `k` far exceeds the rows in
+    /// the fresh set, so `fit_observed` errors after drift has already
+    /// fired — the corrupt-collection-run scenario.
+    fn drifting_but_unfittable() -> (TrainingSet, OrchestratorConfig) {
+        let mut fresh = training(0.0);
+        for _ in 0..80 {
+            fresh
+                .push(vec![-0.5, -0.5], ua(Vendor::Chrome, 111))
+                .unwrap();
+        }
+        let mut cfg = config();
+        cfg.train.k = 10_000;
+        (fresh, cfg)
+    }
+
+    #[test]
+    fn corrupt_window_falls_back_to_last_good_registry_model() {
+        let server = start_risk_server("127.0.0.1:0", Detector::new(serving_model())).unwrap();
+        let registry = temp_registry("fallback");
+        // Seed the registry with a known-good published model.
+        let last_good = serving_model();
+        registry.publish(&last_good).unwrap();
+        let (fresh, cfg) = drifting_but_unfittable();
+        let orch = Orchestrator::new(&server, registry, cfg);
+        let outcome = orch.checkpoint(&fresh, &[ua(Vendor::Chrome, 111)]).unwrap();
+        match outcome {
+            RetrainOutcome::Fallback {
+                triggers,
+                version,
+                error,
+            } => {
+                assert_eq!(triggers, vec![ua(Vendor::Chrome, 111)]);
+                assert_eq!(version, Some(1));
+                assert!(error.contains("cannot support k="), "got: {error}");
+            }
+            other => panic!("expected fallback, got {other:?}"),
+        }
+        assert_eq!(server.stats().swaps, 1, "last-good model was re-asserted");
+        // The serving detector is the registry model, not a half-trained
+        // candidate: known shapes still assess cleanly.
+        let slot = server.detector_slot();
+        let verdict = slot
+            .read()
+            .assess(&[0.0, 0.0], ua(Vendor::Chrome, 100))
+            .unwrap();
+        assert!(!verdict.flagged);
+        server.shutdown();
+    }
+
+    #[test]
+    fn fallback_with_empty_registry_keeps_serving_in_memory_model() {
+        let server = start_risk_server("127.0.0.1:0", Detector::new(serving_model())).unwrap();
+        let (fresh, cfg) = drifting_but_unfittable();
+        let orch = Orchestrator::new(&server, temp_registry("fallback-empty"), cfg);
+        let outcome = orch.checkpoint(&fresh, &[ua(Vendor::Chrome, 111)]).unwrap();
+        match outcome {
+            RetrainOutcome::Fallback { version, .. } => assert_eq!(version, None),
+            other => panic!("expected fallback, got {other:?}"),
+        }
+        assert_eq!(server.stats().swaps, 0, "nothing to fall back to: no swap");
         server.shutdown();
     }
 }

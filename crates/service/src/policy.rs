@@ -48,7 +48,9 @@ pub struct RiskPolicy {
     /// Flagged sessions at or above this risk factor are denied.
     pub deny_at: u8,
     /// Action for sessions whose submission could not be assessed
-    /// (malformed frame, unparseable user-agent, schema mismatch).
+    /// (malformed frame, unparseable user-agent, schema mismatch) or
+    /// was shed under overload (`VerdictStatus::Degraded`): an honest
+    /// "no signal" answer, never a garbage risk factor.
     pub on_unassessable: AuthAction,
 }
 
@@ -133,6 +135,17 @@ mod tests {
         assert_eq!(p.decide(&v), AuthAction::StepUp);
         p.on_unassessable = AuthAction::Deny;
         assert_eq!(p.decide(&v), AuthAction::Deny);
+    }
+
+    #[test]
+    fn degraded_is_unassessable_not_a_risk_signal() {
+        let p = RiskPolicy::default();
+        let v = Verdict::error(VerdictStatus::Degraded);
+        assert_eq!(
+            p.decide(&v),
+            p.on_unassessable,
+            "shed verdicts must follow the unassessable path, not the risk bands"
+        );
     }
 
     #[test]

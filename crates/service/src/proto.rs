@@ -46,6 +46,13 @@ pub enum VerdictStatus {
     Malformed,
     /// The fingerprint's width did not match the serving model.
     SchemaMismatch,
+    /// The server shed this frame under overload instead of queueing it
+    /// behind the detector. No assessment was made; the login flow should
+    /// treat the session per its unassessable policy
+    /// ([`crate::RiskPolicy`]'s `on_unassessable`) — the fingerprint is
+    /// one signal among many, and a busy risk server must never stall a
+    /// login.
+    Degraded,
 }
 
 impl VerdictStatus {
@@ -54,6 +61,7 @@ impl VerdictStatus {
             VerdictStatus::Assessed => 0,
             VerdictStatus::Malformed => 1,
             VerdictStatus::SchemaMismatch => 2,
+            VerdictStatus::Degraded => 3,
         }
     }
 
@@ -62,6 +70,7 @@ impl VerdictStatus {
             0 => Some(VerdictStatus::Assessed),
             1 => Some(VerdictStatus::Malformed),
             2 => Some(VerdictStatus::SchemaMismatch),
+            3 => Some(VerdictStatus::Degraded),
             _ => None,
         }
     }
@@ -275,7 +284,11 @@ mod tests {
 
     #[test]
     fn error_verdicts_encode() {
-        for s in [VerdictStatus::Malformed, VerdictStatus::SchemaMismatch] {
+        for s in [
+            VerdictStatus::Malformed,
+            VerdictStatus::SchemaMismatch,
+            VerdictStatus::Degraded,
+        ] {
             let v = Verdict::error(s);
             let back = Verdict::decode(&v.encode()).unwrap();
             assert_eq!(back.status, s);

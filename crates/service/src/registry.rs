@@ -77,15 +77,57 @@ impl ModelRegistry {
     }
 
     /// Loads the newest model, if any.
+    ///
+    /// Never returns a half-written or corrupt model: the `latest`
+    /// pointer is only a hint, and any version that fails to parse (or
+    /// was pruned between listing and reading) is skipped in favour of
+    /// the next-newest one. Only when *no* stored version is loadable
+    /// does this return `Ok(None)`.
     pub fn load_latest(&self) -> io::Result<Option<TrainedModel>> {
-        match self.latest_version()? {
-            Some(v) => self.load(v).map(Some),
-            None => Ok(None),
+        Ok(self.load_latest_versioned()?.map(|(_, model)| model))
+    }
+
+    /// [`Self::load_latest`], also reporting which version was loaded.
+    pub fn load_latest_versioned(&self) -> io::Result<Option<(u64, TrainedModel)>> {
+        // Fast path: the pointer names a version that loads cleanly.
+        if let Some(v) = self.latest_hint() {
+            if let Ok(model) = self.load(v) {
+                return Ok(Some((v, model)));
+            }
         }
+        // Slow path: newest→oldest over the directory listing, skipping
+        // versions that vanished (concurrent prune) or fail to parse
+        // (crash mid-write, disk corruption). I/O errors other than
+        // those two still propagate — they mean the store itself is
+        // unreadable, not that one artifact is bad.
+        for v in self.versions()?.into_iter().rev() {
+            match self.load(v) {
+                Ok(model) => return Ok(Some((v, model))),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::NotFound | io::ErrorKind::InvalidData
+                    ) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(None)
+    }
+
+    /// The version named by the `latest` pointer file, when present and
+    /// well-formed. An empty or garbled pointer (crash between the model
+    /// rename and the pointer rename) is treated as absent rather than
+    /// an error: the directory scan is the source of truth.
+    fn latest_hint(&self) -> Option<u64> {
+        let bytes = fs::read(self.dir.join("latest")).ok()?;
+        std::str::from_utf8(&bytes).ok()?.trim().parse().ok()
     }
 
     /// Removes versions older than the newest `keep` (never removing the
     /// latest). Returns the versions removed.
+    ///
+    /// Tolerates racing with a concurrent publish or prune: a version
+    /// that is already gone when its turn comes counts as removed.
     pub fn prune(&self, keep: usize) -> io::Result<Vec<u64>> {
         let versions = self.versions()?;
         if versions.len() <= keep.max(1) {
@@ -94,8 +136,13 @@ impl ModelRegistry {
         let cut = versions.len() - keep.max(1);
         let mut removed = Vec::new();
         for &v in versions.get(..cut).unwrap_or_default() {
-            fs::remove_file(self.model_path(v))?;
-            removed.push(v);
+            match fs::remove_file(self.model_path(v)) {
+                Ok(()) => removed.push(v),
+                // Another pruner (or an operator) got there first; the
+                // goal state — version gone — is reached either way.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => removed.push(v),
+                Err(e) => return Err(e),
+            }
         }
         Ok(removed)
     }
@@ -195,5 +242,80 @@ mod tests {
     fn missing_version_is_an_error() {
         let reg = temp_registry("missing");
         assert!(reg.load(42).is_err());
+    }
+
+    #[test]
+    fn load_latest_skips_half_written_models() {
+        let reg = temp_registry("halfwritten");
+        let good = tiny_model(0.0);
+        reg.publish(&good).unwrap();
+        let newer = tiny_model(5.0);
+        reg.publish(&newer).unwrap();
+        // Simulate a crash mid-write of v3: the file exists (and is the
+        // newest by version number) but holds a truncated document.
+        let full = serde_json::to_string(&tiny_model(9.0)).unwrap();
+        fs::write(reg.dir().join("model-v3.json"), &full[..full.len() / 2]).unwrap();
+        fs::write(reg.dir().join("latest"), "3").unwrap();
+        let (v, restored) = reg.load_latest_versioned().unwrap().expect("v2 is intact");
+        assert_eq!(v, 2, "the corrupt v3 must be skipped, not served");
+        assert_eq!(restored.cluster_table(), newer.cluster_table());
+    }
+
+    #[test]
+    fn corrupt_or_empty_latest_pointer_is_ignored() {
+        let reg = temp_registry("badpointer");
+        let model = tiny_model(0.0);
+        reg.publish(&model).unwrap();
+        for garbage in ["", "not-a-number", "99999"] {
+            fs::write(reg.dir().join("latest"), garbage).unwrap();
+            let restored = reg.load_latest().unwrap().expect("v1 is intact");
+            assert_eq!(restored.cluster_table(), model.cluster_table());
+        }
+        // A registry holding *only* corrupt artifacts yields None, not
+        // a garbage model and not an error.
+        fs::write(reg.dir().join("model-v1.json"), "{oops").unwrap();
+        assert!(reg.load_latest().unwrap().is_none());
+    }
+
+    #[test]
+    fn prune_tolerates_already_removed_versions() {
+        let reg = temp_registry("pruneconc");
+        for i in 0..4 {
+            reg.publish(&tiny_model(i as f64)).unwrap();
+        }
+        // An operator (or concurrent pruner) already removed v1: prune
+        // neither errors nor counts it, and converges on the same goal
+        // state. (The listing-to-unlink race itself is exercised by
+        // `publish_while_prune_never_serves_a_broken_latest`.)
+        fs::remove_file(reg.dir().join("model-v1.json")).unwrap();
+        let removed = reg.clone().prune(2).unwrap();
+        assert_eq!(removed, vec![2]);
+        assert_eq!(reg.versions().unwrap(), vec![3, 4]);
+    }
+
+    #[test]
+    fn publish_while_prune_never_serves_a_broken_latest() {
+        let reg = temp_registry("pubprune");
+        reg.publish(&tiny_model(0.0)).unwrap();
+        let publisher = {
+            let reg = reg.clone();
+            std::thread::spawn(move || {
+                for i in 1..20 {
+                    reg.publish(&tiny_model(i as f64)).unwrap();
+                }
+            })
+        };
+        // Interleave prunes and reads with the publisher. Whatever the
+        // interleaving, load_latest must always produce *a* valid model.
+        for _ in 0..40 {
+            reg.prune(2).unwrap();
+            let loaded = reg.load_latest().unwrap();
+            assert!(loaded.is_some(), "a model was published before the loop");
+        }
+        publisher.join().unwrap();
+        reg.prune(2).unwrap();
+        assert!(reg.versions().unwrap().len() <= 2);
+        let (v, _) = reg.load_latest_versioned().unwrap().expect("models remain");
+        assert_eq!(v, 20, "the newest publish wins");
     }
 }

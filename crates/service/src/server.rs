@@ -31,6 +31,16 @@
 //! * Workers observe the server's stop flag each loop, so shutdown is
 //!   bounded by roughly one read-timeout tick even with connected
 //!   clients.
+//!
+//! ## Overload shedding
+//!
+//! A connection may pipeline more frames than the detector can assess
+//! promptly. Instead of queueing unboundedly, each guard cycle assesses
+//! up to [`MAX_BATCH_PER_GUARD`] frames and then answers any backlog
+//! beyond [`RiskServerConfig::shed_limit`] immediately with
+//! [`VerdictStatus::Degraded`] (`server.frames.shed`) — the degradation
+//! ladder's "fast non-answer beats a slow answer" rung, consumed by
+//! `RiskPolicy::on_unassessable`.
 
 use crate::framing::{count_frames, frame_status, split_frames, FrameStatus};
 use crate::proto::{encode_stats_response, Verdict, VerdictStatus};
@@ -85,6 +95,9 @@ pub mod metric_names {
     pub const IDLE_TIMEOUTS: &str = "server.idle_timeouts";
     /// `STATS` request frames answered (counter).
     pub const STATS_REQUESTS: &str = "server.stats_requests";
+    /// Frames answered `Degraded` by overload shedding instead of being
+    /// queued behind the detector (counter).
+    pub const SHED: &str = "server.frames.shed";
 }
 
 /// Configuration of a risk server.
@@ -97,6 +110,14 @@ pub struct RiskServerConfig {
     /// default monotonic clock; tests inject a deterministic
     /// `TestClock` so snapshots are byte-reproducible.
     pub clock: Arc<dyn Clock>,
+    /// Overload-shedding threshold: after a batch is taken, any complete
+    /// frames still queued beyond this count are answered immediately
+    /// with a [`VerdictStatus::Degraded`] verdict (no assessment, no
+    /// detector lock) instead of queueing unboundedly. Each guard cycle
+    /// still assesses up to [`MAX_BATCH_PER_GUARD`] frames normally, so a
+    /// flooding connection keeps bounded goodput while its backlog drains
+    /// in constant time.
+    pub shed_limit: usize,
 }
 
 impl Default for RiskServerConfig {
@@ -104,6 +125,7 @@ impl Default for RiskServerConfig {
         Self {
             read_timeout: Duration::from_secs(5),
             clock: Arc::new(MonotonicClock::new()),
+            shed_limit: 8 * MAX_BATCH_PER_GUARD,
         }
     }
 }
@@ -129,6 +151,8 @@ pub struct RiskServerStats {
     pub idle_timeouts: u64,
     /// `STATS` request frames answered.
     pub stats_requests: u64,
+    /// Frames answered `Degraded` by overload shedding.
+    pub shed: u64,
     /// Connections accepted.
     pub connections_opened: u64,
     /// Connections that ended cleanly.
@@ -163,6 +187,7 @@ pub struct ServerMetrics {
     connections_reaped: Arc<Counter>,
     idle_timeouts: Arc<Counter>,
     stats_requests: Arc<Counter>,
+    shed: Arc<Counter>,
 }
 
 impl ServerMetrics {
@@ -184,6 +209,7 @@ impl ServerMetrics {
             connections_reaped: registry.counter(metric_names::CONNECTIONS_REAPED),
             idle_timeouts: registry.counter(metric_names::IDLE_TIMEOUTS),
             stats_requests: registry.counter(metric_names::STATS_REQUESTS),
+            shed: registry.counter(metric_names::SHED),
             registry,
         }
     }
@@ -202,6 +228,7 @@ impl ServerMetrics {
             batches: self.batches.get(),
             idle_timeouts: self.idle_timeouts.get(),
             stats_requests: self.stats_requests.get(),
+            shed: self.shed.get(),
             connections_opened: self.connections_opened.get(),
             connections_closed: self.connections_closed.get(),
             connections_errored: self.connections_errored.get(),
@@ -299,6 +326,7 @@ struct ConnContext {
     metrics: Arc<ServerMetrics>,
     stop: Arc<AtomicBool>,
     read_timeout: Duration,
+    shed_limit: usize,
 }
 
 /// Starts a risk server on `addr` (use `127.0.0.1:0` for an ephemeral
@@ -328,6 +356,7 @@ pub fn start_risk_server_with(
             metrics: Arc::clone(&metrics),
             stop: Arc::clone(&stop),
             read_timeout: config.read_timeout,
+            shed_limit: config.shed_limit,
         };
         thread::spawn(move || acceptor_loop(listener, ctx))
     };
@@ -437,9 +466,15 @@ fn serve_connection(mut stream: TcpStream, ctx: &ConnContext) -> io::Result<()> 
 
         // Drain phase: pull in whatever else the client already pipelined,
         // without blocking, so the whole backlog shares one read guard.
+        // Reading continues past one batch up to the shed threshold, so an
+        // overloaded connection's backlog becomes *visible* here instead
+        // of queueing invisibly (and unboundedly) in kernel buffers.
+        let drain_target = MAX_BATCH_PER_GUARD
+            .saturating_add(ctx.shed_limit)
+            .saturating_add(1);
         stream.set_nonblocking(true)?;
         loop {
-            if count_frames(&pending) >= MAX_BATCH_PER_GUARD {
+            if count_frames(&pending) >= drain_target {
                 break;
             }
             match stream.read(&mut chunk) {
@@ -457,7 +492,7 @@ fn serve_connection(mut stream: TcpStream, ctx: &ConnContext) -> io::Result<()> 
         }
         stream.set_nonblocking(false)?;
 
-        let (frames, oversize) = split_frames(&mut pending, MAX_BATCH_PER_GUARD);
+        let (frames, mut oversize) = split_frames(&mut pending, MAX_BATCH_PER_GUARD);
 
         // Assess the whole batch of submission frames under ONE detector
         // read guard; a model swap therefore lands between batches, never
@@ -503,6 +538,36 @@ fn serve_connection(mut stream: TcpStream, ctx: &ConnContext) -> io::Result<()> 
         }
         metrics.bytes_written.add(out.len() as u64);
         stream.write_all(&out)?;
+
+        // Overload shedding: complete frames still queued beyond the shed
+        // threshold after this batch are answered *now* with `Degraded` —
+        // no assessment, no detector lock — instead of waiting behind
+        // future batches. The risk verdict is one signal in a risk-based
+        // authentication flow; under overload a fast "could not assess"
+        // beats an unbounded queue. `STATS` frames in the backlog are
+        // still answered with a real snapshot (they are cheap and lock
+        // nothing).
+        if !oversize && count_frames(&pending) > ctx.shed_limit {
+            let (backlog, backlog_oversize) = split_frames(&mut pending, usize::MAX);
+            let mut shed_out = Vec::with_capacity(backlog.len() * crate::proto::VERDICT_LEN);
+            let mut shed_count = 0u64;
+            for f in &backlog {
+                if is_stats_request(f) {
+                    metrics.stats_requests.inc();
+                    let json = metrics.registry().snapshot().render_json().into_bytes();
+                    shed_out.extend_from_slice(&encode_stats_response(&json));
+                } else {
+                    shed_out.extend_from_slice(&Verdict::error(VerdictStatus::Degraded).encode());
+                    shed_count += 1;
+                }
+            }
+            metrics.shed.add(shed_count);
+            metrics.bytes_written.add(shed_out.len() as u64);
+            stream.write_all(&shed_out)?;
+            if backlog_oversize {
+                oversize = true;
+            }
+        }
 
         if oversize {
             metrics.malformed.inc();
@@ -704,6 +769,94 @@ mod tests {
         assert_eq!(h.count, stats.batches);
         assert!(stats.bytes_read as usize >= wire.len());
         assert!(stats.bytes_written as usize >= total * crate::proto::VERDICT_LEN);
+        server.shutdown();
+    }
+
+    #[test]
+    fn overload_backlog_is_shed_with_degraded() {
+        // shed_limit 0: after each assessed batch, every frame still
+        // queued is answered `Degraded` instead of waiting.
+        let config = RiskServerConfig {
+            shed_limit: 0,
+            ..Default::default()
+        };
+        let server = start_risk_server_with("127.0.0.1:0", tiny_detector(), config).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+
+        let honest = frame_for(vec![10, 10], UserAgent::new(Vendor::Chrome, 100));
+        let lying = frame_for(vec![20, 20], UserAgent::new(Vendor::Chrome, 100));
+        let total = 400usize;
+        let mut wire = Vec::new();
+        for i in 0..total {
+            let frame = if i % 2 == 0 { &honest } else { &lying };
+            wire.extend_from_slice(&(frame.len() as u16).to_le_bytes());
+            wire.extend_from_slice(frame);
+        }
+        stream.write_all(&wire).unwrap();
+
+        let mut assessed = 0usize;
+        let mut degraded = 0usize;
+        for i in 0..total {
+            let mut buf = [0u8; crate::proto::VERDICT_LEN];
+            stream.read_exact(&mut buf).unwrap();
+            let v = Verdict::decode(&buf).unwrap();
+            match v.status {
+                VerdictStatus::Assessed => {
+                    // Responses stay in frame order, so an assessed
+                    // frame's verdict is position-determined — shedding
+                    // must never produce a garbage verdict.
+                    assert_eq!(v.flagged, i % 2 == 1, "frame {i} out of order");
+                    assessed += 1;
+                }
+                VerdictStatus::Degraded => {
+                    assert!(!v.flagged);
+                    degraded += 1;
+                }
+                other => panic!("frame {i}: unexpected status {other:?}"),
+            }
+        }
+        assert_eq!(assessed + degraded, total);
+        assert!(degraded > 0, "a 400-frame burst at shed_limit 0 must shed");
+        assert!(assessed > 0, "each guard cycle still assesses a batch");
+
+        drop(stream);
+        thread::sleep(Duration::from_millis(20));
+        let stats = server.stats();
+        assert_eq!(stats.assessed as usize, assessed);
+        assert_eq!(stats.shed as usize, degraded);
+        assert_eq!(stats.malformed, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn sequential_clients_never_shed() {
+        let config = RiskServerConfig {
+            shed_limit: 0,
+            ..Default::default()
+        };
+        let server = start_risk_server_with("127.0.0.1:0", tiny_detector(), config).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let frame = frame_for(vec![10, 10], UserAgent::new(Vendor::Chrome, 100));
+        // Strictly request/response: there is never a queued backlog, so
+        // even the most aggressive shed_limit degrades nothing.
+        for _ in 0..10 {
+            stream
+                .write_all(&(frame.len() as u16).to_le_bytes())
+                .unwrap();
+            stream.write_all(&frame).unwrap();
+            let mut buf = [0u8; crate::proto::VERDICT_LEN];
+            stream.read_exact(&mut buf).unwrap();
+            let v = Verdict::decode(&buf).unwrap();
+            assert_eq!(v.status, VerdictStatus::Assessed);
+        }
+        drop(stream);
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(server.stats().shed, 0);
         server.shutdown();
     }
 

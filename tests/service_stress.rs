@@ -194,6 +194,7 @@ fn deterministic_exposition() -> String {
     let config = RiskServerConfig {
         read_timeout: Duration::from_secs(5),
         clock: clock.clone(),
+        ..Default::default()
     };
     let server = start_risk_server_with("127.0.0.1:0", era_detector(1), config).expect("bind");
     let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
