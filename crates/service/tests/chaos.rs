@@ -445,3 +445,108 @@ fn seeded_chaos_run_yields_zero_garbage_verdicts() {
     proxy.shutdown();
     server.shutdown();
 }
+
+/// The seeded chaos run again, at a high duplicate ratio with the
+/// verdict cache enabled. Session tags vary on every request, but the
+/// cache keys on the session-invariant (fingerprint, user-agent) pair —
+/// so the two distinct submissions in this mix repeat at a ~0.97
+/// duplicate ratio and most answers come from cache, *through the same
+/// fault schedule*. Two invariants:
+///
+/// * zero garbage verdicts: a cached answer must still be *this*
+///   submission's answer, fault or no fault;
+/// * the cache books balance: every normal-path submission frame the
+///   server saw is exactly one hit or one miss, so
+///   `cache.hits + cache.misses == assessed + malformed + shed_exempt`
+///   (no shedding or malformed traffic occurs here, but the identity is
+///   asserted in full).
+#[test]
+fn seeded_chaos_run_with_cache_keeps_books_balanced() {
+    let config = polygraph_service::RiskServerConfig {
+        cache_shards: 4,
+        cache_capacity: 256,
+        ..Default::default()
+    };
+    let server =
+        polygraph_service::start_risk_server_with("127.0.0.1:0", tiny_detector(), config).unwrap();
+    let faults = FaultConfig {
+        reset_per_mille: 60,
+        stall_per_mille: 40,
+        stall: Duration::from_millis(350),
+        drip_per_mille: 30,
+        drip_step: Duration::from_millis(1),
+        split_per_mille: 150,
+        delay_per_mille: 100,
+        delay: Duration::from_millis(10),
+    };
+    let proxy = start_chaos_proxy(
+        server.local_addr(),
+        FaultPlan::symmetric(CHAOS_SEED, faults),
+    )
+    .unwrap();
+
+    let mut client = RiskClient::connect_with_config(
+        proxy.local_addr(),
+        Arc::new(Registry::monotonic()),
+        fast_retry_config(3, Duration::from_millis(200)),
+    )
+    .unwrap();
+
+    let total = 60u32;
+    let mut assessed_ok = 0u32;
+    let mut degraded = 0u32;
+    let mut failed = 0u32;
+    for i in 0..total {
+        let tag = (i % 251) as u8;
+        let (sub, expect_flagged) = if i % 2 == 0 {
+            (honest_submission(tag), false)
+        } else {
+            (lying_submission(tag), true)
+        };
+        match client.assess_submission(&sub) {
+            Ok(v) => match v.status {
+                VerdictStatus::Assessed => {
+                    assert_eq!(
+                        v.flagged, expect_flagged,
+                        "garbage verdict for submission {i} (seed {CHAOS_SEED:#x}): \
+                         a cache hit answered with the wrong pair's verdict"
+                    );
+                    assessed_ok += 1;
+                }
+                VerdictStatus::Degraded => degraded += 1,
+                other => panic!("submission {i}: unexpected status {other:?}"),
+            },
+            Err(_) => failed += 1,
+        }
+    }
+    assert_eq!(assessed_ok + degraded + failed, total);
+    assert!(
+        assessed_ok > total / 2,
+        "retries should carry most submissions through (assessed {assessed_ok}/{total})"
+    );
+
+    drop(client);
+    proxy.shutdown();
+    let stats = server.stats();
+    server.shutdown();
+
+    // Two distinct (fingerprint, UA) pairs in the whole run: after the
+    // two cold misses (plus any misses retried across a detector-free
+    // moment), everything is a hit.
+    assert!(stats.cache_hits > 0, "a 0.97 duplicate ratio must hit");
+    assert!(
+        stats.cache_misses >= 2,
+        "both distinct pairs miss cold at least once"
+    );
+    assert_eq!(stats.cache_stale_epoch, 0, "no swap happened");
+    assert_eq!(
+        stats.cache_hits + stats.cache_misses,
+        stats.assessed + stats.malformed + stats.cache_shed_exempt,
+        "cache books must balance: every normal-path submission frame \
+         is exactly one hit or one miss (seed {CHAOS_SEED:#x})"
+    );
+    assert!(
+        stats.assessed >= u64::from(assessed_ok),
+        "server-side assessments include replies lost to faults"
+    );
+}

@@ -1,0 +1,230 @@
+//! `cargo xtask bench-check` — the performance gate.
+//!
+//! Compares a freshly emitted `BENCH_serving.json` (written by
+//! `bench_serving --smoke`) against the committed
+//! `results/bench_baseline.json` and fails when cached serving
+//! throughput regressed more than the allowed percentage, when the
+//! cached/uncached speedup fell below the floor, or when the bench's
+//! own determinism gate (`verdicts_identical`) did not hold. The same
+//! code runs in CI's `perf-smoke` job and locally, so a red gate always
+//! reproduces at a developer's desk.
+
+use serde_json::Value;
+use std::path::Path;
+
+/// Thresholds of the gate. The defaults match the CI configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchCheckConfig {
+    /// Maximum tolerated drop of `cached.frames_per_sec` versus the
+    /// baseline, in percent. CI runners are noisy; 20% catches real
+    /// regressions (a lock on the hit path, a lost shard) while riding
+    /// out scheduler jitter.
+    pub max_regress_pct: f64,
+    /// Minimum `speedup` (cached vs uncached frames/sec on the same
+    /// seed and sequence). The committed baseline records ~2.6×; the
+    /// floor is deliberately lower so the gate tests "the cache still
+    /// pays", not a specific machine's timings.
+    pub min_speedup: f64,
+}
+
+impl Default for BenchCheckConfig {
+    fn default() -> Self {
+        Self {
+            max_regress_pct: 20.0,
+            min_speedup: 1.5,
+        }
+    }
+}
+
+/// The gate's verdict: the rendered report plus pass/fail.
+#[derive(Debug, Clone)]
+pub struct BenchCheckReport {
+    /// Human-readable comparison, one line per checked quantity.
+    pub text: String,
+    /// Whether every check passed.
+    pub pass: bool,
+}
+
+/// Runs the gate over two already-loaded JSON documents. Returns `Err`
+/// only for malformed documents; a failed threshold is a `pass: false`
+/// report, not an error.
+pub fn check_documents(
+    current: &Value,
+    baseline: &Value,
+    config: BenchCheckConfig,
+) -> Result<BenchCheckReport, String> {
+    let schema = current
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("current bench json has no schema tag")?;
+    if schema != "polygraph.bench_serving.v1" {
+        return Err(format!("unsupported bench schema {schema:?}"));
+    }
+
+    let current_fps = fps(current, "current")?;
+    let baseline_fps = fps(baseline, "baseline")?;
+    let speedup = current
+        .get("speedup")
+        .and_then(Value::as_f64)
+        .ok_or("current bench json has no speedup")?;
+    let identical = current
+        .get("verdicts_identical")
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+
+    let regress_pct = if baseline_fps > 0.0 {
+        (baseline_fps - current_fps) / baseline_fps * 100.0
+    } else {
+        0.0
+    };
+
+    let fps_ok = regress_pct <= config.max_regress_pct;
+    let speedup_ok = speedup >= config.min_speedup;
+    let mut text = String::new();
+    text.push_str(&format!(
+        "bench-check: cached {:.0} frames/s vs baseline {:.0} ({}{:.1}%, limit -{:.1}%) .. {}\n",
+        current_fps,
+        baseline_fps,
+        if regress_pct > 0.0 { "-" } else { "+" },
+        regress_pct.abs(),
+        config.max_regress_pct,
+        if fps_ok { "ok" } else { "REGRESSED" },
+    ));
+    text.push_str(&format!(
+        "bench-check: speedup {:.2}x (floor {:.2}x) .. {}\n",
+        speedup,
+        config.min_speedup,
+        if speedup_ok { "ok" } else { "BELOW FLOOR" },
+    ));
+    text.push_str(&format!(
+        "bench-check: verdicts_identical .. {}\n",
+        if identical { "ok" } else { "FAILED" },
+    ));
+    Ok(BenchCheckReport {
+        pass: fps_ok && speedup_ok && identical,
+        text,
+    })
+}
+
+fn fps(doc: &Value, which: &str) -> Result<f64, String> {
+    doc.get("cached")
+        .and_then(|c| c.get("frames_per_sec"))
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("{which} bench json has no cached.frames_per_sec"))
+}
+
+/// File-path front end of [`check_documents`].
+pub fn check_files(
+    current: &Path,
+    baseline: &Path,
+    config: BenchCheckConfig,
+) -> Result<BenchCheckReport, String> {
+    let load = |path: &Path| -> Result<Value, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        serde_json::parse_value(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+    };
+    check_documents(&load(current)?, &load(baseline)?, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(fps: f64, speedup: f64, identical: bool) -> Value {
+        serde_json::parse_value(&format!(
+            r#"{{
+                "schema": "polygraph.bench_serving.v1",
+                "speedup": {speedup},
+                "verdicts_identical": {identical},
+                "cached": {{"frames_per_sec": {fps}}},
+                "uncached": {{"frames_per_sec": 1.0}}
+            }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let report = check_documents(
+            &doc(900.0, 2.4, true),
+            &doc(1000.0, 2.6, true),
+            BenchCheckConfig::default(),
+        )
+        .unwrap();
+        assert!(report.pass, "{}", report.text);
+        assert!(report.text.contains("ok"));
+    }
+
+    #[test]
+    fn improvement_passes() {
+        let report = check_documents(
+            &doc(1500.0, 2.9, true),
+            &doc(1000.0, 2.6, true),
+            BenchCheckConfig::default(),
+        )
+        .unwrap();
+        assert!(report.pass, "{}", report.text);
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails() {
+        let report = check_documents(
+            &doc(700.0, 2.4, true),
+            &doc(1000.0, 2.6, true),
+            BenchCheckConfig::default(),
+        )
+        .unwrap();
+        assert!(!report.pass);
+        assert!(report.text.contains("REGRESSED"), "{}", report.text);
+    }
+
+    #[test]
+    fn speedup_below_floor_fails() {
+        let report = check_documents(
+            &doc(1000.0, 1.1, true),
+            &doc(1000.0, 2.6, true),
+            BenchCheckConfig::default(),
+        )
+        .unwrap();
+        assert!(!report.pass);
+        assert!(report.text.contains("BELOW FLOOR"), "{}", report.text);
+    }
+
+    #[test]
+    fn nondeterministic_verdicts_fail() {
+        let report = check_documents(
+            &doc(1000.0, 2.6, false),
+            &doc(1000.0, 2.6, true),
+            BenchCheckConfig::default(),
+        )
+        .unwrap();
+        assert!(!report.pass);
+    }
+
+    #[test]
+    fn wrong_schema_is_an_error() {
+        let mut bad = doc(1.0, 1.0, true);
+        if let Value::Object(map) = &mut bad {
+            map.insert(
+                "schema".to_string(),
+                Value::String("something.else".to_string()),
+            );
+        }
+        let err = check_documents(&bad, &doc(1.0, 1.0, true), BenchCheckConfig::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn committed_baseline_parses_and_gates_itself() {
+        // The repo's committed artifacts must always pass their own gate.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let baseline = root.join("results/bench_baseline.json");
+        let report =
+            check_files(&baseline, &baseline, BenchCheckConfig::default()).expect("parse baseline");
+        assert!(report.pass, "{}", report.text);
+    }
+}

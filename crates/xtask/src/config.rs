@@ -33,6 +33,10 @@ pub struct LintConfig {
     /// Path prefixes (relative to the workspace root, `/`-separated) whose
     /// files must obey the determinism rules (POLY-D*).
     pub determinism_zone: Vec<String>,
+    /// Path prefixes whose files must obey the key-determinism rule
+    /// (POLY-D004): the verdict cache and the service code that keys it
+    /// must never hash with a per-process-seeded std hasher.
+    pub key_determinism_zone: Vec<String>,
     /// Path prefixes whose files must obey the panic-safety rules
     /// (POLY-P*).
     pub panic_zone: Vec<String>,
@@ -57,6 +61,7 @@ impl Default for LintConfig {
                 // MonotonicClock, allowlisted in lint.toml).
                 "crates/obs/src/".into(),
             ],
+            key_determinism_zone: vec!["crates/service/src/".into(), "crates/cache/src/".into()],
             panic_zone: vec![
                 "crates/service/src/server.rs".into(),
                 "crates/service/src/framing.rs".into(),
@@ -86,6 +91,9 @@ impl LintConfig {
             match (section.as_str(), key.as_str(), value) {
                 ("zones", "determinism", Value::Array(a)) => {
                     self.determinism_zone = a.clone();
+                }
+                ("zones", "key_determinism", Value::Array(a)) => {
+                    self.key_determinism_zone = a.clone();
                 }
                 ("zones", "panic_safety", Value::Array(a)) => {
                     self.panic_zone = a.clone();
@@ -396,9 +404,26 @@ reason = "scratch map is drained in sorted order"
     #[test]
     fn zones_can_be_overridden() {
         let mut c = LintConfig::default();
-        c.apply_toml("[zones]\ndeterminism = [\"det_\"]\npanic_safety = [\"panic_\"]\n")
-            .unwrap();
+        c.apply_toml(
+            "[zones]\ndeterminism = [\"det_\"]\nkey_determinism = [\"keys_\"]\n\
+             panic_safety = [\"panic_\"]\n",
+        )
+        .unwrap();
         assert_eq!(c.determinism_zone, vec!["det_".to_string()]);
+        assert_eq!(c.key_determinism_zone, vec!["keys_".to_string()]);
         assert_eq!(c.panic_zone, vec!["panic_".to_string()]);
+    }
+
+    #[test]
+    fn default_key_determinism_zone_covers_cache_and_service() {
+        let c = LintConfig::default();
+        assert!(c
+            .key_determinism_zone
+            .iter()
+            .any(|p| p == "crates/cache/src/"));
+        assert!(c
+            .key_determinism_zone
+            .iter()
+            .any(|p| p == "crates/service/src/"));
     }
 }

@@ -6,11 +6,13 @@
 //! rationale). Violations carry `file:line` positions; `lint.toml` holds
 //! audited exceptions.
 
+pub mod bench;
 pub mod config;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 
+pub use bench::{BenchCheckConfig, BenchCheckReport};
 pub use config::{AllowEntry, LintConfig};
 pub use report::LintReport;
 pub use rules::{Diagnostic, FileClass};
@@ -51,6 +53,10 @@ pub fn classify(rel: &str, config: &LintConfig) -> FileClass {
     FileClass {
         determinism: config
             .determinism_zone
+            .iter()
+            .any(|p| rel.starts_with(p.as_str())),
+        key_determinism: config
+            .key_determinism_zone
             .iter()
             .any(|p| rel.starts_with(p.as_str())),
         panic_safety: config
@@ -175,6 +181,9 @@ mod tests {
         assert!(!classify("crates/ml/src/kmodes.rs", &c).panic_safety);
         assert!(classify("crates/service/src/proto.rs", &c).panic_safety);
         assert!(!classify("crates/service/src/lib.rs", &c).panic_safety);
+        assert!(classify("crates/cache/src/lib.rs", &c).key_determinism);
+        assert!(classify("crates/service/src/server.rs", &c).key_determinism);
+        assert!(!classify("crates/ml/src/kmodes.rs", &c).key_determinism);
     }
 
     #[test]

@@ -5,6 +5,12 @@
 //! * `lint [--json] [--root PATH] [--config PATH]` — run the
 //!   polygraph-lint static-analysis pass. Exit 0 when clean, 1 when
 //!   violations survive the allowlist, 2 on usage or I/O errors.
+//! * `bench-check [--current PATH] [--baseline PATH]
+//!   [--max-regress-pct N] [--min-speedup X] [--root PATH]` — the
+//!   performance gate: compare `results/BENCH_serving.json` (freshly
+//!   emitted by `bench_serving --smoke`) against the committed
+//!   `results/bench_baseline.json`. Exit 0 when within thresholds, 1 on
+//!   a regression, 2 on usage or I/O errors.
 //!
 //! This is a binary target, so the console belongs to it (POLY-H002
 //! exempts `main.rs`); everything else lives in the `xtask` library so
@@ -14,12 +20,13 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use xtask::LintConfig;
+use xtask::{BenchCheckConfig, LintConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint_command(&args[1..]),
+        Some("bench-check") => bench_check_command(&args[1..]),
         Some(other) => {
             let _ = writeln!(std::io::stderr(), "unknown subcommand {other:?}\n{USAGE}");
             ExitCode::from(2)
@@ -31,7 +38,84 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: cargo xtask lint [--json] [--root PATH] [--config PATH]";
+const USAGE: &str = "usage: cargo xtask lint [--json] [--root PATH] [--config PATH]\n       \
+                     cargo xtask bench-check [--current PATH] [--baseline PATH] \
+                     [--max-regress-pct N] [--min-speedup X] [--root PATH]";
+
+fn bench_check_command(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut current: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut config = BenchCheckConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let take_value = |i: usize| -> Option<&String> { args.get(i + 1) };
+        match args.get(i).map(String::as_str) {
+            Some("--root") if take_value(i).is_some() => {
+                root = args.get(i + 1).map(PathBuf::from);
+                i += 2;
+            }
+            Some("--current") if take_value(i).is_some() => {
+                current = args.get(i + 1).map(PathBuf::from);
+                i += 2;
+            }
+            Some("--baseline") if take_value(i).is_some() => {
+                baseline = args.get(i + 1).map(PathBuf::from);
+                i += 2;
+            }
+            Some("--max-regress-pct") if take_value(i).is_some() => {
+                match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    Some(v) => config.max_regress_pct = v,
+                    None => {
+                        let _ = writeln!(std::io::stderr(), "invalid --max-regress-pct\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            Some("--min-speedup") if take_value(i).is_some() => {
+                match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    Some(v) => config.min_speedup = v,
+                    None => {
+                        let _ = writeln!(std::io::stderr(), "invalid --min-speedup\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            Some(other) => {
+                let _ = writeln!(std::io::stderr(), "unknown argument {other:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            None => break,
+        }
+    }
+
+    let root = match root.map(Ok).unwrap_or_else(find_workspace_root) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = writeln!(std::io::stderr(), "error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let current = current.unwrap_or_else(|| root.join("results/BENCH_serving.json"));
+    let baseline = baseline.unwrap_or_else(|| root.join("results/bench_baseline.json"));
+
+    match xtask::bench::check_files(&current, &baseline, config) {
+        Ok(report) => {
+            let _ = write!(std::io::stdout(), "{}", report.text);
+            if report.pass {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            let _ = writeln!(std::io::stderr(), "error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
 
 fn lint_command(args: &[String]) -> ExitCode {
     let mut json = false;

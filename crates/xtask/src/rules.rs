@@ -7,6 +7,7 @@
 //! | POLY-D001 | determinism     | hash-ordered collections (`HashMap`/`HashSet`)  |
 //! | POLY-D002 | determinism     | wall-clock / OS entropy (`SystemTime`, `Instant::now`, `thread_rng`, `from_entropy`) |
 //! | POLY-D003 | determinism     | non-ChaCha RNG types (`StdRng`, `SmallRng`, …)  |
+//! | POLY-D004 | determinism, key-determinism | seeded std hashers (`RandomState`, `DefaultHasher`) |
 //! | POLY-P001 | panic-safety    | `unwrap(`                                       |
 //! | POLY-P002 | panic-safety    | `expect(`                                       |
 //! | POLY-P003 | panic-safety    | `panic!` / `todo!` / `unimplemented!`           |
@@ -37,6 +38,10 @@ pub struct Diagnostic {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FileClass {
     pub determinism: bool,
+    /// Key-determinism zone (the verdict cache and its service callers):
+    /// only POLY-D004 applies — cache keys must come from a fixed hasher
+    /// so replays and fixtures hash identically in every process.
+    pub key_determinism: bool,
     pub panic_safety: bool,
     /// Library source (not a binary target, not tests/, not examples/):
     /// subject to the hygiene rules.
@@ -50,6 +55,9 @@ pub fn check_file(rel_path: &str, tokens: &[Token], class: FileClass) -> Vec<Dia
         check_hash_collections(rel_path, tokens, &mut out);
         check_wall_clock_entropy(rel_path, tokens, &mut out);
         check_non_chacha_rng(rel_path, tokens, &mut out);
+    }
+    if class.determinism || class.key_determinism {
+        check_random_hashers(rel_path, tokens, &mut out);
     }
     if class.panic_safety {
         check_unwrap_expect(rel_path, tokens, &mut out);
@@ -136,6 +144,27 @@ fn check_non_chacha_rng(path: &str, tokens: &[Token], out: &mut Vec<Diagnostic>)
                         "`{id}` in a determinism zone: only ChaCha RNGs are stable across \
                          platforms and rand versions; construct ChaCha8Rng/ChaCha20Rng \
                          from an explicit seed"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+const RANDOM_HASHERS: &[&str] = &["RandomState", "DefaultHasher"];
+
+fn check_random_hashers(path: &str, tokens: &[Token], out: &mut Vec<Diagnostic>) {
+    for t in tokens.iter().filter(|t| !t.in_test) {
+        if let Some(id) = t.ident() {
+            if RANDOM_HASHERS.contains(&id) {
+                out.push(Diagnostic {
+                    rule: "POLY-D004",
+                    file: path.into(),
+                    line: t.line,
+                    message: format!(
+                        "`{id}` in a key-determinism zone: std hashers seed per process, so \
+                         cache keys and replays would not reproduce across runs; hash with \
+                         the fixed fingerprint::wire::fnv1a64 (or key a BTreeMap) instead"
                     ),
                 });
             }
@@ -325,16 +354,25 @@ mod tests {
 
     const DET: FileClass = FileClass {
         determinism: true,
+        key_determinism: false,
+        panic_safety: false,
+        library: false,
+    };
+    const KEYS: FileClass = FileClass {
+        determinism: false,
+        key_determinism: true,
         panic_safety: false,
         library: false,
     };
     const PANIC: FileClass = FileClass {
         determinism: false,
+        key_determinism: false,
         panic_safety: true,
         library: false,
     };
     const LIB: FileClass = FileClass {
         determinism: false,
+        key_determinism: false,
         panic_safety: false,
         library: true,
     };
@@ -344,6 +382,27 @@ mod tests {
         let src = "use std::collections::HashMap;";
         assert_eq!(run(src, DET).len(), 1);
         assert_eq!(run(src, DET)[0].rule, "POLY-D001");
+        assert!(run(src, PANIC).is_empty());
+    }
+
+    #[test]
+    fn random_hashers_flagged_in_key_determinism_and_determinism_zones() {
+        let src = "use std::collections::hash_map::RandomState;\nlet mut h = DefaultHasher::new();";
+        let d = run(src, KEYS);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|d| d.rule == "POLY-D004"));
+        assert_eq!(d[0].line, 1);
+        assert_eq!(d[1].line, 2);
+        // The wider determinism zone forbids them too …
+        assert_eq!(
+            run(src, DET)
+                .iter()
+                .filter(|d| d.rule == "POLY-D004")
+                .count(),
+            2
+        );
+        // … but the key-determinism zone applies no other D rules.
+        assert!(run("use std::collections::HashMap;", KEYS).is_empty());
         assert!(run(src, PANIC).is_empty());
     }
 

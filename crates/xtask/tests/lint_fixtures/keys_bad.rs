@@ -1,0 +1,11 @@
+//! Fixture: key-determinism violations. Lines are pinned by the
+//! integration test — do not reflow.
+
+use std::collections::hash_map::RandomState;
+use std::hash::DefaultHasher;
+
+fn keyed() -> u64 {
+    let _state = RandomState::new();
+    let hasher = DefaultHasher::new();
+    hasher.finish()
+}

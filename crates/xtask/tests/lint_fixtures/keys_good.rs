@@ -1,0 +1,21 @@
+//! Fixture: key-determinism-clean code — a fixed FNV-1a hash and an
+//! ordered map, both reproducible in every process.
+
+use std::collections::BTreeMap;
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn keyed(frames: &[&[u8]]) -> BTreeMap<u64, usize> {
+    frames
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (fnv1a64(f), i))
+        .collect()
+}

@@ -21,6 +21,7 @@ exclude = []
 
 [zones]
 determinism = ["det_"]
+key_determinism = ["keys_"]
 panic_safety = ["panic_"]
 "#,
         )
@@ -48,6 +49,10 @@ fn bad_fixtures_fire_every_rule_at_the_expected_lines() {
         ("det_bad.rs", "POLY-D002", 10),        // thread_rng()
         ("det_bad.rs", "POLY-D002", 11),        // from_entropy
         ("det_bad.rs", "POLY-D003", 11),        // StdRng
+        ("keys_bad.rs", "POLY-D004", 4),        // use RandomState
+        ("keys_bad.rs", "POLY-D004", 5),        // use DefaultHasher
+        ("keys_bad.rs", "POLY-D004", 8),        // RandomState::new()
+        ("keys_bad.rs", "POLY-D004", 9),        // DefaultHasher::new()
         ("panic_bad.rs", "POLY-P004", 5),       // frame[0]
         ("panic_bad.rs", "POLY-P001", 6),       // unwrap()
         ("panic_bad.rs", "POLY-P002", 7),       // expect(…)
@@ -66,7 +71,12 @@ fn bad_fixtures_fire_every_rule_at_the_expected_lines() {
 #[test]
 fn good_fixtures_are_clean() {
     let report = run_fixtures(&fixture_config());
-    for clean in ["det_good.rs", "panic_good.rs", "src/pool_good.rs"] {
+    for clean in [
+        "det_good.rs",
+        "keys_good.rs",
+        "panic_good.rs",
+        "src/pool_good.rs",
+    ] {
         assert!(
             report.diagnostics.iter().all(|d| d.file != clean),
             "{clean} should be clean:\n{}",
