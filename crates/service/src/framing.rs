@@ -94,9 +94,106 @@ pub fn count_frames(pending: &[u8]) -> usize {
     }
 }
 
+/// Resumable per-connection parse state: the pending byte buffer plus
+/// the frame-boundary bookkeeping both server backends share.
+///
+/// The threaded backend owns one per connection worker; the reactor
+/// backend owns one per connection slot and feeds it whatever each
+/// readiness event delivered — the parse position survives across
+/// arbitrarily split reads, so a frame torn over many readiness events
+/// reassembles exactly once.
+#[derive(Debug, Default)]
+pub struct FrameAccumulator {
+    pending: Vec<u8>,
+}
+
+impl FrameAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends freshly read bytes after the current partial tail.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.pending.extend_from_slice(bytes);
+    }
+
+    /// Classifies the front of the buffer (see [`frame_status`]).
+    pub fn status(&self) -> FrameStatus {
+        frame_status(&self.pending)
+    }
+
+    /// Complete frames currently buffered (see [`count_frames`]).
+    pub fn ready_frames(&self) -> usize {
+        count_frames(&self.pending)
+    }
+
+    /// Whether any bytes are buffered at all — a timeout with an empty
+    /// accumulator is keep-alive idleness, with a non-empty one a
+    /// stalled partial frame.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Bytes currently buffered (complete frames plus any partial tail).
+    pub fn buffered_bytes(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Splits up to `max` complete frames off the front, leaving any
+    /// partial tail in place (see [`split_frames`]).
+    pub fn split(&mut self, max: usize) -> (Vec<Vec<u8>>, bool) {
+        split_frames(&mut self.pending, max)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn accumulator_resumes_across_arbitrary_chunk_boundaries() {
+        let mut wire = Vec::new();
+        for body in [&b"abc"[..], &b"defgh"[..], &b""[..]] {
+            wire.extend_from_slice(&(body.len() as u16).to_le_bytes());
+            wire.extend_from_slice(body);
+        }
+        // Feed one byte at a time: the accumulator must never lose its
+        // place, and frames must pop out exactly once, in order.
+        let mut acc = FrameAccumulator::new();
+        let mut got = Vec::new();
+        for b in &wire {
+            acc.extend(&[*b]);
+            let (frames, oversize) = acc.split(32);
+            assert!(!oversize);
+            got.extend(frames);
+        }
+        assert_eq!(got, vec![b"abc".to_vec(), b"defgh".to_vec(), Vec::new()]);
+        assert!(acc.is_empty());
+        assert_eq!(acc.ready_frames(), 0);
+    }
+
+    #[test]
+    fn accumulator_reports_partial_and_oversize_state() {
+        let mut acc = FrameAccumulator::new();
+        assert_eq!(acc.status(), FrameStatus::NeedMore);
+        acc.extend(&5u16.to_le_bytes());
+        acc.extend(b"xy");
+        assert_eq!(acc.status(), FrameStatus::NeedMore);
+        assert!(!acc.is_empty());
+        assert_eq!(acc.buffered_bytes(), 4);
+        assert_eq!(acc.ready_frames(), 0);
+        acc.extend(b"zzz");
+        assert_eq!(acc.status(), FrameStatus::Ready);
+        let (frames, _) = acc.split(32);
+        assert_eq!(frames, vec![b"xyzzz".to_vec()]);
+
+        acc.extend(&u16::MAX.to_le_bytes());
+        assert_eq!(acc.status(), FrameStatus::Oversize);
+        let (frames, oversize) = acc.split(32);
+        assert!(frames.is_empty());
+        assert!(oversize);
+    }
 
     #[test]
     fn split_frames_parses_and_preserves_partial_tail() {

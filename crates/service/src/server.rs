@@ -8,6 +8,25 @@
 //! system enhancements … minimises delays during user interaction"
 //! property (§6.5).
 //!
+//! ## Backends
+//!
+//! Two interchangeable connection cores sit behind
+//! [`RiskServerConfig::backend`]:
+//!
+//! * [`ServerBackend::Threaded`] — one OS thread per connection (the
+//!   original core, still the default).
+//! * [`ServerBackend::Reactor`] — per-core acceptor shards, each running
+//!   a readiness-driven event loop over non-blocking sockets
+//!   ([`crate::reactor`]) with an explicit per-connection state machine
+//!   ([`crate::reactor::ConnMachine`]), so one shard thread serves
+//!   thousands of connections.
+//!
+//! Both backends run the same private batch path (`process_buffered`)
+//! over the same [`crate::framing::FrameAccumulator`] parse state, so
+//! their verdict byte streams and counter identities are exactly equal —
+//! pinned by the backend-parametrized conformance suites and raced on
+//! identical seeded traffic by `bench_serving`.
+//!
 //! ## Observability
 //!
 //! Every counter and latency measurement lives in a `polygraph-obs`
@@ -42,14 +61,16 @@
 //! ladder's "fast non-answer beats a slow answer" rung, consumed by
 //! `RiskPolicy::on_unassessable`.
 
-use crate::framing::{count_frames, frame_status, split_frames, FrameStatus};
+use crate::framing::{FrameAccumulator, FrameStatus};
 use crate::proto::{encode_stats_response, Verdict, VerdictStatus};
+use crate::reactor::{ConnMachine, Events, Interest, Poll, Token, Waker, WAKE_TOKEN};
 use browser_engine::UserAgent;
 use fingerprint::{decode_submission, is_stats_request, submission_cache_key};
 use parking_lot::RwLock;
 use polygraph_cache::{Lookup, VerdictCache};
 use polygraph_core::Detector;
 use polygraph_obs::{Clock, Counter, Gauge, Histogram, MonotonicClock, Registry, Snapshot};
+use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -92,6 +113,9 @@ pub mod metric_names {
     pub const CONNECTIONS_ERRORED: &str = "server.connections.errored";
     /// Finished worker handles reaped by the acceptor loop (counter).
     pub const CONNECTIONS_REAPED: &str = "server.connections.reaped";
+    /// Currently connected clients (gauge): incremented on accept,
+    /// decremented when the worker thread or reactor slot retires.
+    pub const CONNECTIONS_OPEN: &str = "server.connections.open";
     /// Read-timeout ticks survived by idle keep-alive clients (counter).
     pub const IDLE_TIMEOUTS: &str = "server.idle_timeouts";
     /// `STATS` request frames answered (counter).
@@ -124,6 +148,23 @@ pub mod metric_names {
     pub const CACHE_HIT_MICROS: &str = "cache.hit_micros";
 }
 
+/// Which connection core serves accepted sockets. Both cores run the
+/// identical batch/cache/shed path, so verdict byte streams and counter
+/// identities are equal — only the concurrency model differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerBackend {
+    /// One OS thread per connection with blocking reads (the original
+    /// core). Simple, and still the default; caps out at a few thousand
+    /// concurrent connections.
+    #[default]
+    Threaded,
+    /// Readiness-driven multiplexed event loops ([`crate::reactor`]):
+    /// [`RiskServerConfig::reactor_shards`] acceptor shards, each a
+    /// single thread serving every connection it accepted through an
+    /// explicit per-connection state machine over non-blocking sockets.
+    Reactor,
+}
+
 /// Configuration of a risk server.
 #[derive(Debug, Clone)]
 pub struct RiskServerConfig {
@@ -151,6 +192,14 @@ pub struct RiskServerConfig {
     /// registered, so snapshots — including the byte-diffed exposition
     /// golden — are unchanged, and every frame takes the detector path.
     pub cache_capacity: usize,
+    /// Which connection core serves accepted sockets (default
+    /// [`ServerBackend::Threaded`]).
+    pub backend: ServerBackend,
+    /// Acceptor-shard count for [`ServerBackend::Reactor`]: each shard is
+    /// one event-loop thread with its own clone of the listener. `0` (the
+    /// default) sizes to the machine's available parallelism, capped at 8.
+    /// Ignored by the threaded backend.
+    pub reactor_shards: usize,
 }
 
 impl Default for RiskServerConfig {
@@ -161,6 +210,8 @@ impl Default for RiskServerConfig {
             shed_limit: 8 * MAX_BATCH_PER_GUARD,
             cache_shards: 8,
             cache_capacity: 0,
+            backend: ServerBackend::Threaded,
+            reactor_shards: 0,
         }
     }
 }
@@ -196,6 +247,9 @@ pub struct RiskServerStats {
     pub connections_errored: u64,
     /// Finished worker handles reaped by the acceptor loop.
     pub connections_reaped: u64,
+    /// Currently connected clients (gauge: returns to zero once every
+    /// connection has retired).
+    pub connections_open: i64,
     /// Bytes read off client sockets.
     pub bytes_read: u64,
     /// Bytes written back to clients.
@@ -232,6 +286,7 @@ pub struct ServerMetrics {
     connections_closed: Arc<Counter>,
     connections_errored: Arc<Counter>,
     connections_reaped: Arc<Counter>,
+    connections_open: Arc<Gauge>,
     idle_timeouts: Arc<Counter>,
     stats_requests: Arc<Counter>,
     shed: Arc<Counter>,
@@ -254,6 +309,7 @@ impl ServerMetrics {
             connections_closed: registry.counter(metric_names::CONNECTIONS_CLOSED),
             connections_errored: registry.counter(metric_names::CONNECTIONS_ERRORED),
             connections_reaped: registry.counter(metric_names::CONNECTIONS_REAPED),
+            connections_open: registry.gauge(metric_names::CONNECTIONS_OPEN),
             idle_timeouts: registry.counter(metric_names::IDLE_TIMEOUTS),
             stats_requests: registry.counter(metric_names::STATS_REQUESTS),
             shed: registry.counter(metric_names::SHED),
@@ -287,6 +343,7 @@ impl ServerMetrics {
             connections_closed: self.connections_closed.get(),
             connections_errored: self.connections_errored.get(),
             connections_reaped: self.connections_reaped.get(),
+            connections_open: self.connections_open.get(),
             bytes_read: self.bytes_read.get(),
             bytes_written: self.bytes_written.get(),
         }
@@ -431,7 +488,13 @@ pub struct RiskServerHandle {
     detector: Arc<RwLock<Detector>>,
     metrics: Arc<ServerMetrics>,
     cache: Option<Arc<CacheLayer>>,
-    acceptor: Option<thread::JoinHandle<()>>,
+    /// One self-pipe waker per reactor shard (empty for the threaded
+    /// backend), fired at shutdown so every shard leaves its poll within
+    /// one cycle instead of waiting out a tick.
+    wakers: Vec<Waker>,
+    /// The acceptor thread (threaded backend) or the shard event-loop
+    /// threads (reactor backend).
+    workers: Vec<thread::JoinHandle<()>>,
 }
 
 impl RiskServerHandle {
@@ -499,13 +562,17 @@ impl RiskServerHandle {
     }
 
     /// Stops the acceptor *and* every connection worker, then joins them.
-    /// Workers check the stop flag on every loop, so this returns within
-    /// roughly one read-timeout tick even with connected-but-silent
-    /// clients.
+    /// Threaded workers check the stop flag on every loop, so this
+    /// returns within roughly one read-timeout tick even with
+    /// connected-but-silent clients; reactor shards are woken through
+    /// their self-pipes and exit within one poll cycle.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
+        for waker in &self.wakers {
+            let _ = waker.wake();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
         }
     }
 }
@@ -550,17 +617,36 @@ pub fn start_risk_server_with(
     });
     let metrics = Arc::new(ServerMetrics::new(registry));
 
-    let acceptor = {
-        let ctx = ConnContext {
-            detector: Arc::clone(&detector),
-            metrics: Arc::clone(&metrics),
-            cache: cache.clone(),
-            stop: Arc::clone(&stop),
-            read_timeout: config.read_timeout,
-            shed_limit: config.shed_limit,
-        };
-        thread::spawn(move || acceptor_loop(listener, ctx))
+    let ctx = ConnContext {
+        detector: Arc::clone(&detector),
+        metrics: Arc::clone(&metrics),
+        cache: cache.clone(),
+        stop: Arc::clone(&stop),
+        read_timeout: config.read_timeout,
+        shed_limit: config.shed_limit,
     };
+
+    let mut wakers = Vec::new();
+    let mut workers = Vec::new();
+    match config.backend {
+        ServerBackend::Threaded => {
+            workers.push(thread::spawn(move || acceptor_loop(listener, ctx)));
+        }
+        ServerBackend::Reactor => {
+            let shards = resolve_reactor_shards(config.reactor_shards);
+            let clock = Arc::clone(&config.clock);
+            for _ in 0..shards {
+                let shard_listener = listener.try_clone()?;
+                let poll = Poll::new()?;
+                wakers.push(poll.waker()?);
+                let shard_ctx = ctx.clone();
+                let shard_clock = Arc::clone(&clock);
+                workers.push(thread::spawn(move || {
+                    reactor_shard_loop(shard_listener, poll, shard_ctx, shard_clock)
+                }));
+            }
+        }
+    }
 
     Ok(RiskServerHandle {
         addr: local,
@@ -568,8 +654,21 @@ pub fn start_risk_server_with(
         detector,
         metrics,
         cache,
-        acceptor: Some(acceptor),
+        wakers,
+        workers,
     })
+}
+
+/// Shard count for the reactor backend: the configured value, or (at 0)
+/// one shard per available core, capped at 8.
+fn resolve_reactor_shards(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 8)
 }
 
 fn acceptor_loop(listener: TcpListener, ctx: ConnContext) {
@@ -581,12 +680,14 @@ fn acceptor_loop(listener: TcpListener, ctx: ConnContext) {
         match listener.accept() {
             Ok((stream, _)) => {
                 ctx.metrics.connections_opened.inc();
+                ctx.metrics.connections_open.add(1);
                 let conn = ctx.clone();
                 workers.push(thread::spawn(move || {
                     match serve_connection(stream, &conn) {
                         Ok(()) => conn.metrics.connections_closed.inc(),
                         Err(_) => conn.metrics.connections_errored.inc(),
                     }
+                    conn.metrics.connections_open.add(-1);
                 }));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -628,20 +729,30 @@ fn is_timeout(e: &io::Error) -> bool {
     )
 }
 
+/// How many buffered complete frames make both backends stop reading and
+/// process: one batch plus the shed threshold plus one, so an overloaded
+/// connection's backlog becomes *visible* instead of queueing invisibly
+/// (and unboundedly) in kernel buffers.
+fn drain_target(ctx: &ConnContext) -> usize {
+    MAX_BATCH_PER_GUARD
+        .saturating_add(ctx.shed_limit)
+        .saturating_add(1)
+}
+
 fn serve_connection(mut stream: TcpStream, ctx: &ConnContext) -> io::Result<()> {
     stream.set_read_timeout(Some(ctx.read_timeout))?;
     // A peer that stops reading must not block shutdown forever either.
     stream.set_write_timeout(Some(ctx.read_timeout))?;
     stream.set_nodelay(true)?;
     let metrics = &ctx.metrics;
-    let mut pending: Vec<u8> = Vec::new();
+    let mut acc = FrameAccumulator::new();
     let mut chunk = [0u8; 4096];
     loop {
         // Blocking phase: wait until at least one complete frame (or an
         // oversize header) is buffered. Timeout ticks with an empty
         // buffer are keep-alive idleness, not failures; a timeout with a
         // stalled partial frame is.
-        while frame_status(&pending) == FrameStatus::NeedMore {
+        while acc.status() == FrameStatus::NeedMore {
             if ctx.stop.load(Ordering::SeqCst) {
                 return Ok(());
             }
@@ -649,10 +760,10 @@ fn serve_connection(mut stream: TcpStream, ctx: &ConnContext) -> io::Result<()> 
                 Ok(0) => return Ok(()), // peer closed at (or mid-) frame boundary
                 Ok(n) => {
                     metrics.bytes_read.add(n as u64);
-                    pending.extend_from_slice(chunk.get(..n).unwrap_or_default());
+                    acc.extend(chunk.get(..n).unwrap_or_default());
                 }
                 Err(e) if is_timeout(&e) => {
-                    if pending.is_empty() {
+                    if acc.is_empty() {
                         metrics.idle_timeouts.inc();
                         continue;
                     }
@@ -668,22 +779,17 @@ fn serve_connection(mut stream: TcpStream, ctx: &ConnContext) -> io::Result<()> 
 
         // Drain phase: pull in whatever else the client already pipelined,
         // without blocking, so the whole backlog shares one read guard.
-        // Reading continues past one batch up to the shed threshold, so an
-        // overloaded connection's backlog becomes *visible* here instead
-        // of queueing invisibly (and unboundedly) in kernel buffers.
-        let drain_target = MAX_BATCH_PER_GUARD
-            .saturating_add(ctx.shed_limit)
-            .saturating_add(1);
+        let target = drain_target(ctx);
         stream.set_nonblocking(true)?;
         loop {
-            if count_frames(&pending) >= drain_target {
+            if acc.ready_frames() >= target {
                 break;
             }
             match stream.read(&mut chunk) {
                 Ok(0) => break,
                 Ok(n) => {
                     metrics.bytes_read.add(n as u64);
-                    pending.extend_from_slice(chunk.get(..n).unwrap_or_default());
+                    acc.extend(chunk.get(..n).unwrap_or_default());
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) => {
@@ -694,129 +800,384 @@ fn serve_connection(mut stream: TcpStream, ctx: &ConnContext) -> io::Result<()> 
         }
         stream.set_nonblocking(false)?;
 
-        let (frames, mut oversize) = split_frames(&mut pending, MAX_BATCH_PER_GUARD);
+        let outcome = process_buffered(&mut acc, ctx);
+        if outcome.close {
+            // Cannot resynchronise past an unread oversize body: flush the
+            // answered frames best-effort, then close cleanly.
+            let _ = stream.write_all(&outcome.out);
+            return Ok(());
+        }
+        stream.write_all(&outcome.out)?;
+    }
+}
 
-        // Cache lookup phase, then one detector read guard for whatever
-        // the cache could not answer; a model swap therefore lands
-        // between batches, never inside one. `STATS` frames are answered
-        // outside the guard. `verdicts` stays in submission order: a
-        // `Some` is a cache hit, a `None` a miss the detector phase
-        // fills in place.
-        let n_submissions = frames.iter().filter(|f| !is_stats_request(f)).count();
-        let mut verdicts: Vec<Option<Verdict>> = Vec::with_capacity(n_submissions);
-        if n_submissions > 0 {
-            let mut local = LocalCounters::default();
-            match ctx.cache.as_deref() {
-                Some(cache) => {
-                    for f in frames.iter().filter(|f| !is_stats_request(f)) {
-                        verdicts.push(cache.lookup_for_assess(f, &mut local));
-                    }
+/// Outcome of one shared batch cycle over a connection's buffered input.
+struct BatchOutcome {
+    /// Reply bytes in frame order: batch verdicts, then any shed-path
+    /// answers, then (on oversize) the final malformed verdict.
+    out: Vec<u8>,
+    /// Parsing stopped at an oversize header: after flushing `out` the
+    /// connection must close — there is no way to resynchronise.
+    close: bool,
+}
+
+/// The assess–reply–shed cycle both backends run once at least one
+/// complete frame (or an oversize header) is buffered. Splits one batch
+/// off `acc`, answers it (cache lookups, then one detector read guard for
+/// the misses, replies in frame order), sheds any backlog beyond the shed
+/// limit, and appends the closing malformed verdict when parsing stopped
+/// at an oversize header. Every counter is charged here, identically for
+/// both cores — the backends differ only in how `out` reaches the socket.
+fn process_buffered(acc: &mut FrameAccumulator, ctx: &ConnContext) -> BatchOutcome {
+    let metrics = &ctx.metrics;
+    let (frames, mut oversize) = acc.split(MAX_BATCH_PER_GUARD);
+
+    // Cache lookup phase, then one detector read guard for whatever
+    // the cache could not answer; a model swap therefore lands
+    // between batches, never inside one. `STATS` frames are answered
+    // outside the guard. `verdicts` stays in submission order: a
+    // `Some` is a cache hit, a `None` a miss the detector phase
+    // fills in place.
+    let n_submissions = frames.iter().filter(|f| !is_stats_request(f)).count();
+    let mut verdicts: Vec<Option<Verdict>> = Vec::with_capacity(n_submissions);
+    if n_submissions > 0 {
+        let mut local = LocalCounters::default();
+        match ctx.cache.as_deref() {
+            Some(cache) => {
+                for f in frames.iter().filter(|f| !is_stats_request(f)) {
+                    verdicts.push(cache.lookup_for_assess(f, &mut local));
                 }
-                None => verdicts.resize_with(n_submissions, || None),
             }
+            None => verdicts.resize_with(n_submissions, || None),
+        }
 
-            let n_misses = verdicts.iter().filter(|v| v.is_none()).count();
-            if n_misses > 0 {
-                let span = polygraph_obs::Span::on(
-                    Arc::clone(&metrics.batch_micros),
-                    Arc::clone(metrics.registry().clock()),
-                );
-                // The insert epoch is read BEFORE the detector guard is
-                // taken: if a swap lands in between, these verdicts are
-                // tagged with the pre-swap epoch and harmlessly miss
-                // forever — a stale verdict can never be served at the
-                // new epoch (see `RiskServerHandle::swap_detector`).
-                let insert_epoch = ctx.cache.as_deref().map(|c| c.cache.epoch());
-                {
-                    let guard = ctx.detector.read();
-                    let mut slots = verdicts.iter_mut();
-                    for f in frames.iter().filter(|f| !is_stats_request(f)) {
-                        let Some(slot) = slots.next() else { break };
-                        if slot.is_none() {
-                            let v = assess_frame_with(f, &guard, &mut local);
-                            if let (Some(cache), Some(epoch)) = (ctx.cache.as_deref(), insert_epoch)
-                            {
-                                cache.store(f, epoch, v);
-                            }
-                            *slot = Some(v);
+        let n_misses = verdicts.iter().filter(|v| v.is_none()).count();
+        if n_misses > 0 {
+            let span = polygraph_obs::Span::on(
+                Arc::clone(&metrics.batch_micros),
+                Arc::clone(metrics.registry().clock()),
+            );
+            // The insert epoch is read BEFORE the detector guard is
+            // taken: if a swap lands in between, these verdicts are
+            // tagged with the pre-swap epoch and harmlessly miss
+            // forever — a stale verdict can never be served at the
+            // new epoch (see `RiskServerHandle::swap_detector`).
+            let insert_epoch = ctx.cache.as_deref().map(|c| c.cache.epoch());
+            {
+                let guard = ctx.detector.read();
+                let mut slots = verdicts.iter_mut();
+                for f in frames.iter().filter(|f| !is_stats_request(f)) {
+                    let Some(slot) = slots.next() else { break };
+                    if slot.is_none() {
+                        let v = assess_frame_with(f, &guard, &mut local);
+                        if let (Some(cache), Some(epoch)) = (ctx.cache.as_deref(), insert_epoch) {
+                            cache.store(f, epoch, v);
                         }
+                        *slot = Some(v);
                     }
                 }
-                span.finish();
-                metrics.batches.inc();
-                metrics.batch_frames.record(n_misses as u64);
             }
-            if let Some(cache) = ctx.cache.as_deref() {
-                cache.publish_occupancy();
-            }
-            local.fold_into(metrics);
+            span.finish();
+            metrics.batches.inc();
+            metrics.batch_frames.record(n_misses as u64);
         }
-
-        // Replies go back in frame order, one write per batch. A `STATS`
-        // frame sees every assessment of its own batch: the local
-        // counters fold before the snapshot renders.
-        let mut out = Vec::with_capacity(verdicts.len() * crate::proto::VERDICT_LEN);
-        // Every slot is `Some` by now (hits filled in the lookup phase,
-        // misses in the detector phase), so flattening preserves order.
-        let mut next_verdict = verdicts.iter().flatten();
-        let mut stats_json: Option<Vec<u8>> = None;
-        for f in &frames {
-            if is_stats_request(f) {
-                metrics.stats_requests.inc();
-                let json = stats_json.get_or_insert_with(|| {
-                    metrics.registry().snapshot().render_json().into_bytes()
-                });
-                out.extend_from_slice(&encode_stats_response(json));
-            } else if let Some(v) = next_verdict.next() {
-                out.extend_from_slice(&v.encode());
-            }
+        if let Some(cache) = ctx.cache.as_deref() {
+            cache.publish_occupancy();
         }
-        metrics.bytes_written.add(out.len() as u64);
-        stream.write_all(&out)?;
+        local.fold_into(metrics);
+    }
 
-        // Overload shedding: complete frames still queued beyond the shed
-        // threshold after this batch are answered *now* with `Degraded` —
-        // no assessment, no detector lock — instead of waiting behind
-        // future batches. The risk verdict is one signal in a risk-based
-        // authentication flow; under overload a fast "could not assess"
-        // beats an unbounded queue. `STATS` frames in the backlog are
-        // still answered with a real snapshot (they are cheap and lock
-        // nothing). A backlog frame the verdict cache can answer is
-        // served from cache — also detector-free, so it respects the
-        // shedding contract — while a cache-missed shed frame is never
-        // assessed and therefore never cached.
-        if !oversize && count_frames(&pending) > ctx.shed_limit {
-            let (backlog, backlog_oversize) = split_frames(&mut pending, usize::MAX);
-            let mut shed_out = Vec::with_capacity(backlog.len() * crate::proto::VERDICT_LEN);
-            let mut shed_count = 0u64;
-            for f in &backlog {
-                if is_stats_request(f) {
-                    metrics.stats_requests.inc();
-                    let json = metrics.registry().snapshot().render_json().into_bytes();
-                    shed_out.extend_from_slice(&encode_stats_response(&json));
-                } else if let Some(v) = ctx.cache.as_deref().and_then(|c| c.lookup_shed(f)) {
-                    shed_out.extend_from_slice(&v.encode());
-                } else {
-                    shed_out.extend_from_slice(&Verdict::error(VerdictStatus::Degraded).encode());
-                    shed_count += 1;
-                }
-            }
-            metrics.shed.add(shed_count);
-            metrics.bytes_written.add(shed_out.len() as u64);
-            stream.write_all(&shed_out)?;
-            if backlog_oversize {
-                oversize = true;
-            }
-        }
-
-        if oversize {
-            metrics.malformed.inc();
-            let err = Verdict::error(VerdictStatus::Malformed).encode();
-            metrics.bytes_written.add(err.len() as u64);
-            let _ = stream.write_all(&err);
-            return Ok(()); // cannot resynchronise past an unread body
+    // Replies go back in frame order. A `STATS` frame sees every
+    // assessment of its own batch: the local counters fold before the
+    // snapshot renders.
+    let mut out = Vec::with_capacity(verdicts.len() * crate::proto::VERDICT_LEN);
+    // Every slot is `Some` by now (hits filled in the lookup phase,
+    // misses in the detector phase), so flattening preserves order.
+    let mut next_verdict = verdicts.iter().flatten();
+    let mut stats_json: Option<Vec<u8>> = None;
+    for f in &frames {
+        if is_stats_request(f) {
+            metrics.stats_requests.inc();
+            let json = stats_json
+                .get_or_insert_with(|| metrics.registry().snapshot().render_json().into_bytes());
+            out.extend_from_slice(&encode_stats_response(json));
+        } else if let Some(v) = next_verdict.next() {
+            out.extend_from_slice(&v.encode());
         }
     }
+    metrics.bytes_written.add(out.len() as u64);
+
+    // Overload shedding: complete frames still queued beyond the shed
+    // threshold after this batch are answered *now* with `Degraded` —
+    // no assessment, no detector lock — instead of waiting behind
+    // future batches. The risk verdict is one signal in a risk-based
+    // authentication flow; under overload a fast "could not assess"
+    // beats an unbounded queue. `STATS` frames in the backlog are
+    // still answered with a real snapshot (they are cheap and lock
+    // nothing). A backlog frame the verdict cache can answer is
+    // served from cache — also detector-free, so it respects the
+    // shedding contract — while a cache-missed shed frame is never
+    // assessed and therefore never cached.
+    if !oversize && acc.ready_frames() > ctx.shed_limit {
+        let (backlog, backlog_oversize) = acc.split(usize::MAX);
+        let mut shed_out = Vec::with_capacity(backlog.len() * crate::proto::VERDICT_LEN);
+        let mut shed_count = 0u64;
+        for f in &backlog {
+            if is_stats_request(f) {
+                metrics.stats_requests.inc();
+                let json = metrics.registry().snapshot().render_json().into_bytes();
+                shed_out.extend_from_slice(&encode_stats_response(&json));
+            } else if let Some(v) = ctx.cache.as_deref().and_then(|c| c.lookup_shed(f)) {
+                shed_out.extend_from_slice(&v.encode());
+            } else {
+                shed_out.extend_from_slice(&Verdict::error(VerdictStatus::Degraded).encode());
+                shed_count += 1;
+            }
+        }
+        metrics.shed.add(shed_count);
+        metrics.bytes_written.add(shed_out.len() as u64);
+        out.extend_from_slice(&shed_out);
+        if backlog_oversize {
+            oversize = true;
+        }
+    }
+
+    if oversize {
+        metrics.malformed.inc();
+        let err = Verdict::error(VerdictStatus::Malformed).encode();
+        metrics.bytes_written.add(err.len() as u64);
+        out.extend_from_slice(&err);
+        return BatchOutcome { out, close: true };
+    }
+    BatchOutcome { out, close: false }
+}
+
+/// Poll granularity of a reactor shard: bounds accept latency and the
+/// idle-sweep granularity. Shutdown is *not* coupled to this tick — the
+/// self-pipe waker interrupts a poll within one scan interval.
+const REACTOR_TICK: Duration = Duration::from_millis(5);
+
+/// One reactor connection slot: the owned non-blocking socket plus its
+/// state machine and activity bookkeeping.
+struct ConnSlot {
+    stream: TcpStream,
+    machine: ConnMachine,
+    /// Clock micros of the last read/write progress (or idle tick).
+    last_activity: u64,
+    /// The interest currently registered with the poll.
+    interest: Interest,
+}
+
+/// How a slot leaves (or stays in) the connection table.
+enum SlotFate {
+    Keep,
+    Closed,
+    Errored,
+}
+
+/// One reactor shard: accepts from its clone of the shared non-blocking
+/// listener and serves every accepted connection on this single thread
+/// through per-connection [`ConnMachine`]s. Counter semantics mirror the
+/// threaded backend exactly: idle keep-alive ticks survive, stalled
+/// partial frames and stuck writes error, slots reclaimed while serving
+/// count as reaped, and slots closed by shutdown count only as closed.
+fn reactor_shard_loop(
+    listener: TcpListener,
+    mut poll: Poll,
+    ctx: ConnContext,
+    clock: Arc<dyn Clock>,
+) {
+    let mut events = Events::new();
+    let mut conns: BTreeMap<usize, ConnSlot> = BTreeMap::new();
+    let mut next_token: usize = 0;
+    let timeout_us = ctx.read_timeout.as_micros().min(u64::MAX as u128) as u64;
+    'run: while !ctx.stop.load(Ordering::SeqCst) {
+        // Accept every pending connection. All shards share the
+        // non-blocking listener, so `WouldBlock` may just mean another
+        // shard got there first.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    ctx.metrics.connections_opened.inc();
+                    let token = Token(next_token);
+                    next_token = next_token.wrapping_add(1);
+                    if next_token == WAKE_TOKEN.0 {
+                        next_token = 0;
+                    }
+                    let prepared = stream
+                        .set_nonblocking(true)
+                        .and_then(|()| stream.set_nodelay(true))
+                        .and_then(|()| poll.register(&stream, token, Interest::READABLE));
+                    if prepared.is_err() {
+                        ctx.metrics.connections_errored.inc();
+                        continue;
+                    }
+                    ctx.metrics.connections_open.add(1);
+                    conns.insert(
+                        token.0,
+                        ConnSlot {
+                            stream,
+                            machine: ConnMachine::new(),
+                            last_activity: clock.now_micros(),
+                            interest: Interest::READABLE,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break 'run,
+            }
+        }
+
+        if poll.poll(&mut events, REACTOR_TICK).is_err() {
+            break 'run; // self-pipe broken: the shard cannot be woken safely
+        }
+        if ctx.stop.load(Ordering::SeqCst) {
+            break 'run;
+        }
+
+        let now = clock.now_micros();
+        let mut retired: Vec<(usize, SlotFate)> = Vec::new();
+        for event in events.iter() {
+            if event.token == WAKE_TOKEN {
+                continue;
+            }
+            let Some(slot) = conns.get_mut(&event.token.0) else {
+                continue;
+            };
+            match drive_slot(slot, event.readable, &ctx, now) {
+                SlotFate::Keep => {}
+                fate => retired.push((event.token.0, fate)),
+            }
+        }
+
+        // Idle / stall sweep — the reactor mirror of the threaded
+        // backend's read-timeout semantics: an idle keep-alive client
+        // survives (and is counted); a stalled partial frame or a write
+        // the peer will not drain fails the connection.
+        for (&token, slot) in conns.iter_mut() {
+            if now.saturating_sub(slot.last_activity) < timeout_us {
+                continue;
+            }
+            if slot.machine.has_partial_input() || slot.machine.wants_write() {
+                retired.push((token, SlotFate::Errored));
+            } else {
+                ctx.metrics.idle_timeouts.inc();
+                slot.last_activity = now;
+            }
+        }
+
+        for (token, fate) in retired {
+            // A slot can be nominated twice (event + sweep); the first
+            // removal wins.
+            if conns.remove(&token).is_none() {
+                continue;
+            }
+            poll.deregister(Token(token));
+            match fate {
+                SlotFate::Errored => ctx.metrics.connections_errored.inc(),
+                SlotFate::Closed | SlotFate::Keep => ctx.metrics.connections_closed.inc(),
+            }
+            ctx.metrics.connections_open.add(-1);
+            // Reclaimed while the shard kept serving — the reactor's
+            // analogue of the threaded backend's worker reap.
+            ctx.metrics.connections_reaped.inc();
+        }
+
+        // Re-arm interests to match what each surviving machine needs.
+        for (&token, slot) in conns.iter_mut() {
+            let desired = Interest {
+                readable: !slot.machine.saw_eof() && !slot.machine.close_requested(),
+                writable: slot.machine.wants_write(),
+            };
+            if desired != slot.interest && poll.reregister(Token(token), desired).is_ok() {
+                slot.interest = desired;
+            }
+        }
+    }
+
+    // Shutdown (or a fatal listener/self-pipe error): remaining
+    // connections close cleanly, exactly like threaded workers observing
+    // the stop flag. Not counted as reaped — `reaped` means reclaimed
+    // while the server kept running.
+    for _slot in conns.into_values() {
+        ctx.metrics.connections_closed.inc();
+        ctx.metrics.connections_open.add(-1);
+    }
+}
+
+/// Runs one readiness event's worth of work on a slot: non-blocking
+/// reads into the state machine, the shared batch path over whatever
+/// frames became complete, and a flush of queued output.
+fn drive_slot(slot: &mut ConnSlot, readable: bool, ctx: &ConnContext, now: u64) -> SlotFate {
+    let metrics = &ctx.metrics;
+    if readable && !slot.machine.saw_eof() && !slot.machine.close_requested() {
+        let target = drain_target(ctx);
+        let mut chunk = [0u8; 4096];
+        loop {
+            if slot.machine.frames_ready() >= target {
+                break;
+            }
+            match slot.stream.read(&mut chunk) {
+                Ok(0) => {
+                    slot.machine.on_eof();
+                    break;
+                }
+                Ok(n) => {
+                    metrics.bytes_read.add(n as u64);
+                    slot.machine.on_bytes(chunk.get(..n).unwrap_or_default());
+                    slot.last_activity = now;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return SlotFate::Errored,
+            }
+        }
+    }
+
+    // Process every complete frame now buffered, one batch cycle at a
+    // time — identical batch/shed accounting to the threaded backend.
+    while (slot.machine.frames_ready() > 0 || slot.machine.input_oversize())
+        && !slot.machine.close_requested()
+    {
+        let outcome = process_buffered(slot.machine.accumulator_mut(), ctx);
+        slot.machine.queue_output(&outcome.out, outcome.close);
+        if outcome.close {
+            break;
+        }
+    }
+
+    // Flush whatever is queued; `WouldBlock` pauses and re-arms write
+    // interest, so a slow reader never blocks the shard.
+    if slot.machine.wants_write() {
+        let mut sink = &slot.stream;
+        match slot.machine.flush_into(&mut sink) {
+            Ok(progress) => {
+                if progress.wrote > 0 {
+                    slot.last_activity = now;
+                }
+            }
+            Err(_) => {
+                // A write failure after a close was requested matches the
+                // threaded path's best-effort final flush: a clean close.
+                return if slot.machine.close_requested() {
+                    SlotFate::Closed
+                } else {
+                    SlotFate::Errored
+                };
+            }
+        }
+    }
+
+    if slot.machine.should_close() {
+        return SlotFate::Closed;
+    }
+    if slot.machine.saw_eof() && !slot.machine.wants_write() && slot.machine.frames_ready() == 0 {
+        // Peer closed and everything answerable is answered — a clean
+        // close even mid-partial-frame, matching the threaded `Ok(0)`.
+        return SlotFate::Closed;
+    }
+    SlotFate::Keep
 }
 
 /// Decodes a submission frame and assesses it against the serving model.

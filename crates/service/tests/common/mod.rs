@@ -1,0 +1,26 @@
+//! Shared backend parametrization for the conformance suites.
+//!
+//! The risk server has two interchangeable connection cores
+//! ([`ServerBackend::Threaded`] and [`ServerBackend::Reactor`]) that must
+//! honour the exact same lifecycle, chaos, and cache-epoch guarantees.
+//! Every conformance test therefore runs through [`for_each_backend`],
+//! which executes the scenario once per core with a config pre-set to
+//! the backend under test.
+
+use polygraph_service::server::{RiskServerConfig, ServerBackend};
+
+/// Runs `scenario` once per connection core. The scenario receives a
+/// default config with `backend` pre-set (override other fields with
+/// struct-update syntax) plus the backend's name for assertion messages.
+pub fn for_each_backend(scenario: impl Fn(RiskServerConfig, &'static str)) {
+    for (backend, name) in [
+        (ServerBackend::Threaded, "threaded"),
+        (ServerBackend::Reactor, "reactor"),
+    ] {
+        let config = RiskServerConfig {
+            backend,
+            ..Default::default()
+        };
+        scenario(config, name);
+    }
+}

@@ -1,0 +1,265 @@
+//! Property tests for the reactor's per-connection state machine
+//! ([`ConnMachine`]): arbitrary seeded interleavings of partial reads,
+//! partial writes, and readiness events must never drop, duplicate, or
+//! reorder a frame — and the reply byte stream must come out exactly as
+//! if the connection had been served synchronously.
+//!
+//! The machine is pure with respect to I/O, so these tests drive it the
+//! same way the reactor event loop does (bytes in via `on_bytes`,
+//! batches out via `take_frames`, replies out via `flush_into`) but with
+//! adversarial schedules no real socket would reliably produce.
+
+use polygraph_service::reactor::{ConnMachine, ConnPhase};
+use proptest::prelude::*;
+use std::io::{self, Write};
+
+/// Deterministic pseudo-random byte for a (seed, index) pair.
+fn mix(seed: u64, i: u64) -> u8 {
+    (seed.wrapping_add(i).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as u8
+}
+
+/// Builds the wire image of `lens` frames with deterministic bodies.
+fn wire_image(lens: &[u16], seed: u64) -> (Vec<u8>, Vec<Vec<u8>>) {
+    let mut wire = Vec::new();
+    let mut bodies = Vec::new();
+    for (f, &len) in lens.iter().enumerate() {
+        let body: Vec<u8> = (0..len as u64)
+            .map(|i| mix(seed ^ ((f as u64) << 32), i))
+            .collect();
+        wire.extend_from_slice(&len.to_le_bytes());
+        wire.extend_from_slice(&body);
+        bodies.push(body);
+    }
+    (wire, bodies)
+}
+
+/// Splits `wire` into chunks at pseudo-random boundaries derived from
+/// `seed` — each chunk is one simulated readable event's delivery.
+fn chunked(wire: &[u8], seed: u64) -> Vec<&[u8]> {
+    let mut chunks = Vec::new();
+    let mut at = 0usize;
+    let mut i = 0u64;
+    while at < wire.len() {
+        let step = 1 + mix(seed, i) as usize % 7;
+        let end = (at + step).min(wire.len());
+        chunks.push(&wire[at..end]);
+        at = end;
+        i += 1;
+    }
+    chunks
+}
+
+/// The deterministic reply the simulated server writes for frame number
+/// `idx` with body `frame` — variable length, so partial flushes tear
+/// replies at every possible offset.
+fn reply_for(frame: &[u8], idx: usize) -> Vec<u8> {
+    let tag = frame.iter().fold(idx as u64, |acc, &b| {
+        acc.wrapping_mul(31).wrapping_add(b as u64)
+    });
+    (0..(1 + idx % 9)).map(|i| mix(tag, i as u64)).collect()
+}
+
+/// A sink that accepts a bounded number of bytes, then `WouldBlock`s —
+/// the pure-logic stand-in for a socket whose send buffer fills.
+struct ThrottledSink {
+    accepted: Vec<u8>,
+    budget: usize,
+}
+
+impl Write for ThrottledSink {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.budget == 0 {
+            return Err(io::Error::new(io::ErrorKind::WouldBlock, "throttled"));
+        }
+        let n = buf.len().min(self.budget);
+        self.accepted.extend_from_slice(&buf[..n]);
+        self.budget -= n;
+        Ok(n)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+proptest! {
+    /// The core conformance property: under any interleaving of torn
+    /// reads, bounded batch takes, and throttled partial writes, every
+    /// frame is taken exactly once, in order, and the reply stream is
+    /// byte-identical to a synchronous serve.
+    #[test]
+    fn no_frame_dropped_duplicated_or_reordered(
+        lens in proptest::collection::vec(0u16..120, 0..12),
+        body_seed in any::<u64>(),
+        chunk_seed in any::<u64>(),
+        sched_seed in any::<u64>(),
+    ) {
+        let (wire, bodies) = wire_image(&lens, body_seed);
+        let mut machine = ConnMachine::new();
+        let mut sink = ThrottledSink { accepted: Vec::new(), budget: 0 };
+        let mut taken: Vec<Vec<u8>> = Vec::new();
+        let mut queued_total = 0usize;
+
+        for (step, chunk) in chunked(&wire, chunk_seed).into_iter().enumerate() {
+            // One readable event delivers this chunk.
+            machine.on_bytes(chunk);
+            let r = mix(sched_seed, step as u64);
+
+            // Sometimes the "server" takes a (bounded) batch and queues
+            // replies; sometimes the event loop moves on and the frames
+            // wait — both must be safe.
+            if !r.is_multiple_of(3) {
+                let max = 1 + r as usize % 4;
+                let (frames, oversize) = machine.take_frames(max);
+                prop_assert!(!oversize, "no oversize frames were sent");
+                prop_assert!(frames.len() <= max);
+                for f in frames {
+                    let reply = reply_for(&f, taken.len());
+                    queued_total += reply.len();
+                    machine.queue_output(&reply, false);
+                    taken.push(f);
+                }
+            }
+
+            // One writable event flushes under a random budget — often
+            // tearing a reply mid-byte-stream.
+            sink.budget += r as usize % 48;
+            let progress = machine.flush_into(&mut sink).unwrap();
+            prop_assert_eq!(
+                machine.pending_output(),
+                queued_total - sink.accepted.len(),
+                "the machine's unflushed count must reconcile with the sink"
+            );
+            if !progress.complete {
+                prop_assert!(machine.wants_write());
+                prop_assert_eq!(machine.phase(), ConnPhase::Writing);
+            }
+        }
+
+        // The stream has fully arrived: drain every remaining frame,
+        // then flush without throttling.
+        loop {
+            let (frames, oversize) = machine.take_frames(32);
+            prop_assert!(!oversize);
+            if frames.is_empty() {
+                break;
+            }
+            for f in frames {
+                let reply = reply_for(&f, taken.len());
+                queued_total += reply.len();
+                machine.queue_output(&reply, false);
+                taken.push(f);
+            }
+        }
+        sink.budget = usize::MAX;
+        let progress = machine.flush_into(&mut sink).unwrap();
+        prop_assert!(progress.complete);
+        prop_assert_eq!(sink.accepted.len(), queued_total);
+
+        // No frame dropped, duplicated, or reordered...
+        prop_assert_eq!(&taken, &bodies);
+        // ...and the reply bytes are exactly the synchronous serve's.
+        let expected: Vec<u8> = bodies
+            .iter()
+            .enumerate()
+            .flat_map(|(i, b)| reply_for(b, i))
+            .collect();
+        prop_assert_eq!(&sink.accepted, &expected);
+
+        // The machine settles: nothing buffered, nothing pending, Idle.
+        prop_assert!(!machine.wants_write());
+        prop_assert!(!machine.has_partial_input());
+        prop_assert_eq!(machine.frames_ready(), 0);
+        prop_assert_eq!(machine.phase(), ConnPhase::Idle);
+    }
+
+    /// An oversize header mid-stream: every preceding frame is still
+    /// taken and answered, then the machine closes — and once closing it
+    /// never yields another frame, no matter what else arrives.
+    #[test]
+    fn oversize_closes_after_answering_preceding_frames(
+        lens in proptest::collection::vec(0u16..120, 0..8),
+        body_seed in any::<u64>(),
+        chunk_seed in any::<u64>(),
+        oversize_len in 1025u16..u16::MAX,
+        garbage in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let (mut wire, bodies) = wire_image(&lens, body_seed);
+        wire.extend_from_slice(&oversize_len.to_le_bytes());
+        wire.extend_from_slice(&garbage);
+
+        let mut machine = ConnMachine::new();
+        let mut taken: Vec<Vec<u8>> = Vec::new();
+        let mut saw_oversize = false;
+        for chunk in chunked(&wire, chunk_seed) {
+            machine.on_bytes(chunk);
+            loop {
+                let (frames, oversize) = machine.take_frames(4);
+                let drained = frames.is_empty();
+                taken.extend(frames);
+                if oversize {
+                    saw_oversize = true;
+                    // The serve path answers what came before, then
+                    // requests a close.
+                    machine.queue_output(b"ERR", true);
+                    break;
+                }
+                if drained {
+                    break;
+                }
+            }
+            if saw_oversize {
+                break;
+            }
+        }
+        prop_assert!(saw_oversize, "the oversize header must surface");
+        prop_assert_eq!(&taken, &bodies);
+
+        // A closing machine accepts no further frames, even if more
+        // complete-looking bytes arrive after the poisoned header.
+        machine.on_bytes(&3u16.to_le_bytes());
+        machine.on_bytes(b"abc");
+        prop_assert_eq!(machine.frames_ready(), 0);
+        prop_assert!(machine.close_requested());
+        prop_assert!(!machine.should_close(), "reply still unflushed");
+
+        let mut sink = ThrottledSink { accepted: Vec::new(), budget: usize::MAX };
+        let progress = machine.flush_into(&mut sink).unwrap();
+        prop_assert!(progress.complete);
+        prop_assert_eq!(&sink.accepted, b"ERR");
+        prop_assert!(machine.should_close());
+    }
+
+    /// Phase bookkeeping: the machine reports `Reading` only while input
+    /// is buffered short of a frame, `Writing` only while output is
+    /// pending, and returns to `Idle` when drained — under any chunking.
+    #[test]
+    fn phases_track_buffered_state(
+        lens in proptest::collection::vec(0u16..60, 1..6),
+        body_seed in any::<u64>(),
+        chunk_seed in any::<u64>(),
+    ) {
+        let (wire, bodies) = wire_image(&lens, body_seed);
+        let mut machine = ConnMachine::new();
+        let mut taken = 0usize;
+        prop_assert_eq!(machine.phase(), ConnPhase::Idle);
+        for chunk in chunked(&wire, chunk_seed) {
+            machine.on_bytes(chunk);
+            if machine.frames_ready() > 0 {
+                let (frames, _) = machine.take_frames(usize::MAX);
+                taken += frames.len();
+                prop_assert_eq!(machine.phase(), ConnPhase::Assessing);
+                machine.queue_output(b"ok", false);
+                prop_assert_eq!(machine.phase(), ConnPhase::Writing);
+                let mut sink = ThrottledSink { accepted: Vec::new(), budget: usize::MAX };
+                machine.flush_into(&mut sink).unwrap();
+            }
+            let phase = machine.phase();
+            if machine.has_partial_input() {
+                prop_assert_eq!(phase, ConnPhase::Reading);
+            } else {
+                prop_assert_eq!(phase, ConnPhase::Idle);
+            }
+        }
+        prop_assert_eq!(taken, bodies.len());
+    }
+}

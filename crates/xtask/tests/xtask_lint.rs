@@ -20,9 +20,9 @@ fn fixture_config() -> LintConfig {
 exclude = []
 
 [zones]
-determinism = ["det_"]
+determinism = ["det_", "reactor_"]
 key_determinism = ["keys_"]
-panic_safety = ["panic_"]
+panic_safety = ["panic_", "reactor_"]
 "#,
         )
         .expect("fixture config parses");
@@ -57,6 +57,9 @@ fn bad_fixtures_fire_every_rule_at_the_expected_lines() {
         ("panic_bad.rs", "POLY-P001", 6),       // unwrap()
         ("panic_bad.rs", "POLY-P002", 7),       // expect(…)
         ("panic_bad.rs", "POLY-P003", 8),       // panic!
+        ("reactor_bad.rs", "POLY-D002", 6),     // Instant::now() in the poll loop
+        ("reactor_bad.rs", "POLY-P004", 7),     // events[0]
+        ("reactor_bad.rs", "POLY-P001", 8),     // unwrap()
         ("src/hygiene_bad.rs", "POLY-H002", 4), // println!
         ("src/hygiene_bad.rs", "POLY-H001", 5), // unsafe
         ("src/pool_bad.rs", "POLY-H003", 3),    // missing serial twin

@@ -13,6 +13,14 @@
 //! complete metrics exposition against the committed golden file
 //! `results/obs_exposition.txt` — byte for byte. Regenerate with
 //! `UPDATE_GOLDEN=1 cargo test --test service_stress`.
+//!
+//! A third scenario is a seeded connection-churn storm: hundreds of
+//! short-lived connections opening and closing under a standing pool of
+//! long-lived pipelined ones, run against both connection cores. Every
+//! slot must be reaped while the server keeps serving, the
+//! `server.connections.open` gauge must return to zero, and the reactor
+//! must sustain at least 4x the threaded run's concurrent-connection
+//! count with the same exact counter identities.
 
 use browser_polygraph::core::{Detector, TrainConfig, TrainedModel, TrainingSet};
 use browser_polygraph::engine::{UserAgent, Vendor};
@@ -25,8 +33,8 @@ use browser_polygraph::service::proto::{
 };
 use browser_polygraph::service::server::metric_names;
 use browser_polygraph::service::{
-    start_risk_server, start_risk_server_with, RiskServerConfig, Verdict, VerdictStatus,
-    MAX_BATCH_PER_GUARD,
+    start_risk_server, start_risk_server_with, RiskServerConfig, ServerBackend, Verdict,
+    VerdictStatus, MAX_BATCH_PER_GUARD,
 };
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -181,6 +189,175 @@ fn pipelined_clients_survive_fifty_hot_swaps() {
         "bucket counts must sum to the observation count"
     );
     server.shutdown();
+}
+
+const CHURN_SEED: u64 = 0x00C0_FFEE_D00D_F00D;
+const SHORT_WORKERS: usize = 4;
+const SHORT_PER_WORKER: usize = 60;
+const LONG_LIVED_BASE: usize = 12;
+const LONG_ROUNDS: usize = 3;
+
+/// Deterministic schedule byte for the churn storm.
+fn churn_byte(seed: u64, i: u64) -> u8 {
+    (seed.wrapping_add(i).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as u8
+}
+
+fn churn_round_trip(stream: &mut TcpStream, honest: &[u8], lying: &[u8], k: usize, tag: &str) {
+    let frame = if k.is_multiple_of(2) { honest } else { lying };
+    stream
+        .write_all(&(frame.len() as u16).to_le_bytes())
+        .expect("write len");
+    stream.write_all(frame).expect("write frame");
+    let mut buf = [0u8; VERDICT_LEN];
+    stream.read_exact(&mut buf).expect("read verdict");
+    let v = Verdict::decode(&buf).expect("decode");
+    assert_eq!(v.status, VerdictStatus::Assessed, "{tag}");
+    assert_eq!(v.flagged, k % 2 == 1, "{tag}: verdict out of order");
+}
+
+/// Runs the seeded open/close storm against one backend: `long_lived`
+/// standing connections kept busy while `SHORT_WORKERS` threads churn
+/// through short-lived ones. Returns the concurrent-connection count the
+/// server sustained (read from the `server.connections.open` gauge while
+/// the full standing pool was live), after asserting that every slot was
+/// reaped, the gauge returned to zero, and the counters reconcile.
+fn churn_storm(backend: ServerBackend, long_lived: usize) -> i64 {
+    let config = RiskServerConfig {
+        backend,
+        read_timeout: Duration::from_secs(10),
+        ..Default::default()
+    };
+    let server = start_risk_server_with("127.0.0.1:0", era_detector(1), config).expect("bind");
+    let addr = server.local_addr();
+    let honest = frame_for(vec![10, 10], UserAgent::new(Vendor::Chrome, 100), 1);
+    let lying = frame_for(vec![20, 20], UserAgent::new(Vendor::Chrome, 100), 2);
+
+    // Stand up the long-lived pool, one confirmed round trip each.
+    let mut long_conns = Vec::with_capacity(long_lived);
+    for j in 0..long_lived {
+        let mut stream = TcpStream::connect(addr).expect("connect long-lived");
+        stream.set_nodelay(true).expect("nodelay");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+        churn_round_trip(&mut stream, &honest, &lying, 0, &format!("long {j} warmup"));
+        long_conns.push(stream);
+    }
+    let mut long_frames = long_lived;
+    let concurrent = server.stats().connections_open;
+    assert!(
+        concurrent >= long_lived as i64,
+        "the full standing pool must be visible in the gauge: {concurrent}"
+    );
+
+    // The short-lived storm: each worker opens, pipelines 1–3 frames,
+    // reads its verdicts in order, and closes — all on a seeded schedule.
+    let workers: Vec<_> = (0..SHORT_WORKERS)
+        .map(|w| {
+            let honest = honest.clone();
+            let lying = lying.clone();
+            thread::spawn(move || {
+                let mut frames = 0usize;
+                for i in 0..SHORT_PER_WORKER {
+                    let conn_idx = (w * SHORT_PER_WORKER + i) as u64;
+                    let mut stream = TcpStream::connect(addr).expect("connect short-lived");
+                    stream.set_nodelay(true).expect("nodelay");
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(30)))
+                        .expect("timeout");
+                    let n = 1 + churn_byte(CHURN_SEED, conn_idx) as usize % 3;
+                    let mut wire = Vec::new();
+                    for k in 0..n {
+                        let frame = if k % 2 == 0 { &honest } else { &lying };
+                        wire.extend_from_slice(&(frame.len() as u16).to_le_bytes());
+                        wire.extend_from_slice(frame);
+                    }
+                    stream.write_all(&wire).expect("write burst");
+                    for k in 0..n {
+                        let mut buf = [0u8; VERDICT_LEN];
+                        stream.read_exact(&mut buf).expect("read verdict");
+                        let v = Verdict::decode(&buf).expect("decode");
+                        assert_eq!(v.status, VerdictStatus::Assessed, "short {conn_idx}");
+                        assert_eq!(v.flagged, k % 2 == 1, "short {conn_idx} frame {k}");
+                    }
+                    frames += n;
+                    // The storm's whole point: the stream drops here.
+                }
+                frames
+            })
+        })
+        .collect();
+
+    // Keep the standing pool busy while the storm rages — a reaped slot
+    // must never take a live neighbour's identity with it.
+    for round in 1..=LONG_ROUNDS {
+        for (j, stream) in long_conns.iter_mut().enumerate() {
+            churn_round_trip(
+                stream,
+                &honest,
+                &lying,
+                round,
+                &format!("long {j} round {round}"),
+            );
+            long_frames += 1;
+        }
+    }
+
+    let mut short_frames = 0usize;
+    for w in workers {
+        short_frames += w.join().expect("short-lived worker");
+    }
+
+    // Every long-lived connection survived the churn around it.
+    for (j, stream) in long_conns.iter_mut().enumerate() {
+        churn_round_trip(stream, &honest, &lying, 0, &format!("long {j} after storm"));
+        long_frames += 1;
+    }
+    drop(long_conns);
+
+    // With every client gone, the server must retire each slot cleanly
+    // *while still serving*: all reaped, the open gauge back to zero.
+    let opened = long_lived + SHORT_WORKERS * SHORT_PER_WORKER;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = server.stats();
+        if stats.connections_closed as usize == opened
+            && stats.connections_reaped as usize == opened
+            && stats.connections_open == 0
+        {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "slots never fully retired: {stats:?}"
+        );
+        thread::sleep(Duration::from_millis(5));
+    }
+
+    // Counter identities under churn: nothing errored, nothing lost.
+    let stats = server.stats();
+    assert_eq!(stats.connections_opened as usize, opened);
+    assert_eq!(stats.connections_errored, 0);
+    assert_eq!(stats.malformed, 0);
+    assert_eq!(
+        stats.assessed as usize,
+        long_frames + short_frames,
+        "every client-observed verdict counted exactly once"
+    );
+    server.shutdown();
+    concurrent
+}
+
+#[test]
+fn connection_churn_storm_reaps_every_slot() {
+    let threaded = churn_storm(ServerBackend::Threaded, LONG_LIVED_BASE);
+    // The reactor run holds a 4x standing pool through the same storm.
+    let reactor = churn_storm(ServerBackend::Reactor, LONG_LIVED_BASE * 4);
+    assert!(
+        reactor >= 4 * threaded,
+        "the reactor must sustain at least 4x the threaded backend's \
+         concurrent connections: reactor {reactor}, threaded {threaded}"
+    );
 }
 
 const DET_FRAMES: usize = 50;
