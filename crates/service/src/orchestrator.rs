@@ -169,11 +169,19 @@ impl<'s> Orchestrator<'s> {
         let obs = self.server.registry();
         obs.counter(metric_names::CHECKPOINTS).inc();
 
-        // Measure against the *currently serving* model.
-        let (observations, decision) = {
+        // Measure against the *currently serving* model. The model is
+        // cloned out of the detector slot so the read guard is released
+        // before the checkpoint measurement runs — holding it across
+        // `DriftDetector::checkpoint` (a full re-clustering pass over the
+        // fresh window) would starve `swap_detector` and block serving
+        // writers for the whole measurement (POLY-L002).
+        let serving_model = {
             let slot = self.server.detector_slot();
             let guard = slot.read();
-            let monitor = DriftDetector::new(guard.model());
+            guard.model().clone()
+        };
+        let (observations, decision) = {
+            let monitor = DriftDetector::new(&serving_model);
             monitor.checkpoint(fresh, releases)?
         };
         obs.counter(metric_names::DRIFT_EVALUATIONS)
@@ -187,12 +195,11 @@ impl<'s> Orchestrator<'s> {
         // Retrain on the fresh window with the serving feature schema.
         // The fit records its per-phase timings (`fit.*`) into the
         // server's registry; this span wraps the whole fit-to-swap path.
+        // Reuse the measured model's schema rather than re-reading the
+        // slot: if a concurrent swap landed mid-checkpoint, retraining
+        // against the schema that produced `decision` stays coherent.
         let retrain_span = obs.span(metric_names::RETRAIN_MICROS);
-        let feature_set = {
-            let slot = self.server.detector_slot();
-            let guard = slot.read();
-            guard.model().feature_set().clone()
-        };
+        let feature_set = serving_model.feature_set().clone();
         let candidate = match TrainedModel::fit_observed(
             feature_set,
             fresh,
@@ -309,6 +316,63 @@ mod tests {
         assert!(matches!(outcome, RetrainOutcome::Stable { .. }));
         assert_eq!(server.stats().swaps, 0);
         assert_eq!(orch.registry().versions().unwrap(), Vec::<u64>::new());
+        server.shutdown();
+    }
+
+    /// Regression for the POLY-L002 dogfooding fix: `checkpoint` must
+    /// release the detector-slot read guard before the drift measurement
+    /// runs (it clones the model out), so a writer — `swap_detector` —
+    /// can take the slot while a measurement is in flight. Before the
+    /// fix, the guard spanned the whole measurement and every
+    /// `try_write` below would fail until the checkpoint finished.
+    #[test]
+    fn checkpoint_releases_the_detector_slot_before_measuring() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let server = start_risk_server("127.0.0.1:0", Detector::new(serving_model())).unwrap();
+        let orch = Orchestrator::new(&server, temp_registry("guard-scope"), config());
+        // A large stable window: the measurement runs long enough for
+        // the main thread to probe the slot, and Stable means no swap
+        // interferes with the probe.
+        let mut fresh = training(0.0);
+        for j in 0..20_000 {
+            fresh
+                .push(
+                    vec![10.0 + (j % 3) as f64 * 0.05, 10.0],
+                    ua(Vendor::Chrome, 111),
+                )
+                .unwrap();
+        }
+        let checkpoints = server.registry().counter(metric_names::CHECKPOINTS);
+        let done = AtomicBool::new(false);
+        let acquired_mid_checkpoint = std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let outcome = orch.checkpoint(&fresh, &[ua(Vendor::Chrome, 111)]).unwrap();
+                assert!(matches!(outcome, RetrainOutcome::Stable { .. }));
+                done.store(true, Ordering::SeqCst);
+            });
+            // Wait for the checkpoint to begin …
+            while checkpoints.get() == 0 && !done.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            // … then take a write lock on the slot mid-measurement.
+            let slot = server.detector_slot();
+            let mut acquired = false;
+            while !done.load(Ordering::SeqCst) {
+                if let Some(guard) = slot.try_write() {
+                    drop(guard);
+                    acquired = true;
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            acquired
+        });
+        assert!(
+            acquired_mid_checkpoint,
+            "a writer must be able to take the detector slot while a drift \
+             measurement is running"
+        );
         server.shutdown();
     }
 

@@ -40,6 +40,10 @@ pub struct LintConfig {
     /// Path prefixes whose files must obey the panic-safety rules
     /// (POLY-P*).
     pub panic_zone: Vec<String>,
+    /// Path prefixes whose files must obey the concurrency rules
+    /// (POLY-L*): lock-order cycles, guards held across blocking calls,
+    /// and unaudited `Ordering::Relaxed`.
+    pub concurrency_zone: Vec<String>,
     /// Path prefixes excluded from the scan entirely.
     pub exclude: Vec<String>,
     /// Audited exceptions.
@@ -73,6 +77,11 @@ impl Default for LintConfig {
                 "crates/service/src/client.rs".into(),
                 "crates/fingerprint/src/wire.rs".into(),
             ],
+            concurrency_zone: vec![
+                "crates/cache/src/".into(),
+                "crates/service/src/".into(),
+                "crates/ml/src/pool.rs".into(),
+            ],
             exclude: vec![
                 "target/".into(),
                 "vendor/".into(),
@@ -101,6 +110,9 @@ impl LintConfig {
                 }
                 ("zones", "panic_safety", Value::Array(a)) => {
                     self.panic_zone = a.clone();
+                }
+                ("zones", "concurrency", Value::Array(a)) => {
+                    self.concurrency_zone = a.clone();
                 }
                 ("scan", "exclude", Value::Array(a)) => {
                     self.exclude = a.clone();
@@ -410,12 +422,27 @@ reason = "scratch map is drained in sorted order"
         let mut c = LintConfig::default();
         c.apply_toml(
             "[zones]\ndeterminism = [\"det_\"]\nkey_determinism = [\"keys_\"]\n\
-             panic_safety = [\"panic_\"]\n",
+             panic_safety = [\"panic_\"]\nconcurrency = [\"lock_\"]\n",
         )
         .unwrap();
         assert_eq!(c.determinism_zone, vec!["det_".to_string()]);
         assert_eq!(c.key_determinism_zone, vec!["keys_".to_string()]);
         assert_eq!(c.panic_zone, vec!["panic_".to_string()]);
+        assert_eq!(c.concurrency_zone, vec!["lock_".to_string()]);
+    }
+
+    #[test]
+    fn default_concurrency_zone_covers_cache_service_and_pool() {
+        let c = LintConfig::default();
+        assert!(c.concurrency_zone.iter().any(|p| p == "crates/cache/src/"));
+        assert!(c
+            .concurrency_zone
+            .iter()
+            .any(|p| p == "crates/service/src/"));
+        assert!(c
+            .concurrency_zone
+            .iter()
+            .any(|p| p == "crates/ml/src/pool.rs"));
     }
 
     #[test]

@@ -388,7 +388,9 @@ fn matching_bracket(tokens: &[Token], open: usize) -> Option<usize> {
 }
 
 /// Given the index of a `{`, returns the index of its matching `}`.
-fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+/// Shared with the parser tier ([`crate::parser`]), which builds block
+/// scopes on top of it.
+pub fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
     let mut depth = 0i32;
     for (i, t) in tokens.iter().enumerate().skip(open) {
         match t.kind {

@@ -5,36 +5,71 @@
 //! cannot see (see [`rules`] for the rule table and DESIGN.md for the
 //! rationale). Violations carry `file:line` positions; `lint.toml` holds
 //! audited exceptions.
+//!
+//! The scan has two tiers. Tier one is per-file and embarrassingly
+//! parallel: tokenize, classify, run the token-level rules, and (for
+//! concurrency-zone files) summarize lock behaviour per function. Tier
+//! two aggregates those [`concurrency::FnSummary`] values zone-wide for
+//! the lock-order and guard-scope rules, which need a call graph. The
+//! per-file work fans out over the `polygraph-ml` [`ThreadPool`]; the
+//! final report is sorted by `(file, line, rule)`, so the pooled and
+//! serial schedules render byte-identically.
 
 pub mod bench;
+pub mod concurrency;
 pub mod config;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
 
 pub use bench::{BenchCheckConfig, BenchCheckReport};
 pub use config::{AllowEntry, LintConfig};
 pub use report::LintReport;
-pub use rules::{Diagnostic, FileClass};
+pub use rules::{Diagnostic, FileClass, RULE_CATALOG};
 
+use polygraph_ml::pool::ThreadPool;
 use std::path::Path;
 
-/// Lints every `.rs` file under `root`, applying the allowlist, and
-/// returns the report. Errors only on I/O or configuration problems —
-/// rule violations are data, not errors.
+/// One file's tier-one results: token-rule diagnostics plus (for
+/// concurrency-zone files) per-function lock summaries for the zone-wide
+/// passes.
+struct FileAnalysis {
+    diagnostics: Vec<Diagnostic>,
+    summaries: Vec<concurrency::FnSummary>,
+}
+
+/// Lints every `.rs` file under `root` serially. Delegates to
+/// [`lint_workspace_with_pool`]; the two must stay byte-identical (the
+/// integration suite asserts it).
 pub fn lint_workspace(root: &Path, config: &LintConfig) -> Result<LintReport, String> {
+    lint_workspace_with_pool(root, config, &ThreadPool::serial())
+}
+
+/// Lints every `.rs` file under `root`, fanning the per-file analyses out
+/// over `pool`, applying the allowlist, and returning the report. Errors
+/// only on I/O or configuration problems — rule violations are data, not
+/// errors.
+pub fn lint_workspace_with_pool(
+    root: &Path,
+    config: &LintConfig,
+    pool: &ThreadPool,
+) -> Result<LintReport, String> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &config.exclude, &mut files)?;
     files.sort();
 
+    let analyses: Vec<Result<FileAnalysis, String>> =
+        pool.run(files.len(), |i| analyze_file(root, &files[i], config));
+
     let mut diagnostics = Vec::new();
-    for rel in &files {
-        let source = std::fs::read_to_string(root.join(rel))
-            .map_err(|e| format!("failed to read {rel}: {e}"))?;
-        let tokens = lexer::tokenize(&source);
-        let class = classify(rel, config);
-        diagnostics.extend(rules::check_file(rel, &tokens, class));
+    let mut summaries = Vec::new();
+    for analysis in analyses {
+        let analysis = analysis?;
+        diagnostics.extend(analysis.diagnostics);
+        summaries.extend(analysis.summaries);
     }
+    diagnostics.extend(concurrency::check_zone(&summaries));
 
     let (diagnostics, suppressed, unused_allows) = apply_allowlist(diagnostics, &config.allow);
     let mut diagnostics = diagnostics;
@@ -45,6 +80,25 @@ pub fn lint_workspace(root: &Path, config: &LintConfig) -> Result<LintReport, St
         files_scanned: files.len(),
         suppressed,
         unused_allows,
+    })
+}
+
+/// Tier one for a single file: read, tokenize, classify, run the
+/// per-file rules, and summarize concurrency-zone functions.
+fn analyze_file(root: &Path, rel: &str, config: &LintConfig) -> Result<FileAnalysis, String> {
+    let source = std::fs::read_to_string(root.join(rel))
+        .map_err(|e| format!("failed to read {rel}: {e}"))?;
+    let tokens = lexer::tokenize(&source);
+    let class = classify(rel, config);
+    let diagnostics = rules::check_file(rel, &tokens, class);
+    let summaries = if class.concurrency {
+        concurrency::summarize_file(rel, &tokens)
+    } else {
+        Vec::new()
+    };
+    Ok(FileAnalysis {
+        diagnostics,
+        summaries,
     })
 }
 
@@ -64,6 +118,10 @@ pub fn classify(rel: &str, config: &LintConfig) -> FileClass {
             .iter()
             .any(|p| rel.starts_with(p.as_str())),
         library: is_library_file(rel),
+        concurrency: config
+            .concurrency_zone
+            .iter()
+            .any(|p| rel.starts_with(p.as_str())),
     }
 }
 
@@ -81,6 +139,81 @@ fn is_library_file(rel: &str) -> bool {
     }
     let basename = rel.rsplit('/').next().unwrap_or(rel);
     basename != "main.rs"
+}
+
+/// The zone map for the linter's own fixture corpus under
+/// `crates/xtask/tests/lint_fixtures/`: filename prefixes instead of
+/// workspace paths, no excludes. Shared by the integration suite and
+/// `cargo xtask lint --self-check` so the two cannot drift.
+pub fn fixture_lint_config() -> LintConfig {
+    LintConfig {
+        determinism_zone: vec!["det_".into(), "reactor_".into()],
+        key_determinism_zone: vec!["keys_".into()],
+        panic_zone: vec!["panic_".into(), "reactor_".into()],
+        concurrency_zone: vec![
+            "lock_order_".into(),
+            "guard_scope_".into(),
+            "atomic_".into(),
+        ],
+        exclude: Vec::new(),
+        ..LintConfig::default()
+    }
+}
+
+/// Lints the fixture corpus and cross-checks the outcome against
+/// [`RULE_CATALOG`]: every scan rule must fire in some `*_bad` fixture,
+/// every `*_good` twin must stay clean, and stale-allow detection must
+/// still flip the report to failing. CI runs this as
+/// `cargo xtask lint --self-check` to catch rule drift.
+pub fn self_check(fixtures: &Path) -> Result<(), String> {
+    let config = fixture_lint_config();
+    let report = lint_workspace(fixtures, &config)?;
+    // POLY-H004 is synthesized from the allowlist, not from source scans;
+    // it is exercised separately below.
+    for rule in RULE_CATALOG.iter().filter(|r| r.id != "POLY-H004") {
+        if !report.diagnostics.iter().any(|d| d.rule == rule.id) {
+            return Err(format!(
+                "self-check: rule {} ({}) fired in no fixture — the corpus no longer \
+                 exercises it",
+                rule.id, rule.short
+            ));
+        }
+    }
+    for d in &report.diagnostics {
+        let basename = d.file.rsplit('/').next().unwrap_or(&d.file);
+        if basename.contains("_good") {
+            return Err(format!(
+                "self-check: clean fixture {} fired {} at line {}",
+                d.file, d.rule, d.line
+            ));
+        }
+    }
+    // Stale-allow detection: a synthetic entry matching nothing must
+    // surface as unused, and unused entries alone must fail the run.
+    let mut stale = config.clone();
+    stale.allow.push(AllowEntry {
+        rule: "POLY-P001".into(),
+        file: "no_such_fixture.rs".into(),
+        line: None,
+        reason: "self-check: deliberately stale".into(),
+    });
+    let stale_report = lint_workspace(fixtures, &stale)?;
+    if stale_report.unused_allows.len() != 1 {
+        return Err(format!(
+            "self-check: expected exactly one stale allow, saw {}",
+            stale_report.unused_allows.len()
+        ));
+    }
+    let only_stale = LintReport {
+        diagnostics: Vec::new(),
+        files_scanned: stale_report.files_scanned,
+        suppressed: 0,
+        unused_allows: stale_report.unused_allows,
+    };
+    if only_stale.is_clean() {
+        return Err("self-check: a report with stale allows must not count as clean".into());
+    }
+    Ok(())
 }
 
 fn collect_rs_files(

@@ -2,9 +2,12 @@
 //!
 //! Subcommands:
 //!
-//! * `lint [--json] [--root PATH] [--config PATH]` — run the
-//!   polygraph-lint static-analysis pass. Exit 0 when clean, 1 when
-//!   violations survive the allowlist, 2 on usage or I/O errors.
+//! * `lint [--format text|json|sarif] [--root PATH] [--config PATH]
+//!   [--self-check]` — run the polygraph-lint static-analysis pass
+//!   (`--json` stays as an alias for `--format json`). Exit 0 when
+//!   clean, 1 when violations or stale allow entries survive, 2 on
+//!   usage or I/O errors. `--self-check` instead lints the linter's own
+//!   fixture corpus and verifies every rule still fires where expected.
 //! * `bench-check [--current PATH] [--baseline PATH]
 //!   [--max-regress-pct N] [--min-speedup X] [--root PATH]` — the
 //!   performance gate: compare `results/BENCH_serving.json` (freshly
@@ -38,7 +41,8 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: cargo xtask lint [--json] [--root PATH] [--config PATH]\n       \
+const USAGE: &str = "usage: cargo xtask lint [--format text|json|sarif] [--root PATH] \
+                     [--config PATH] [--self-check]\n       \
                      cargo xtask bench-check [--current PATH] [--baseline PATH] \
                      [--max-regress-pct N] [--min-speedup X] [--root PATH]";
 
@@ -117,15 +121,42 @@ fn bench_check_command(args: &[String]) -> ExitCode {
     }
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum LintFormat {
+    Text,
+    Json,
+    Sarif,
+}
+
 fn lint_command(args: &[String]) -> ExitCode {
-    let mut json = false;
+    let mut format = LintFormat::Text;
+    let mut self_check = false;
     let mut root: Option<PathBuf> = None;
     let mut config_path: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args.get(i).map(String::as_str) {
             Some("--json") => {
-                json = true;
+                format = LintFormat::Json;
+                i += 1;
+            }
+            Some("--format") if i + 1 < args.len() => {
+                format = match args.get(i + 1).map(String::as_str) {
+                    Some("text") => LintFormat::Text,
+                    Some("json") => LintFormat::Json,
+                    Some("sarif") => LintFormat::Sarif,
+                    other => {
+                        let _ = writeln!(
+                            std::io::stderr(),
+                            "unknown --format {other:?} (expected text, json, or sarif)\n{USAGE}"
+                        );
+                        return ExitCode::from(2);
+                    }
+                };
+                i += 2;
+            }
+            Some("--self-check") => {
+                self_check = true;
                 i += 1;
             }
             Some("--root") if i + 1 < args.len() => {
@@ -152,6 +183,24 @@ fn lint_command(args: &[String]) -> ExitCode {
         }
     };
 
+    if self_check {
+        let fixtures = root.join("crates/xtask/tests/lint_fixtures");
+        return match xtask::self_check(&fixtures) {
+            Ok(()) => {
+                let _ = writeln!(
+                    std::io::stdout(),
+                    "polygraph-lint self-check: every rule fires in its fixture, good twins \
+                     are clean, stale allows fail"
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                let _ = writeln!(std::io::stderr(), "error: {e}");
+                ExitCode::from(1)
+            }
+        };
+    }
+
     let mut config = LintConfig::default();
     let config_file = config_path.unwrap_or_else(|| root.join("lint.toml"));
     match std::fs::read_to_string(&config_file) {
@@ -172,7 +221,8 @@ fn lint_command(args: &[String]) -> ExitCode {
         }
     }
 
-    let report = match xtask::lint_workspace(&root, &config) {
+    let pool = polygraph_ml::pool::ThreadPool::with_default_parallelism();
+    let report = match xtask::lint_workspace_with_pool(&root, &config, &pool) {
         Ok(r) => r,
         Err(e) => {
             let _ = writeln!(std::io::stderr(), "error: {e}");
@@ -180,10 +230,10 @@ fn lint_command(args: &[String]) -> ExitCode {
         }
     };
 
-    let rendered = if json {
-        report.render_json()
-    } else {
-        report.render_text()
+    let rendered = match format {
+        LintFormat::Text => report.render_text(),
+        LintFormat::Json => report.render_json(),
+        LintFormat::Sarif => report.render_sarif(),
     };
     let _ = write!(std::io::stdout(), "{rendered}");
     if report.is_clean() {

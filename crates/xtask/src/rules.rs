@@ -1,6 +1,6 @@
 //! The lint rules.
 //!
-//! Three rule families, matching the invariants the pipeline depends on:
+//! Four rule families, matching the invariants the pipeline depends on:
 //!
 //! | Code      | Zone            | Forbids                                         |
 //! |-----------|-----------------|-------------------------------------------------|
@@ -15,6 +15,16 @@
 //! | POLY-H001 | everywhere      | `unsafe`                                        |
 //! | POLY-H002 | library sources | `println!` / `eprintln!` / `print!` / `eprint!` / `dbg!` |
 //! | POLY-H003 | library sources | `pub fn x_with_pool` without a delegating serial twin `fn x` |
+//! | POLY-H004 | lint.toml       | `[[allow]]` entries that match no finding (stale audits) |
+//! | POLY-L001 | concurrency     | cycles in the aggregated lock-order graph       |
+//! | POLY-L002 | concurrency     | lock guards held across blocking calls          |
+//! | POLY-L003 | concurrency     | `Ordering::Relaxed` without an audited `[[allow]]` |
+//!
+//! The POLY-L rules run on the parser tier (see [`crate::parser`] and
+//! [`crate::concurrency`]): L003 is per-file and dispatched here; L001
+//! and L002 need zone-wide call propagation, so [`crate::lint_workspace`]
+//! runs them after every file is summarized. POLY-H004 is synthesized by
+//! the report from the allowlist outcome, not from source tokens.
 //!
 //! Zone rules skip `#[cfg(test)]` regions: tests may unwrap and may use
 //! hash sets to assert uniqueness. POLY-H001 applies to test code too —
@@ -46,7 +56,83 @@ pub struct FileClass {
     /// Library source (not a binary target, not tests/, not examples/):
     /// subject to the hygiene rules.
     pub library: bool,
+    /// Concurrency zone (the sharded cache, the service crate, the
+    /// thread pool): subject to the POLY-L rules.
+    pub concurrency: bool,
 }
+
+/// One catalog row: rule code plus the short description rendered into
+/// reports (SARIF requires the full rule table up front).
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub short: &'static str,
+}
+
+/// Every rule the linter can emit, in code order. Keep in sync with the
+/// table in the module docs; `--self-check` cross-checks the scan rules
+/// against the fixtures.
+pub const RULE_CATALOG: &[RuleInfo] = &[
+    RuleInfo {
+        id: "POLY-D001",
+        short: "hash-ordered collection in a determinism zone",
+    },
+    RuleInfo {
+        id: "POLY-D002",
+        short: "wall-clock or OS-entropy input in a determinism zone",
+    },
+    RuleInfo {
+        id: "POLY-D003",
+        short: "non-ChaCha RNG in a determinism zone",
+    },
+    RuleInfo {
+        id: "POLY-D004",
+        short: "per-process-seeded std hasher in a key-determinism zone",
+    },
+    RuleInfo {
+        id: "POLY-P001",
+        short: "unwrap() in a panic-safety zone",
+    },
+    RuleInfo {
+        id: "POLY-P002",
+        short: "expect(…) in a panic-safety zone",
+    },
+    RuleInfo {
+        id: "POLY-P003",
+        short: "panicking macro in a panic-safety zone",
+    },
+    RuleInfo {
+        id: "POLY-P004",
+        short: "slice/array indexing in a panic-safety zone",
+    },
+    RuleInfo {
+        id: "POLY-H001",
+        short: "unsafe outside the audited allowlist",
+    },
+    RuleInfo {
+        id: "POLY-H002",
+        short: "console print macro in library code",
+    },
+    RuleInfo {
+        id: "POLY-H003",
+        short: "pooled function without a delegating serial twin",
+    },
+    RuleInfo {
+        id: "POLY-H004",
+        short: "stale [[allow]] entry matching no finding",
+    },
+    RuleInfo {
+        id: "POLY-L001",
+        short: "lock-order cycle across the concurrency zone",
+    },
+    RuleInfo {
+        id: "POLY-L002",
+        short: "lock guard held across a blocking call",
+    },
+    RuleInfo {
+        id: "POLY-L003",
+        short: "Ordering::Relaxed in the concurrency zone without an audit",
+    },
+];
 
 /// Runs every applicable rule over one file's token stream.
 pub fn check_file(rel_path: &str, tokens: &[Token], class: FileClass) -> Vec<Diagnostic> {
@@ -68,6 +154,9 @@ pub fn check_file(rel_path: &str, tokens: &[Token], class: FileClass) -> Vec<Dia
     if class.library {
         check_print_macros(rel_path, tokens, &mut out);
         check_pool_twins(rel_path, tokens, &mut out);
+    }
+    if class.concurrency {
+        crate::concurrency::check_relaxed_orderings(rel_path, tokens, &mut out);
     }
     out
 }
@@ -357,24 +446,28 @@ mod tests {
         key_determinism: false,
         panic_safety: false,
         library: false,
+        concurrency: false,
     };
     const KEYS: FileClass = FileClass {
         determinism: false,
         key_determinism: true,
         panic_safety: false,
         library: false,
+        concurrency: false,
     };
     const PANIC: FileClass = FileClass {
         determinism: false,
         key_determinism: false,
         panic_safety: true,
         library: false,
+        concurrency: false,
     };
     const LIB: FileClass = FileClass {
         determinism: false,
         key_determinism: false,
         panic_safety: false,
         library: true,
+        concurrency: false,
     };
 
     #[test]

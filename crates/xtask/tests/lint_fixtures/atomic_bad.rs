@@ -1,0 +1,12 @@
+//! Bad fixture: `Ordering::Relaxed` on atomics that publish state to
+//! other threads — an epoch counter and a stop flag. Relaxed gives no
+//! happens-before edge, so subscribers can read stale shard contents
+//! after observing the new epoch.
+pub fn publish_epoch(epoch: &AtomicU64, stop: &AtomicBool) {
+    epoch.store(1, Ordering::Relaxed);
+    stop.store(true, Ordering::Relaxed);
+}
+
+pub fn subscribe(epoch: &AtomicU64) -> u64 {
+    epoch.load(Ordering::Relaxed)
+}

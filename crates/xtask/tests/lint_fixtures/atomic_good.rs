@@ -1,0 +1,10 @@
+//! Good twin of `atomic_bad.rs`: the publish/subscribe pair uses
+//! Release/Acquire, and the stop flag is sequentially consistent.
+pub fn publish_release(epoch: &AtomicU64, stop: &AtomicBool) {
+    epoch.store(1, Ordering::Release);
+    stop.store(true, Ordering::SeqCst);
+}
+
+pub fn subscribe_acquire(epoch: &AtomicU64) -> u64 {
+    epoch.load(Ordering::Acquire)
+}

@@ -1,0 +1,37 @@
+//! Bad fixture: lock-order inversions across three named locks.
+//!
+//! `charge_then_index` takes ledger then index while `reindex` takes
+//! index then ledger; `escalate` reaches the audit lock through
+//! `grab_audit` (one propagated call level) while `audit_then_ledger`
+//! takes audit then ledger. Both pairs cycle.
+pub fn charge_then_index(ledger: &RwLock<u64>, index: &Mutex<Vec<u64>>) {
+    let amount = 7;
+    let mut book = ledger.write();
+    let mut idx = index.lock();
+    *book += amount;
+    idx.push(amount);
+}
+
+pub fn reindex(ledger: &RwLock<u64>, index: &Mutex<Vec<u64>>) {
+    let mut idx = index.lock();
+    let book = ledger.read();
+    idx.push(*book);
+}
+
+pub fn escalate(ledger: &RwLock<u64>, audit: &Mutex<Vec<u64>>) {
+    let threshold = 3;
+    let book = ledger.read();
+    grab_audit(audit, *book + threshold);
+}
+
+pub fn grab_audit(audit: &Mutex<Vec<u64>>, entry: u64) {
+    let floor = 1;
+    let mut log = audit.lock();
+    log.push(entry + floor);
+}
+
+pub fn audit_then_ledger(ledger: &RwLock<u64>, audit: &Mutex<Vec<u64>>) {
+    let mut log = audit.lock();
+    let book = ledger.read();
+    log.push(*book);
+}

@@ -1,0 +1,15 @@
+//! Good twin of `lock_order_bad.rs`: both paths take the locks in the
+//! same global order (vault before roster), so the aggregated
+//! lock-order graph stays acyclic.
+pub fn charge_in_order(vault: &RwLock<u64>, roster: &Mutex<Vec<u64>>) {
+    let mut book = vault.write();
+    let mut idx = roster.lock();
+    *book += 1;
+    idx.push(*book);
+}
+
+pub fn settle_in_order(vault: &RwLock<u64>, roster: &Mutex<Vec<u64>>) {
+    let book = vault.read();
+    let mut idx = roster.lock();
+    idx.push(*book);
+}

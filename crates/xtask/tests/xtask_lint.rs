@@ -2,8 +2,9 @@
 //! the bad/good fixtures under `tests/lint_fixtures/` and against the real
 //! workspace (which must stay clean).
 
+use polygraph_ml::pool::ThreadPool;
 use std::path::{Path, PathBuf};
-use xtask::{lint_workspace, LintConfig};
+use xtask::{lint_workspace, lint_workspace_with_pool, LintConfig};
 
 fn fixtures_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/lint_fixtures")
@@ -23,6 +24,7 @@ exclude = []
 determinism = ["det_", "reactor_"]
 key_determinism = ["keys_"]
 panic_safety = ["panic_", "reactor_"]
+concurrency = ["lock_order_", "guard_scope_", "atomic_"]
 "#,
         )
         .expect("fixture config parses");
@@ -42,27 +44,38 @@ fn bad_fixtures_fire_every_rule_at_the_expected_lines() {
         .map(|d| (d.file.clone(), d.rule.to_string(), d.line))
         .collect();
     let expected: Vec<(&str, &str, u32)> = vec![
-        ("det_bad.rs", "POLY-D001", 4),         // use HashMap
-        ("det_bad.rs", "POLY-D001", 5),         // use HashSet
-        ("det_bad.rs", "POLY-D001", 8),         // HashMap::new()
-        ("det_bad.rs", "POLY-D002", 9),         // Instant::now()
-        ("det_bad.rs", "POLY-D002", 10),        // thread_rng()
-        ("det_bad.rs", "POLY-D002", 11),        // from_entropy
-        ("det_bad.rs", "POLY-D003", 11),        // StdRng
-        ("keys_bad.rs", "POLY-D004", 4),        // use RandomState
-        ("keys_bad.rs", "POLY-D004", 5),        // use DefaultHasher
-        ("keys_bad.rs", "POLY-D004", 8),        // RandomState::new()
-        ("keys_bad.rs", "POLY-D004", 9),        // DefaultHasher::new()
-        ("panic_bad.rs", "POLY-P004", 5),       // frame[0]
-        ("panic_bad.rs", "POLY-P001", 6),       // unwrap()
-        ("panic_bad.rs", "POLY-P002", 7),       // expect(…)
-        ("panic_bad.rs", "POLY-P003", 8),       // panic!
-        ("reactor_bad.rs", "POLY-D002", 6),     // Instant::now() in the poll loop
-        ("reactor_bad.rs", "POLY-P004", 7),     // events[0]
-        ("reactor_bad.rs", "POLY-P001", 8),     // unwrap()
-        ("src/hygiene_bad.rs", "POLY-H002", 4), // println!
-        ("src/hygiene_bad.rs", "POLY-H001", 5), // unsafe
-        ("src/pool_bad.rs", "POLY-H003", 3),    // missing serial twin
+        ("atomic_bad.rs", "POLY-L003", 6),       // epoch.store(…, Relaxed)
+        ("atomic_bad.rs", "POLY-L003", 7),       // stop.store(…, Relaxed)
+        ("atomic_bad.rs", "POLY-L003", 11),      // epoch.load(Relaxed)
+        ("det_bad.rs", "POLY-D001", 4),          // use HashMap
+        ("det_bad.rs", "POLY-D001", 5),          // use HashSet
+        ("det_bad.rs", "POLY-D001", 8),          // HashMap::new()
+        ("det_bad.rs", "POLY-D002", 9),          // Instant::now()
+        ("det_bad.rs", "POLY-D002", 10),         // thread_rng()
+        ("det_bad.rs", "POLY-D002", 11),         // from_entropy
+        ("det_bad.rs", "POLY-D003", 11),         // StdRng
+        ("guard_scope_bad.rs", "POLY-L002", 6),  // write_all under state.read()
+        ("guard_scope_bad.rs", "POLY-L002", 12), // pool.run under state.read()
+        ("guard_scope_bad.rs", "POLY-L002", 17), // assess under slot.read()
+        ("guard_scope_bad.rs", "POLY-L002", 22), // nap_briefly (propagated sleep)
+        ("keys_bad.rs", "POLY-D004", 4),         // use RandomState
+        ("keys_bad.rs", "POLY-D004", 5),         // use DefaultHasher
+        ("keys_bad.rs", "POLY-D004", 8),         // RandomState::new()
+        ("keys_bad.rs", "POLY-D004", 9),         // DefaultHasher::new()
+        ("lock_order_bad.rs", "POLY-L001", 10),  // ledger → index
+        ("lock_order_bad.rs", "POLY-L001", 17),  // index → ledger
+        ("lock_order_bad.rs", "POLY-L001", 24),  // ledger → audit via grab_audit
+        ("lock_order_bad.rs", "POLY-L001", 35),  // audit → ledger
+        ("panic_bad.rs", "POLY-P004", 5),        // frame[0]
+        ("panic_bad.rs", "POLY-P001", 6),        // unwrap()
+        ("panic_bad.rs", "POLY-P002", 7),        // expect(…)
+        ("panic_bad.rs", "POLY-P003", 8),        // panic!
+        ("reactor_bad.rs", "POLY-D002", 6),      // Instant::now() in the poll loop
+        ("reactor_bad.rs", "POLY-P004", 7),      // events[0]
+        ("reactor_bad.rs", "POLY-P001", 8),      // unwrap()
+        ("src/hygiene_bad.rs", "POLY-H002", 4),  // println!
+        ("src/hygiene_bad.rs", "POLY-H001", 5),  // unsafe
+        ("src/pool_bad.rs", "POLY-H003", 3),     // missing serial twin
     ];
     let expected: Vec<(String, String, u32)> = expected
         .into_iter()
@@ -75,8 +88,11 @@ fn bad_fixtures_fire_every_rule_at_the_expected_lines() {
 fn good_fixtures_are_clean() {
     let report = run_fixtures(&fixture_config());
     for clean in [
+        "atomic_good.rs",
         "det_good.rs",
+        "guard_scope_good.rs",
         "keys_good.rs",
+        "lock_order_good.rs",
         "panic_good.rs",
         "src/pool_good.rs",
     ] {
@@ -133,7 +149,13 @@ reason = "stale: this was fixed long ago"
     let report = run_fixtures(&config);
     assert_eq!(report.unused_allows.len(), 1);
     assert_eq!(report.unused_allows[0].file, "det_good.rs");
-    assert!(report.render_text().contains("unused allow entry"));
+    assert!(report
+        .render_text()
+        .contains("error: stale allow entry (POLY-H004"));
+    assert!(
+        !report.is_clean(),
+        "stale allow entries must fail the run even with zero violations"
+    );
 }
 
 #[test]
@@ -147,18 +169,103 @@ fn json_report_is_deterministic_and_carries_positions() {
     assert!(!a.contains("timestamp"));
 }
 
-/// The real workspace must be lint-clean under the committed `lint.toml`
-/// — the same invocation CI runs as `cargo xtask lint`.
 #[test]
-fn real_workspace_is_clean() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+fn pooled_scan_renders_byte_identical_to_serial() {
+    let config = fixture_config();
+    let serial = lint_workspace(&fixtures_root(), &config).expect("serial scan succeeds");
+    let pooled = lint_workspace_with_pool(
+        &fixtures_root(),
+        &config,
+        &ThreadPool::with_default_parallelism(),
+    )
+    .expect("pooled scan succeeds");
+    assert_eq!(serial.render_text(), pooled.render_text());
+    assert_eq!(serial.render_json(), pooled.render_json());
+    assert_eq!(serial.render_sarif(), pooled.render_sarif());
+}
+
+#[test]
+fn sarif_report_carries_fixture_findings() {
+    let sarif = run_fixtures(&fixture_config()).render_sarif();
+    assert!(sarif.contains("\"version\": \"2.1.0\""));
+    assert!(sarif.contains("\"name\": \"polygraph-lint\""));
+    assert!(sarif.contains("\"ruleId\": \"POLY-L001\""));
+    assert!(sarif.contains("\"uri\": \"lock_order_bad.rs\""));
+    assert!(sarif.contains("\"ruleId\": \"POLY-L002\""));
+    assert!(sarif.contains("\"ruleId\": \"POLY-L003\""));
+}
+
+/// The `--self-check` pass must hold on the committed fixture corpus:
+/// every rule fires somewhere, good twins stay clean, stale allows fail.
+#[test]
+fn self_check_passes_on_the_committed_fixtures() {
+    xtask::self_check(&fixtures_root()).expect("self-check passes");
+}
+
+/// `fixture_lint_config()` (used by `--self-check`) and the TOML-built
+/// config above must describe the same zones, or the CLI and the test
+/// suite would silently test different things.
+#[test]
+fn fixture_lint_config_matches_the_toml_built_config() {
+    let a = run_fixtures(&fixture_config()).render_json();
+    let b = run_fixtures(&xtask::fixture_lint_config()).render_json();
+    assert_eq!(a, b);
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn workspace_config() -> LintConfig {
     let mut config = LintConfig::default();
-    let lint_toml = root.join("lint.toml");
+    let lint_toml = workspace_root().join("lint.toml");
     if let Ok(text) = std::fs::read_to_string(&lint_toml) {
         config
             .apply_toml(&text)
             .expect("committed lint.toml parses");
     }
+    config
+}
+
+/// Every POLY-L `[[allow]]` in the committed `lint.toml` is load-bearing:
+/// removing it resurfaces findings at exactly these locations. This pins
+/// each dogfooding decision (audited allow vs. fix) — the orchestrator
+/// guard-across-checkpoint finding was fixed instead, so it must NOT
+/// reappear here (`real_workspace_is_clean` covers that side).
+#[test]
+fn dogfooding_allows_are_load_bearing() {
+    let root = workspace_root();
+    let full = workspace_config();
+    let cases: &[(&str, &str, &[u32])] = &[
+        ("POLY-L002", "crates/service/src/server.rs", &[872, 1191]),
+        ("POLY-L003", "crates/cache/src/lib.rs", &[105, 114, 156]),
+        ("POLY-L003", "crates/ml/src/pool.rs", &[37, 101]),
+    ];
+    for (rule, file, lines) in cases {
+        let mut config = full.clone();
+        config
+            .allow
+            .retain(|a| !(a.rule == *rule && a.file == *file));
+        let report = lint_workspace(&root, &config).expect("workspace scan succeeds");
+        let got: Vec<u32> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == *rule && d.file == *file)
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(
+            got, *lines,
+            "the [[allow]] for {rule} in {file} no longer matches the code it audits"
+        );
+    }
+}
+
+/// The real workspace must be lint-clean under the committed `lint.toml`
+/// — the same invocation CI runs as `cargo xtask lint`.
+#[test]
+fn real_workspace_is_clean() {
+    let root = workspace_root();
+    let config = workspace_config();
     let report = lint_workspace(&root, &config).expect("workspace scan succeeds");
     assert!(
         report.is_clean(),
