@@ -39,7 +39,7 @@ pub fn cluster_flat_dataset(
     seed: u64,
 ) -> Result<ClusteringOutcome, MlError> {
     let x = Matrix::from_rows(rows)?;
-    let (_, scaled) = StandardScaler::fit_transform(&x);
+    let (_, scaled) = StandardScaler::fit_transform(&x)?;
 
     // PCA width from the cumulative-variance curve.
     let spectrum = Pca::variance_spectrum(&scaled)?;

@@ -22,7 +22,7 @@ fn training_window() -> (FeatureSet, TrainingSet) {
 fn bench_training_stages(c: &mut Criterion) {
     let (_, training) = training_window();
     let x = training.to_matrix().expect("matrix");
-    let (_, scaled) = StandardScaler::fit_transform(&x);
+    let (_, scaled) = StandardScaler::fit_transform(&x).expect("finite training data");
 
     let mut c = c.benchmark_group("stages");
     c.sample_size(20); // k-means and forest fits take ~100s of ms each
@@ -102,7 +102,7 @@ fn bench_matrix_ops(c: &mut Criterion) {
 fn bench_serial_vs_parallel(c: &mut Criterion) {
     let (_, training) = training_window();
     let x = training.to_matrix().expect("matrix");
-    let (_, scaled) = StandardScaler::fit_transform(&x);
+    let (_, scaled) = StandardScaler::fit_transform(&x).expect("finite training data");
     let pca = Pca::fit(&scaled, 7).unwrap();
     let projected = pca.transform(&scaled).unwrap();
     let pool = ThreadPool::new(4);

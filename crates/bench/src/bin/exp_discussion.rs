@@ -183,7 +183,7 @@ fn main() {
     )
     .expect("sampling");
     let x = Matrix::from_rows(sample.rows()).expect("well-formed");
-    let mut scaler = StandardScaler::fit(&x);
+    let mut scaler = StandardScaler::fit(&x).expect("finite training data");
     scaler.neutralize_columns(
         &fingerprint::FeatureSet::table8().indices_of_kind(fingerprint::FeatureKind::TimeBased),
     );

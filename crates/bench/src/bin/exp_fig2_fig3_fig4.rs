@@ -22,7 +22,7 @@ fn main() {
     let data = generate(&fs, &config);
     let (rows, _) = data.rows_and_user_agents();
     let x = polygraph_ml::Matrix::from_rows(&rows).expect("well-formed");
-    let mut scaler = StandardScaler::fit(&x);
+    let mut scaler = StandardScaler::fit(&x).expect("finite training data");
     scaler.neutralize_columns(&fs.indices_of_kind(FeatureKind::TimeBased));
     let scaled = scaler.transform(&x).expect("fitted");
 

@@ -8,6 +8,7 @@ use crate::error::PolygraphError;
 use crate::risk::risk_factor;
 use crate::train::TrainedModel;
 use browser_engine::{BrowserInstance, UserAgent};
+use polygraph_ml::QuantModel;
 use serde::{Deserialize, Serialize};
 
 /// The verdict on one session.
@@ -27,21 +28,89 @@ pub struct Assessment {
     pub risk_factor: u32,
 }
 
+/// The compiled fast-path companion of a [`TrainedModel`]: the fused
+/// fixed-point projection plus per-cluster lookups that the staged path
+/// recomputes (and re-allocates) on every frame. Everything here is a
+/// pure function of the model, so both paths answer identically.
+#[derive(Debug, Clone)]
+struct CompiledQuant {
+    model: QuantModel,
+    /// `effective[c] = nearest_populated_cluster(c)`.
+    effective: Vec<usize>,
+    /// `residents[c] = cluster_table.user_agents_in(effective[c])`.
+    residents: Vec<Vec<UserAgent>>,
+}
+
 /// The online detector: a trained model plus the claim-verification rule.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Optionally carries a quantized compiled form ([`Detector::quantize`])
+/// used by [`Detector::assess_many`]; the compiled form is derived state
+/// and is deliberately not serialized — a deserialized detector
+/// recompiles it on demand.
+#[derive(Debug, Clone)]
 pub struct Detector {
     model: TrainedModel,
+    quant: Option<CompiledQuant>,
+}
+
+// Hand-written (de)serialization keeping the original derived shape,
+// `{"model": …}`: the vendored derive has no `#[serde(skip)]`, and the
+// compiled quant state must not travel — it is recompiled from the
+// model after deserialization when the serving config asks for it.
+impl Serialize for Detector {
+    fn to_value(&self) -> serde::Value {
+        let mut map = serde::Map::new();
+        map.insert(String::from("model"), self.model.to_value());
+        serde::Value::Object(map)
+    }
+}
+
+impl Deserialize for Detector {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Object(map) => Ok(Detector::new(serde::field(map, "model")?)),
+            _ => Err(serde::DeError::new("Detector: expected object")),
+        }
+    }
 }
 
 impl Detector {
     /// Wraps a trained model.
     pub fn new(model: TrainedModel) -> Self {
-        Self { model }
+        Self { model, quant: None }
     }
 
     /// The wrapped model.
     pub fn model(&self) -> &TrainedModel {
         &self.model
+    }
+
+    /// Compiles (or refreshes) the quantized fast path from the model.
+    ///
+    /// Idempotent; fails only when the model cannot be compiled (see
+    /// [`polygraph_ml::QuantModel::compile`]), leaving the detector
+    /// serving on the staged path.
+    pub fn quantize(&mut self) -> Result<(), PolygraphError> {
+        let model = self.model.quantize()?;
+        let k = model.k();
+        let effective: Vec<usize> = (0..k)
+            .map(|c| self.model.nearest_populated_cluster(c))
+            .collect();
+        let residents: Vec<Vec<UserAgent>> = effective
+            .iter()
+            .map(|&e| self.model.cluster_table().user_agents_in(e))
+            .collect();
+        self.quant = Some(CompiledQuant {
+            model,
+            effective,
+            residents,
+        });
+        Ok(())
+    }
+
+    /// Whether the quantized fast path is compiled in.
+    pub fn is_quantized(&self) -> bool {
+        self.quant.is_some()
     }
 
     /// Assesses one session from its raw feature row and claimed
@@ -74,21 +143,92 @@ impl Detector {
         })
     }
 
-    /// Assesses a batch of sessions in order.
+    /// Assesses a batch of sessions in order, one result per session.
     ///
     /// This is the serving-side unit of work the risk server drains per
     /// lock acquisition: one detector borrow covers the whole slice, so a
     /// concurrent model swap lands between batches, never inside one.
-    /// Fails on the first malformed row (the server maps per-frame errors
-    /// before batching).
+    /// When the quantized fast path is compiled ([`Detector::quantize`]),
+    /// the whole batch runs through one fused integer dispatch with
+    /// shared scratch buffers; frames the fixed-point margin certificate
+    /// cannot certify fall back to the staged f64 path individually, so
+    /// the verdicts are identical either way — field for field,
+    /// including error cases.
+    pub fn assess_many(
+        &self,
+        sessions: &[(Vec<f64>, UserAgent)],
+    ) -> Vec<Result<Assessment, PolygraphError>> {
+        match &self.quant {
+            Some(compiled) => {
+                let mut scratch = compiled.model.scratch();
+                sessions
+                    .iter()
+                    .map(|(values, claimed)| {
+                        self.assess_quantized(compiled, values, *claimed, &mut scratch)
+                    })
+                    .collect()
+            }
+            None => sessions
+                .iter()
+                .map(|(values, claimed)| self.assess(values, *claimed))
+                .collect(),
+        }
+    }
+
+    /// One frame on the quantized path. Width errors are raised exactly
+    /// like [`TrainedModel::predict_cluster`] raises them, and any frame
+    /// the certificate cannot vouch for reruns on the staged path.
+    fn assess_quantized(
+        &self,
+        compiled: &CompiledQuant,
+        values: &[f64],
+        claimed: UserAgent,
+        scratch: &mut polygraph_ml::QuantScratch,
+    ) -> Result<Assessment, PolygraphError> {
+        let expected_width = self.model.feature_set().len();
+        if values.len() != expected_width {
+            return Err(PolygraphError::FeatureWidthMismatch {
+                got: values.len(),
+                expected: expected_width,
+            });
+        }
+        let predicted = match compiled.model.predict_row(values, scratch)? {
+            Some(cluster) => cluster,
+            None => self.model.predict_cluster(values)?,
+        };
+        let expected = self.model.cluster_table().expected_cluster(claimed);
+        let effective = compiled
+            .effective
+            .get(predicted)
+            .copied()
+            .unwrap_or(predicted);
+        let flagged = expected != Some(effective);
+        let risk = if flagged {
+            match compiled.residents.get(predicted) {
+                Some(residents) => risk_factor(claimed, residents),
+                None => risk_factor(
+                    claimed,
+                    &self.model.cluster_table().user_agents_in(effective),
+                ),
+            }
+        } else {
+            0
+        };
+        Ok(Assessment {
+            predicted_cluster: predicted,
+            expected_cluster: expected,
+            flagged,
+            risk_factor: risk,
+        })
+    }
+
+    /// Assesses a batch of sessions in order, failing on the first
+    /// malformed row (the server maps per-frame errors before batching).
     pub fn assess_batch(
         &self,
         sessions: &[(Vec<f64>, UserAgent)],
     ) -> Result<Vec<Assessment>, PolygraphError> {
-        sessions
-            .iter()
-            .map(|(values, claimed)| self.assess(values, *claimed))
-            .collect()
+        self.assess_many(sessions).into_iter().collect()
     }
 
     /// Convenience: probes a live browser instance end-to-end, exactly as
@@ -193,6 +333,58 @@ mod tests {
         let bad = vec![(vec![1.0], ua(Vendor::Chrome, 100))];
         assert!(d.assess_batch(&bad).is_err());
         assert!(d.assess_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn quantized_assess_many_matches_staged_field_for_field() {
+        let staged = toy_detector();
+        let mut quantized = staged.clone();
+        assert!(!quantized.is_quantized());
+        quantized.quantize().unwrap();
+        assert!(quantized.is_quantized());
+
+        let mut sessions = Vec::new();
+        for claimed in [
+            ua(Vendor::Chrome, 60),
+            ua(Vendor::Chrome, 100),
+            ua(Vendor::Edge, 100),
+            ua(Vendor::Firefox, 100),
+            ua(Vendor::Firefox, 1),
+        ] {
+            for base in [0.0, 10.0, 20.0, 3.0, 15.0] {
+                sessions.push((vec![base, base], claimed));
+                sessions.push((vec![base + 0.1, base], claimed)); // fractional → fallback
+            }
+            sessions.push((vec![1.0], claimed)); // wrong width → identical error
+        }
+        let a = staged.assess_many(&sessions);
+        let b = quantized.assess_many(&sessions);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(format!("{x:?}"), format!("{y:?}"));
+        }
+    }
+
+    #[test]
+    fn detector_serde_round_trips_without_the_compiled_state() {
+        use serde::{Deserialize, Serialize};
+        let mut d = toy_detector();
+        d.quantize().unwrap();
+        let v = d.to_value();
+        // The derived shape is preserved: a single "model" field.
+        match &v {
+            serde::Value::Object(map) => {
+                assert_eq!(map.keys().collect::<Vec<_>>(), ["model"]);
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+        let back = Detector::from_value(&v).unwrap();
+        assert!(!back.is_quantized(), "compiled state must not travel");
+        let session = (vec![10.0, 10.0], ua(Vendor::Chrome, 100));
+        assert_eq!(
+            back.assess(&session.0, session.1).unwrap(),
+            d.assess(&session.0, session.1).unwrap()
+        );
     }
 
     #[test]

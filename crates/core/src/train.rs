@@ -265,7 +265,7 @@ impl TrainedModel {
         // suitable" — then drop Isolation-Forest outliers.
         let scale_span = registry.span(fit_metric_names::SCALE_MICROS);
         let raw = data.to_matrix()?;
-        let mut scaler = StandardScaler::fit(&raw);
+        let mut scaler = StandardScaler::fit(&raw)?;
         if !config.scale_time_based {
             scaler.neutralize_columns(
                 &feature_set.indices_of_kind(fingerprint::FeatureKind::TimeBased),
@@ -397,6 +397,22 @@ impl TrainedModel {
     /// The fitted PCA stage (for variance reporting — Figure 2).
     pub fn pca(&self) -> &Pca {
         &self.pca
+    }
+
+    /// The fitted scaler stage.
+    pub fn scaler(&self) -> &StandardScaler {
+        &self.scaler
+    }
+
+    /// Compiles the scaler + PCA + k-means pipeline into the fused
+    /// fixed-point form used by the serving fast path
+    /// (see [`polygraph_ml::quant`]).
+    pub fn quantize(&self) -> Result<polygraph_ml::QuantModel, PolygraphError> {
+        Ok(polygraph_ml::QuantModel::compile(
+            &self.scaler,
+            &self.pca,
+            &self.kmeans,
+        )?)
     }
 
     /// The fitted k-means stage (for WCSS reporting — Figures 3/4).

@@ -1,0 +1,158 @@
+//! Quantized vs staged agreement, verdict for verdict.
+//!
+//! The quantized fast path promises to change arithmetic, never
+//! decisions: every `Assessment` it produces must equal the staged f64
+//! path's field for field, across the fraud-browser taxonomy (all four
+//! behavioural categories of Table 1) and across degenerate inputs —
+//! zero-variance columns, extreme magnitudes, fractional values, and
+//! single-centroid models.
+
+use browser_engine::{BrowserInstance, UserAgent, Vendor};
+use fingerprint::FeatureSet;
+use fraud_browsers::{table1_products, FraudProfile};
+use polygraph_core::{Detector, TrainConfig, TrainedModel, TrainingSet};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// A full-width model over the genuine release catalogue — the same
+/// shape the serving path runs (28 features, default k and components).
+fn catalogue_model(k_override: Option<usize>) -> TrainedModel {
+    let fs = FeatureSet::table8();
+    let mut set = TrainingSet::new(fs.len());
+    for r in browser_engine::catalog::legitimate_releases() {
+        let fp = fs.extract(&BrowserInstance::genuine(r.ua));
+        for _ in 0..3 {
+            set.push(fp.as_f64(), r.ua).unwrap();
+        }
+    }
+    let mut config = TrainConfig {
+        min_samples_for_majority: 1,
+        ..Default::default()
+    };
+    if let Some(k) = k_override {
+        config.k = k;
+    }
+    TrainedModel::fit(fs, &set, config).unwrap()
+}
+
+fn paired_detectors(k_override: Option<usize>) -> (Detector, Detector) {
+    let staged = Detector::new(catalogue_model(k_override));
+    let mut quantized = staged.clone();
+    quantized.quantize().unwrap();
+    (staged, quantized)
+}
+
+/// The default-config pair, fitted once and shared across all property
+/// cases (fitting per case would dominate the suite's runtime).
+fn detectors() -> &'static (Detector, Detector) {
+    static PAIR: OnceLock<(Detector, Detector)> = OnceLock::new();
+    PAIR.get_or_init(|| paired_detectors(None))
+}
+
+fn assert_agree(staged: &Detector, quantized: &Detector, sessions: &[(Vec<f64>, UserAgent)]) {
+    let a = staged.assess_many(sessions);
+    let b = quantized.assess_many(sessions);
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(
+            format!("{x:?}"),
+            format!("{y:?}"),
+            "session {i} diverged: {:?}",
+            sessions[i]
+        );
+    }
+}
+
+fn vendor_of(idx: usize) -> Vendor {
+    [Vendor::Chrome, Vendor::Firefox, Vendor::Edge][idx % 3]
+}
+
+proptest! {
+    /// Every Table 1 fraud product, instantiated with an arbitrary
+    /// stolen claim, assesses identically on both paths.
+    #[test]
+    fn fraud_taxonomy_agrees(vendor_idx in 0usize..3, version in 1u32..200) {
+        let (staged, quantized) = detectors();
+        let claimed = UserAgent::new(vendor_of(vendor_idx), version);
+        let fs = staged.model().feature_set().clone();
+        let mut sessions = Vec::new();
+        for product in table1_products() {
+            let profile = FraudProfile::new(product, claimed);
+            let instance = profile.instantiate();
+            let fp = fs.extract(&instance);
+            sessions.push((fp.as_f64(), instance.claimed_user_agent()));
+        }
+        // A genuine control session rides along.
+        let genuine = BrowserInstance::genuine(UserAgent::new(Vendor::Chrome, 100 + version % 10));
+        sessions.push((fs.extract(&genuine).as_f64(), genuine.claimed_user_agent()));
+        assert_agree(staged, quantized, &sessions);
+    }
+
+    /// Degenerate raw rows: extreme magnitudes (far past the integer
+    /// fast-path limit), fractional values, zeros, and mixtures. The
+    /// quantized path must route them through the staged fallback and
+    /// agree exactly — including wrong-width error cases.
+    #[test]
+    fn degenerate_inputs_agree(
+        raw in proptest::collection::vec(0u64..u64::MAX, 1..40),
+        vendor_idx in 0usize..3,
+        version in 1u32..200,
+    ) {
+        let (staged, quantized) = detectors();
+        let claimed = UserAgent::new(vendor_of(vendor_idx), version);
+        // Map each raw draw onto one of the degenerate value classes.
+        let values: Vec<f64> = raw
+            .iter()
+            .map(|&r| match r % 6 {
+                0 => 0.0,
+                1 => (r % 500) as f64,             // in-domain count
+                2 => (r % 1_000_000_000) as f64,   // large but integral
+                3 => 1e300,                        // far past x_limit
+                4 => 0.5,                          // fractional
+                _ => (r % 50) as f64 + 0.25,       // fractional count
+            })
+            .collect();
+        let sessions = vec![(values, claimed)];
+        assert_agree(staged, quantized, &sessions);
+    }
+}
+
+/// A single-centroid model (k = 1) cannot misroute anything; both paths
+/// must agree on every session, genuine and fraudulent alike.
+#[test]
+fn single_centroid_model_agrees() {
+    let (staged, quantized) = paired_detectors(Some(1));
+    let fs = staged.model().feature_set().clone();
+    let mut sessions = Vec::new();
+    for r in browser_engine::catalog::legitimate_releases() {
+        let instance = BrowserInstance::genuine(r.ua);
+        sessions.push((fs.extract(&instance).as_f64(), r.ua));
+    }
+    for product in table1_products() {
+        let profile = FraudProfile::new(product, UserAgent::new(Vendor::Chrome, 90));
+        let instance = profile.instantiate();
+        sessions.push((
+            fs.extract(&instance).as_f64(),
+            instance.claimed_user_agent(),
+        ));
+    }
+    assert_agree(&staged, &quantized, &sessions);
+}
+
+/// Zero-variance feature columns (shared constant probes) survive the
+/// whole pipeline: the scaler passes them through at scale 1.0, the
+/// compiler folds them without poisoning the weights, and both paths
+/// agree — including on all-constant rows.
+#[test]
+fn zero_variance_columns_agree() {
+    let (staged, quantized) = detectors();
+    let width = staged.model().feature_set().len();
+    let mut sessions = Vec::new();
+    for magnitude in [0u32, 1, 7, 450] {
+        sessions.push((
+            vec![f64::from(magnitude); width],
+            UserAgent::new(Vendor::Firefox, 115),
+        ));
+    }
+    assert_agree(staged, quantized, &sessions);
+}

@@ -35,6 +35,7 @@ pub use probe::{FeatureKind, Probe};
 pub use script::{collection_script, ScriptOptions};
 pub use vector::{FeatureSet, Fingerprint};
 pub use wire::{
-    decode_submission, encode_stats_request, encode_submission, is_stats_request,
-    submission_cache_key, Submission, WireError, MAX_SUBMISSION_BYTES,
+    decode_submission, decode_submission_view, encode_stats_request, encode_submission,
+    is_stats_request, submission_cache_key, Submission, SubmissionView, WireError,
+    MAX_SUBMISSION_BYTES,
 };

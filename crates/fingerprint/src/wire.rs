@@ -195,49 +195,121 @@ pub fn encode_submission(sub: &Submission) -> Result<Bytes, WireError> {
     Ok(buf.freeze())
 }
 
-/// Decodes a submission frame, validating every field.
-pub fn decode_submission(mut frame: &[u8]) -> Result<Submission, WireError> {
-    if frame.remaining() < 2 + 1 + 16 + 2 {
+/// A borrowed, fully validated view of a submission frame: everything
+/// [`decode_submission`] checks, nothing it allocates.
+///
+/// The serve path decodes hundreds of thousands of frames per second;
+/// this view hands the batch drain the user-agent as a borrowed `&str`
+/// and streams the LEB128 values straight into the caller's reusable
+/// buffer, so the only per-frame allocation left is whatever the caller
+/// chooses to keep. Construction validates the *entire* frame — magic,
+/// version, field caps, every varint, trailing bytes — so the value
+/// iterator afterwards is infallible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmissionView<'a> {
+    session_id: [u8; 16],
+    user_agent: &'a str,
+    /// The validated LEB128 region, exactly `count` varints long.
+    values: &'a [u8],
+    count: usize,
+}
+
+impl<'a> SubmissionView<'a> {
+    /// The opaque session identifier.
+    pub fn session_id(&self) -> [u8; 16] {
+        self.session_id
+    }
+
+    /// The claimed `navigator.userAgent`, borrowed from the frame.
+    pub fn user_agent(&self) -> &'a str {
+        self.user_agent
+    }
+
+    /// Number of feature values in the frame.
+    pub fn value_count(&self) -> usize {
+        self.count
+    }
+
+    /// The decoded values, in feature-set order. Infallible: the varint
+    /// region was validated when the view was constructed.
+    pub fn values_u32(&self) -> impl Iterator<Item = u32> + 'a {
+        let mut rest = self.values;
+        (0..self.count).map(move |_| {
+            let mut out = 0u32;
+            let mut shift = 0u32;
+            while let Some((&byte, tail)) = rest.split_first() {
+                rest = tail;
+                out |= u32::from(byte & 0x7f) << shift;
+                if byte & 0x80 == 0 {
+                    break;
+                }
+                shift += 7;
+            }
+            out
+        })
+    }
+}
+
+/// Decodes a submission frame into a borrowed [`SubmissionView`],
+/// validating every field exactly as [`decode_submission`] does.
+pub fn decode_submission_view(frame: &[u8]) -> Result<SubmissionView<'_>, WireError> {
+    let mut rest = frame;
+    if rest.remaining() < 2 + 1 + 16 + 2 {
         return Err(WireError::Truncated);
     }
     let mut magic = [0u8; 2];
-    frame.copy_to_slice(&mut magic);
+    rest.copy_to_slice(&mut magic);
     if magic != MAGIC {
         return Err(WireError::BadMagic);
     }
-    let version = frame.get_u8();
+    let version = rest.get_u8();
     if version != WIRE_VERSION {
         return Err(WireError::UnsupportedVersion(version));
     }
     let mut session_id = [0u8; 16];
-    frame.copy_to_slice(&mut session_id);
-    let ua_len = frame.get_u16_le() as usize;
+    rest.copy_to_slice(&mut session_id);
+    let ua_len = rest.get_u16_le() as usize;
     if ua_len > MAX_UA_LEN {
         return Err(WireError::UserAgentTooLong(ua_len));
     }
-    if frame.remaining() < ua_len {
+    if rest.remaining() < ua_len {
         return Err(WireError::Truncated);
     }
-    let ua_bytes = frame.copy_to_bytes(ua_len);
-    let user_agent =
-        String::from_utf8(ua_bytes.to_vec()).map_err(|_| WireError::UserAgentNotUtf8)?;
-    if frame.remaining() < 2 {
+    let (ua_bytes, after_ua) = rest.split_at(ua_len);
+    let user_agent = std::str::from_utf8(ua_bytes).map_err(|_| WireError::UserAgentNotUtf8)?;
+    let mut rest = after_ua;
+    if rest.remaining() < 2 {
         return Err(WireError::Truncated);
     }
-    let count = frame.get_u16_le() as usize;
+    let count = rest.get_u16_le() as usize;
     if count > MAX_VALUES {
         return Err(WireError::TooManyValues(count));
     }
-    let mut values = Vec::with_capacity(count);
+    // Walk (and thereby validate) the whole varint region once, so the
+    // view's value iterator can decode it infallibly.
+    let values = rest;
     for _ in 0..count {
-        values.push(get_varint(&mut frame)?);
+        get_varint(&mut rest)?;
     }
-    if frame.has_remaining() {
-        return Err(WireError::TrailingBytes(frame.remaining()));
+    if rest.has_remaining() {
+        return Err(WireError::TrailingBytes(rest.remaining()));
     }
-    Ok(Submission {
+    Ok(SubmissionView {
         session_id,
         user_agent,
+        values,
+        count,
+    })
+}
+
+/// Decodes a submission frame, validating every field.
+pub fn decode_submission(frame: &[u8]) -> Result<Submission, WireError> {
+    let view = decode_submission_view(frame)?;
+    let mut values = Vec::with_capacity(view.value_count());
+    values.extend(view.values_u32());
+    Ok(Submission {
+        session_id: view.session_id(),
+        user_agent: view.user_agent().to_string(),
         values,
     })
 }
@@ -320,6 +392,37 @@ mod tests {
             bytes.len() <= MAX_SUBMISSION_BYTES,
             "candidate payload must fit 1 KB, got {}",
             bytes.len()
+        );
+    }
+
+    #[test]
+    fn view_borrows_without_copying_and_matches_owned_decode() {
+        let sub = sample();
+        let bytes = encode_submission(&sub).unwrap();
+        let view = decode_submission_view(&bytes).unwrap();
+        assert_eq!(view.session_id(), sub.session_id);
+        assert_eq!(view.user_agent(), sub.user_agent);
+        assert_eq!(view.value_count(), sub.values.len());
+        let values: Vec<u32> = view.values_u32().collect();
+        assert_eq!(values, sub.values);
+        // The user-agent is a borrow into the frame, not a copy.
+        let frame_range = bytes.as_ptr() as usize..bytes.as_ptr() as usize + bytes.len();
+        assert!(frame_range.contains(&(view.user_agent().as_ptr() as usize)));
+    }
+
+    #[test]
+    fn view_rejects_exactly_what_owned_decode_rejects() {
+        let bytes = encode_submission(&sample()).unwrap();
+        for cut in 0..bytes.len() {
+            let owned = decode_submission(&bytes[..cut]).map(|_| ());
+            let view = decode_submission_view(&bytes[..cut]).map(|_| ());
+            assert_eq!(owned, view, "cut at {cut} must agree");
+        }
+        let mut trailing = bytes.to_vec();
+        trailing.push(0);
+        assert_eq!(
+            decode_submission_view(&trailing),
+            Err(WireError::TrailingBytes(1))
         );
     }
 

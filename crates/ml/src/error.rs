@@ -27,6 +27,16 @@ pub enum MlError {
         /// Human-readable description of the violation.
         reason: String,
     },
+    /// A training cell was NaN or infinite. Fit routines reject these
+    /// eagerly: a single non-finite cell would otherwise poison a whole
+    /// column's statistics (a NaN column std, for example) and silently
+    /// corrupt every later transform.
+    NonFiniteInput {
+        /// Row of the offending cell.
+        row: usize,
+        /// Column of the offending cell.
+        col: usize,
+    },
     /// The model has not been fitted yet.
     NotFitted,
     /// An iterative routine failed to converge within its iteration budget.
@@ -54,6 +64,9 @@ impl fmt::Display for MlError {
             }
             MlError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            MlError::NonFiniteInput { row, col } => {
+                write!(f, "non-finite training value at row {row}, column {col}")
             }
             MlError::NotFitted => write!(f, "model has not been fitted"),
             MlError::NoConvergence {
@@ -88,6 +101,7 @@ mod tests {
                 name: "k",
                 reason: "must be > 0".into(),
             },
+            MlError::NonFiniteInput { row: 1, col: 2 },
             MlError::NotFitted,
             MlError::NoConvergence {
                 routine: "jacobi",

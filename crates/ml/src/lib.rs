@@ -39,6 +39,7 @@ pub mod metrics;
 pub mod pca;
 pub mod pool;
 pub mod privacy;
+pub mod quant;
 pub mod scaler;
 
 pub use agglomerative::Agglomerative;
@@ -48,4 +49,5 @@ pub use kmeans::{ElbowReport, KMeans};
 pub use matrix::Matrix;
 pub use pca::Pca;
 pub use pool::{total_tasks_executed, ThreadPool};
+pub use quant::{QuantModel, QuantScratch};
 pub use scaler::StandardScaler;

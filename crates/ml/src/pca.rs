@@ -81,6 +81,16 @@ impl Pca {
         self.means.len()
     }
 
+    /// Column means subtracted before projection.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Principal axes as columns (`n_features x n_components`).
+    pub fn components(&self) -> &Matrix {
+        &self.components
+    }
+
     /// Variance (eigenvalue) captured per retained component, descending.
     pub fn explained_variance(&self) -> &[f64] {
         &self.explained_variance

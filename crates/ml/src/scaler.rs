@@ -22,23 +22,36 @@ pub struct StandardScaler {
 
 impl StandardScaler {
     /// Fits the scaler on the columns of `x`.
-    pub fn fit(x: &Matrix) -> Self {
+    ///
+    /// Rejects non-finite training cells: a single NaN or infinity would
+    /// otherwise produce a non-finite column mean/std and silently poison
+    /// every value that column ever scales. The zero-variance guard also
+    /// requires a *finite* positive std — a NaN std must fall into the
+    /// pass-through (divide by 1) branch, never be divided by.
+    pub fn fit(x: &Matrix) -> Result<Self, MlError> {
+        for (r, row) in x.iter_rows().enumerate() {
+            for (c, v) in row.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(MlError::NonFiniteInput { row: r, col: c });
+                }
+            }
+        }
         let means = x.col_means();
         let scales = x
             .col_stds()
             .into_iter()
-            .map(|s| if s > 0.0 { s } else { 1.0 })
+            .map(|s| if s.is_finite() && s > 0.0 { s } else { 1.0 })
             .collect();
-        Self { means, scales }
+        Ok(Self { means, scales })
     }
 
     /// Fits on `x` and transforms it in one step.
-    pub fn fit_transform(x: &Matrix) -> (Self, Matrix) {
-        let s = Self::fit(x);
+    pub fn fit_transform(x: &Matrix) -> Result<(Self, Matrix), MlError> {
+        let s = Self::fit(x)?;
         let t = s
             .transform(x)
             .expect("fit/transform dimensions match by construction");
-        (s, t)
+        Ok((s, t))
     }
 
     /// Number of columns the scaler was fitted on.
@@ -141,7 +154,7 @@ mod tests {
             vec![4.0, 400.0],
         ])
         .unwrap();
-        let (_, t) = StandardScaler::fit_transform(&x);
+        let (_, t) = StandardScaler::fit_transform(&x).unwrap();
         let means = t.col_means();
         let stds = t.col_stds();
         for m in means {
@@ -155,7 +168,7 @@ mod tests {
     #[test]
     fn constant_column_is_centred_not_divided() {
         let x = Matrix::from_rows(&[vec![5.0], vec![5.0], vec![5.0]]).unwrap();
-        let (s, t) = StandardScaler::fit_transform(&x);
+        let (s, t) = StandardScaler::fit_transform(&x).unwrap();
         assert_eq!(s.scales(), &[1.0]);
         for r in t.iter_rows() {
             assert_eq!(r[0], 0.0);
@@ -165,7 +178,7 @@ mod tests {
     #[test]
     fn transform_rejects_wrong_width() {
         let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
-        let s = StandardScaler::fit(&x);
+        let s = StandardScaler::fit(&x).unwrap();
         let y = Matrix::from_rows(&[vec![1.0]]).unwrap();
         assert!(s.transform(&y).is_err());
         assert!(s.transform_row(&[1.0]).is_err());
@@ -175,10 +188,37 @@ mod tests {
     #[test]
     fn transform_row_matches_matrix_transform() {
         let x = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 30.0]]).unwrap();
-        let s = StandardScaler::fit(&x);
+        let s = StandardScaler::fit(&x).unwrap();
         let t = s.transform(&x).unwrap();
         for (i, row) in x.iter_rows().enumerate() {
             assert_eq!(s.transform_row(row).unwrap(), t.row(i));
+        }
+    }
+
+    #[test]
+    fn non_finite_training_input_is_rejected_with_position() {
+        for poison in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, poison]]).unwrap();
+            assert_eq!(
+                StandardScaler::fit(&x),
+                Err(MlError::NonFiniteInput { row: 1, col: 1 })
+            );
+            assert!(StandardScaler::fit_transform(&x).is_err());
+        }
+    }
+
+    #[test]
+    fn overflowing_column_std_falls_back_to_pass_through() {
+        // Finite cells whose variance overflows to +inf: the old
+        // `s > 0.0` guard happily divided by the infinite std and zeroed
+        // the column. The finite-guard must treat it like a constant
+        // column instead (scale 1.0), keeping every scaled value finite.
+        let x = Matrix::from_rows(&[vec![1e200], vec![-1e200], vec![1e200]]).unwrap();
+        let s = StandardScaler::fit(&x).unwrap();
+        assert_eq!(s.scales(), &[1.0]);
+        let t = s.transform(&x).unwrap();
+        for r in t.iter_rows() {
+            assert!(r[0].is_finite(), "scaled value must stay finite");
         }
     }
 
@@ -190,7 +230,7 @@ mod tests {
             let cols = 2;
             let rows = vals.len() / cols;
             let x = Matrix::from_vec(rows, cols, vals[..rows * cols].to_vec()).unwrap();
-            let s = StandardScaler::fit(&x);
+            let s = StandardScaler::fit(&x).unwrap();
             for row in x.iter_rows() {
                 let fwd = s.transform_row(row).unwrap();
                 let back = s.inverse_transform_row(&fwd).unwrap();
@@ -210,7 +250,7 @@ mod tests {
             let cols = 3;
             let rows = vals.len() / cols;
             let x = Matrix::from_vec(rows, cols, vals[..rows * cols].to_vec()).unwrap();
-            let mut s = StandardScaler::fit(&x);
+            let mut s = StandardScaler::fit(&x).unwrap();
             s.neutralize_columns(&[neutral, 99]); // out-of-range is ignored
             prop_assert_eq!(s.means()[neutral], 0.0);
             prop_assert_eq!(s.scales()[neutral], 1.0);
@@ -235,7 +275,7 @@ mod tests {
             let cols = 2;
             let rows = vals.len() / cols;
             let x = Matrix::from_vec(rows, cols, vals[..rows * cols].to_vec()).unwrap();
-            let s = StandardScaler::fit(&x);
+            let s = StandardScaler::fit(&x).unwrap();
             let mut probe = probe;
             probe.resize(cols, 0.0);
             let fwd = s.transform_row(&probe).unwrap();

@@ -80,10 +80,15 @@ pub fn bucket_index(value: u64) -> usize {
 
 /// A fixed-bucket histogram of `u64` observations (microseconds on the
 /// latency paths, frame counts on the batch-size path).
+/// The observation count is *derived* from the bucket array rather than
+/// kept as a third independent atomic: `record` used to bump buckets,
+/// `count`, and `sum` as three separate `Relaxed` operations, so a
+/// concurrent reader could observe bucket totals that disagreed with
+/// `count`. With the count defined as the sum of the buckets, any copy
+/// of the bucket array is self-consistent by construction.
 #[derive(Debug)]
 pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
     sum: AtomicU64,
 }
 
@@ -91,7 +96,6 @@ impl Default for Histogram {
     fn default() -> Self {
         Self {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
         }
     }
@@ -103,13 +107,14 @@ impl Histogram {
         if let Some(b) = self.buckets.get(bucket_index(value)) {
             b.fetch_add(1, Ordering::Relaxed);
         }
-        self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
     }
 
-    /// Number of observations.
+    /// Number of observations: the sum of the bucket counts. Derive the
+    /// count from [`Histogram::bucket_counts`] when both are needed
+    /// consistently — one copy, one identity.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.bucket_counts().iter().sum()
     }
 
     /// Sum of all observed values.
@@ -181,6 +186,46 @@ mod tests {
         assert_eq!(counts[10], 1); // 1000 <= 1024
         assert_eq!(counts[OVERFLOW_BUCKET], 1); // 2s > ~1.05s cap
         assert_eq!(counts.iter().sum::<u64>(), h.count());
+    }
+
+    #[test]
+    fn snapshot_count_equals_bucket_sum_under_concurrent_recording() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let h = Arc::new(Histogram::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut v = t as u64;
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        h.record(v % 5000);
+                        v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        // Mid-traffic reads: counts only grow, and the derived count is
+        // definitionally the bucket total of the same copy — the old
+        // third atomic could disagree with the buckets it claimed to
+        // total.
+        let mut last = 0u64;
+        for _ in 0..2000 {
+            let buckets = h.bucket_counts();
+            let total: u64 = buckets.iter().sum();
+            assert!(total >= last, "bucket totals must be monotone");
+            last = total;
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = writers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(h.count(), total);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), total);
     }
 
     #[test]

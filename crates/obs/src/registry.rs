@@ -63,11 +63,11 @@ impl Registry {
     }
 
     /// A point-in-time copy of every metric, with names in lexicographic
-    /// (BTreeMap) order. Metrics are read one atomic at a time, so a
-    /// snapshot taken under live traffic is internally *consistent per
-    /// metric* but not across metrics; quiesce first when exact
-    /// cross-metric identities (e.g. bucket counts summing to a counter)
-    /// must hold.
+    /// (BTreeMap) order. Each histogram's `count` is derived from the
+    /// single bucket-array copy taken here, so `sum-of-buckets == count`
+    /// holds in every snapshot — even mid-traffic. Distinct metrics (and
+    /// a histogram's `sum`) are still read one atomic at a time, so
+    /// quiesce first when exact *cross*-metric identities must hold.
     pub fn snapshot(&self) -> Snapshot {
         let counters = lock_or_recover(&self.counters)
             .iter()
@@ -80,14 +80,14 @@ impl Registry {
         let histograms = lock_or_recover(&self.histograms)
             .iter()
             .map(|(k, v)| {
-                (
-                    k.clone(),
+                (k.clone(), {
+                    let buckets = v.bucket_counts();
                     HistogramSnapshot {
-                        count: v.count(),
+                        count: buckets.iter().sum(),
                         sum: v.sum(),
-                        buckets: v.bucket_counts(),
-                    },
-                )
+                        buckets,
+                    }
+                })
             })
             .collect();
         Snapshot {
@@ -249,6 +249,53 @@ mod tests {
             .unwrap();
         assert_eq!(h.count, 0, "a cancelled span must not record at drop");
         assert_eq!(h.sum, 0);
+    }
+
+    /// Snapshots taken while writers hammer a histogram must satisfy
+    /// `sum-of-buckets == count` every time — the identity the old
+    /// three-independent-atomics `record` could break mid-traffic.
+    #[test]
+    fn mid_traffic_snapshots_keep_count_equal_to_bucket_sum() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let r = Arc::new(Registry::monotonic());
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let r = Arc::clone(&r);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let h = r.histogram("latency_micros");
+                    let mut v = t as u64;
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        h.record(v % 4096);
+                        v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        for _ in 0..2000 {
+            let snap = r.snapshot();
+            if let Some(h) = snap.histograms.get("latency_micros") {
+                assert_eq!(
+                    h.count,
+                    h.buckets.iter().sum::<u64>(),
+                    "snapshot count must equal its own bucket total"
+                );
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = writers.into_iter().map(|w| w.join().unwrap()).sum();
+        let h = r
+            .snapshot()
+            .histograms
+            .get("latency_micros")
+            .cloned()
+            .unwrap();
+        assert_eq!(h.count, total);
     }
 
     #[test]

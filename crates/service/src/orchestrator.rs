@@ -10,8 +10,8 @@ use crate::registry::ModelRegistry;
 use crate::server::RiskServerHandle;
 use browser_engine::UserAgent;
 use polygraph_core::{
-    Detector, DriftDecision, DriftDetector, DriftObservation, PolygraphError, TrainConfig,
-    TrainedModel, TrainingSet,
+    DriftDecision, DriftDetector, DriftObservation, PolygraphError, TrainConfig, TrainedModel,
+    TrainingSet,
 };
 use polygraph_ml::ThreadPool;
 use std::io;
@@ -218,7 +218,7 @@ impl<'s> Orchestrator<'s> {
                 obs.counter(metric_names::FALLBACKS).inc();
                 let version = match self.registry.load_latest_versioned()? {
                     Some((version, last_good)) => {
-                        self.server.swap_detector(Detector::new(last_good));
+                        self.server.publish_model(last_good);
                         Some(version)
                     }
                     None => None,
@@ -239,7 +239,7 @@ impl<'s> Orchestrator<'s> {
         let version = self.registry.publish(&candidate)?;
         obs.counter(metric_names::REGISTRY_PUBLISHES).inc();
         self.registry.prune(self.config.keep_versions)?;
-        self.server.swap_detector(Detector::new(candidate));
+        self.server.publish_model(candidate);
         obs.counter(metric_names::RETRAINS).inc();
         retrain_span.finish();
         Ok(RetrainOutcome::Retrained {
@@ -256,6 +256,7 @@ mod tests {
     use crate::server::start_risk_server;
     use browser_engine::Vendor;
     use fingerprint::FeatureSet;
+    use polygraph_core::Detector;
 
     fn ua(vendor: Vendor, v: u32) -> UserAgent {
         UserAgent::new(vendor, v)

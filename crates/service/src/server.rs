@@ -65,10 +65,10 @@ use crate::framing::{FrameAccumulator, FrameStatus};
 use crate::proto::{encode_stats_response, Verdict, VerdictStatus};
 use crate::reactor::{ConnMachine, Events, Interest, Poll, Token, Waker, WAKE_TOKEN};
 use browser_engine::UserAgent;
-use fingerprint::{decode_submission, is_stats_request, submission_cache_key};
+use fingerprint::{decode_submission_view, is_stats_request, submission_cache_key};
 use parking_lot::RwLock;
 use polygraph_cache::{Lookup, VerdictCache};
-use polygraph_core::Detector;
+use polygraph_core::{Assessment, Detector, PolygraphError, TrainedModel};
 use polygraph_obs::{Clock, Counter, Gauge, Histogram, MonotonicClock, Registry, Snapshot};
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
@@ -200,6 +200,14 @@ pub struct RiskServerConfig {
     /// default) sizes to the machine's available parallelism, capped at 8.
     /// Ignored by the threaded backend.
     pub reactor_shards: usize,
+    /// Serve cache-missing frames on the quantized fast path: the
+    /// detector is compiled ([`Detector::quantize`]) at startup and on
+    /// every [`RiskServerHandle::publish_model`], and the batch drain
+    /// dispatches each miss batch through the fused fixed-point kernel.
+    /// Off by default. Verdict streams are byte-identical either way —
+    /// the fixed-point margin certificate falls any uncertain frame back
+    /// to the staged f64 path (see `polygraph_ml::quant`).
+    pub quantized: bool,
 }
 
 impl Default for RiskServerConfig {
@@ -212,6 +220,7 @@ impl Default for RiskServerConfig {
             cache_capacity: 0,
             backend: ServerBackend::Threaded,
             reactor_shards: 0,
+            quantized: false,
         }
     }
 }
@@ -488,6 +497,9 @@ pub struct RiskServerHandle {
     detector: Arc<RwLock<Detector>>,
     metrics: Arc<ServerMetrics>,
     cache: Option<Arc<CacheLayer>>,
+    /// Whether published models are compiled onto the quantized fast
+    /// path ([`RiskServerConfig::quantized`]).
+    quantized: bool,
     /// One self-pipe waker per reactor shard (empty for the threaded
     /// backend), fired at shutdown so every shard leaves its poll within
     /// one cycle instead of waiting out a tick.
@@ -561,6 +573,23 @@ impl RiskServerHandle {
         }
     }
 
+    /// Builds and publishes a fresh serving detector from a trained
+    /// model — the quantize-at-publish step. On a server configured
+    /// with [`RiskServerConfig::quantized`] the detector is compiled
+    /// onto the fused fixed-point path before the swap; compilation is
+    /// best-effort here, because a retrained model the compiler rejects
+    /// must still replace the old one — it then serves on the staged
+    /// path, which answers identically (just slower). Everything
+    /// [`Self::swap_detector`] guarantees (atomic swap, epoch bump)
+    /// applies unchanged.
+    pub fn publish_model(&self, model: TrainedModel) {
+        let mut detector = Detector::new(model);
+        if self.quantized {
+            let _ = detector.quantize();
+        }
+        self.swap_detector(detector);
+    }
+
     /// Stops the acceptor *and* every connection worker, then joins them.
     /// Threaded workers check the stop flag on every loop, so this
     /// returns within roughly one read-timeout tick even with
@@ -604,6 +633,15 @@ pub fn start_risk_server_with(
     listener.set_nonblocking(true)?;
     let local = listener.local_addr()?;
 
+    let mut detector = detector;
+    if config.quantized {
+        // The initial model is compiled up front; failure here is a
+        // configuration error (the operator asked for the fast path and
+        // this model cannot provide it), not something to paper over.
+        detector
+            .quantize()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    }
     let stop = Arc::new(AtomicBool::new(false));
     let detector = Arc::new(RwLock::new(detector));
     let registry = Arc::new(Registry::new(Arc::clone(&config.clock)));
@@ -654,6 +692,7 @@ pub fn start_risk_server_with(
         detector,
         metrics,
         cache,
+        quantized: config.quantized,
         wakers,
         workers,
     })
@@ -746,6 +785,7 @@ fn serve_connection(mut stream: TcpStream, ctx: &ConnContext) -> io::Result<()> 
     stream.set_nodelay(true)?;
     let metrics = &ctx.metrics;
     let mut acc = FrameAccumulator::new();
+    let mut memo = UaMemo::new();
     let mut chunk = [0u8; 4096];
     loop {
         // Blocking phase: wait until at least one complete frame (or an
@@ -800,7 +840,7 @@ fn serve_connection(mut stream: TcpStream, ctx: &ConnContext) -> io::Result<()> 
         }
         stream.set_nonblocking(false)?;
 
-        let outcome = process_buffered(&mut acc, ctx);
+        let outcome = process_buffered(&mut acc, &mut memo, ctx);
         if outcome.close {
             // Cannot resynchronise past an unread oversize body: flush the
             // answered frames best-effort, then close cleanly.
@@ -828,7 +868,11 @@ struct BatchOutcome {
 /// limit, and appends the closing malformed verdict when parsing stopped
 /// at an oversize header. Every counter is charged here, identically for
 /// both cores — the backends differ only in how `out` reaches the socket.
-fn process_buffered(acc: &mut FrameAccumulator, ctx: &ConnContext) -> BatchOutcome {
+fn process_buffered(
+    acc: &mut FrameAccumulator,
+    memo: &mut UaMemo,
+    ctx: &ConnContext,
+) -> BatchOutcome {
     let metrics = &ctx.metrics;
     let (frames, mut oversize) = acc.split(MAX_BATCH_PER_GUARD);
 
@@ -857,25 +901,67 @@ fn process_buffered(acc: &mut FrameAccumulator, ctx: &ConnContext) -> BatchOutco
                 Arc::clone(&metrics.batch_micros),
                 Arc::clone(metrics.registry().clock()),
             );
+            // Decode the missed frames BEFORE taking the guard: frames
+            // that fail to decode never need the detector at all, and
+            // the surviving sessions feed one batched dispatch, so the
+            // read guard is held for exactly one `assess_many` call per
+            // batch — on a quantized server that is one fused
+            // fixed-point pass over the whole batch.
+            let mut sessions: Vec<(Vec<f64>, UserAgent)> = Vec::with_capacity(n_misses);
+            let mut miss_decoded: Vec<bool> = Vec::with_capacity(n_misses);
+            {
+                let mut slots = verdicts.iter();
+                for f in frames.iter().filter(|f| !is_stats_request(f)) {
+                    let Some(slot) = slots.next() else { break };
+                    if slot.is_none() {
+                        match decode_session(f, memo) {
+                            Some(session) => {
+                                sessions.push(session);
+                                miss_decoded.push(true);
+                            }
+                            None => miss_decoded.push(false),
+                        }
+                    }
+                }
+            }
             // The insert epoch is read BEFORE the detector guard is
             // taken: if a swap lands in between, these verdicts are
             // tagged with the pre-swap epoch and harmlessly miss
             // forever — a stale verdict can never be served at the
             // new epoch (see `RiskServerHandle::swap_detector`).
             let insert_epoch = ctx.cache.as_deref().map(|c| c.cache.epoch());
-            {
+            let assessments = {
                 let guard = ctx.detector.read();
-                let mut slots = verdicts.iter_mut();
-                for f in frames.iter().filter(|f| !is_stats_request(f)) {
-                    let Some(slot) = slots.next() else { break };
-                    if slot.is_none() {
-                        let v = assess_frame_with(f, &guard, &mut local);
-                        if let (Some(cache), Some(epoch)) = (ctx.cache.as_deref(), insert_epoch) {
-                            cache.store(f, epoch, v);
-                        }
-                        *slot = Some(v);
-                    }
+                guard.assess_many(&sessions)
+            };
+            // Fill the miss slots in frame order, charging exactly the
+            // counters the single-frame path charges.
+            let mut results = assessments.into_iter();
+            let mut was_decoded = miss_decoded.into_iter();
+            let mut slots = verdicts.iter_mut();
+            for f in frames.iter().filter(|f| !is_stats_request(f)) {
+                let Some(slot) = slots.next() else { break };
+                if slot.is_some() {
+                    continue;
                 }
+                let v = if was_decoded.next() == Some(true) {
+                    match results.next() {
+                        Some(result) => verdict_from_assessment(result, &mut local),
+                        // Unreachable: `assess_many` returns one result
+                        // per session, in order.
+                        None => {
+                            local.malformed += 1;
+                            Verdict::error(VerdictStatus::Malformed)
+                        }
+                    }
+                } else {
+                    local.malformed += 1;
+                    Verdict::error(VerdictStatus::Malformed)
+                };
+                if let (Some(cache), Some(epoch)) = (ctx.cache.as_deref(), insert_epoch) {
+                    cache.store(f, epoch, v);
+                }
+                *slot = Some(v);
             }
             span.finish();
             metrics.batches.inc();
@@ -962,6 +1048,8 @@ const REACTOR_TICK: Duration = Duration::from_millis(5);
 struct ConnSlot {
     stream: TcpStream,
     machine: ConnMachine,
+    /// Per-connection user-agent parse memo (see [`UaMemo`]).
+    memo: UaMemo,
     /// Clock micros of the last read/write progress (or idle tick).
     last_activity: u64,
     /// The interest currently registered with the poll.
@@ -1018,6 +1106,7 @@ fn reactor_shard_loop(
                         ConnSlot {
                             stream,
                             machine: ConnMachine::new(),
+                            memo: UaMemo::new(),
                             last_activity: clock.now_micros(),
                             interest: Interest::READABLE,
                         },
@@ -1140,7 +1229,7 @@ fn drive_slot(slot: &mut ConnSlot, readable: bool, ctx: &ConnContext, now: u64) 
     while (slot.machine.frames_ready() > 0 || slot.machine.input_oversize())
         && !slot.machine.close_requested()
     {
-        let outcome = process_buffered(slot.machine.accumulator_mut(), ctx);
+        let outcome = process_buffered(slot.machine.accumulator_mut(), &mut slot.memo, ctx);
         slot.machine.queue_output(&outcome.out, outcome.close);
         if outcome.close {
             break;
@@ -1208,19 +1297,83 @@ pub fn assess_frame(frame: &[u8], detector: &RwLock<Detector>, registry: &Regist
     verdict
 }
 
-/// Frame assessment against an already-borrowed detector, charging a local
-/// counter set instead of the shared atomics.
-fn assess_frame_with(frame: &[u8], detector: &Detector, local: &mut LocalCounters) -> Verdict {
-    let Ok(submission) = decode_submission(frame) else {
-        local.malformed += 1;
-        return Verdict::error(VerdictStatus::Malformed);
-    };
-    let Ok(claimed) = submission.user_agent.parse::<UserAgent>() else {
-        local.malformed += 1;
-        return Verdict::error(VerdictStatus::Malformed);
-    };
-    let values: Vec<f64> = submission.values.iter().map(|&v| v as f64).collect();
-    match detector.assess(&values, claimed) {
+/// Slots in a connection's [`UaMemo`]. The distinct user-agent
+/// population per connection is tiny (a few dozen catalogue releases),
+/// so a small direct-mapped table hits almost always.
+const UA_MEMO_SLOTS: usize = 64;
+
+/// FNV-1a 64-bit over `bytes` — the same fixed, platform-independent
+/// hash family the verdict cache keys on (POLY-D004): never
+/// `RandomState`, so replays behave identically in every process.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Per-connection memo of parsed user-agent strings, direct-mapped by
+/// FNV-1a of the raw bytes.
+///
+/// Submission traffic repeats a tiny distinct UA population (the
+/// paper's coarse-fingerprint premise), so the serve path pays the
+/// multi-token sniffing parse once per distinct string per connection
+/// instead of once per frame. Deterministic by construction: the fixed
+/// hash picks a slot and an exact string comparison guards the hit, so
+/// a collision merely re-parses — it can never mis-attribute a result.
+#[derive(Debug)]
+struct UaMemo {
+    slots: Vec<Option<(String, UserAgent)>>,
+}
+
+impl UaMemo {
+    fn new() -> Self {
+        Self {
+            slots: vec![None; UA_MEMO_SLOTS],
+        }
+    }
+
+    /// Parses `ua`, answering from the memo when the exact string was
+    /// seen before. Parse failures are not memoised (malformed frames
+    /// are the rare path and already charged as such).
+    fn parse(&mut self, ua: &str) -> Option<UserAgent> {
+        let slot = (fnv1a64(ua.as_bytes()) % UA_MEMO_SLOTS as u64) as usize;
+        if let Some(Some((cached, parsed))) = self.slots.get(slot) {
+            if cached == ua {
+                return Some(*parsed);
+            }
+        }
+        let parsed = ua.parse::<UserAgent>().ok()?;
+        if let Some(entry) = self.slots.get_mut(slot) {
+            *entry = Some((ua.to_string(), parsed));
+        }
+        Some(parsed)
+    }
+}
+
+/// Decodes a submission frame into an assessable session: feature row
+/// plus claimed user-agent. `None` covers both failure modes the single
+/// frame path answers `Malformed` for (undecodable frame, unparseable
+/// user-agent string). Works from the borrowed wire view, so the only
+/// per-frame allocation is the feature row itself.
+fn decode_session(frame: &[u8], memo: &mut UaMemo) -> Option<(Vec<f64>, UserAgent)> {
+    let view = decode_submission_view(frame).ok()?;
+    let claimed = memo.parse(view.user_agent())?;
+    let mut values = Vec::with_capacity(view.value_count());
+    values.extend(view.values_u32().map(f64::from));
+    Some((values, claimed))
+}
+
+/// Maps one assessment result onto the wire verdict, charging the local
+/// counters — the single source of the verdict/counter semantics for
+/// both the single-frame path and the batched miss drain.
+fn verdict_from_assessment(
+    result: Result<Assessment, PolygraphError>,
+    local: &mut LocalCounters,
+) -> Verdict {
+    match result {
         Ok(a) => {
             local.assessed += 1;
             if a.flagged {
@@ -1237,6 +1390,21 @@ fn assess_frame_with(frame: &[u8], detector: &Detector, local: &mut LocalCounter
         Err(_) => {
             local.malformed += 1;
             Verdict::error(VerdictStatus::SchemaMismatch)
+        }
+    }
+}
+
+/// Frame assessment against an already-borrowed detector, charging a local
+/// counter set instead of the shared atomics.
+fn assess_frame_with(frame: &[u8], detector: &Detector, local: &mut LocalCounters) -> Verdict {
+    let mut memo = UaMemo::new();
+    match decode_session(frame, &mut memo) {
+        Some((values, claimed)) => {
+            verdict_from_assessment(detector.assess(&values, claimed), local)
+        }
+        None => {
+            local.malformed += 1;
+            Verdict::error(VerdictStatus::Malformed)
         }
     }
 }
@@ -1371,6 +1539,55 @@ mod tests {
         assert!(stats.bytes_read as usize >= wire.len());
         assert!(stats.bytes_written as usize >= total * crate::proto::VERDICT_LEN);
         server.shutdown();
+    }
+
+    /// A server on the quantized fast path must answer the exact same
+    /// reply bytes — and charge the exact same counters — as the staged
+    /// default, across honest, lying, malformed, bad-UA, and
+    /// wrong-width traffic.
+    #[test]
+    fn quantized_server_answers_byte_identically() {
+        let frames = [
+            frame_for(vec![10, 10], UserAgent::new(Vendor::Chrome, 100)),
+            frame_for(vec![20, 20], UserAgent::new(Vendor::Chrome, 100)),
+            frame_for(vec![0, 0], UserAgent::new(Vendor::Firefox, 100)),
+            vec![9, 9, 9], // undecodable → Malformed
+            frame_for(vec![1, 2, 3, 4], UserAgent::new(Vendor::Chrome, 100)), // width → SchemaMismatch
+            frame_for(vec![10, 10], UserAgent::new(Vendor::Firefox, 100)),
+        ];
+        let run = |quantized: bool| {
+            let config = RiskServerConfig {
+                quantized,
+                ..Default::default()
+            };
+            let server = start_risk_server_with("127.0.0.1:0", tiny_detector(), config).unwrap();
+            let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+            stream.set_nodelay(true).unwrap();
+            let mut wire = Vec::new();
+            for _ in 0..8 {
+                for frame in &frames {
+                    wire.extend_from_slice(&(frame.len() as u16).to_le_bytes());
+                    wire.extend_from_slice(frame);
+                }
+            }
+            stream.write_all(&wire).unwrap();
+            let mut replies = vec![0u8; 8 * frames.len() * crate::proto::VERDICT_LEN];
+            stream.read_exact(&mut replies).unwrap();
+            drop(stream);
+            thread::sleep(Duration::from_millis(20));
+            let stats = server.stats();
+            server.shutdown();
+            (replies, stats)
+        };
+        let (staged_bytes, staged_stats) = run(false);
+        let (quant_bytes, quant_stats) = run(true);
+        assert_eq!(
+            staged_bytes, quant_bytes,
+            "verdict streams must be byte-identical"
+        );
+        assert_eq!(staged_stats.assessed, quant_stats.assessed);
+        assert_eq!(staged_stats.flagged, quant_stats.flagged);
+        assert_eq!(staged_stats.malformed, quant_stats.malformed);
     }
 
     #[test]

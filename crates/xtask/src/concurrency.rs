@@ -73,6 +73,7 @@ const BLOCKING_CALLS: &[&str] = &[
     // Detector / model work proportional to a whole batch or window.
     "assess",
     "assess_batch",
+    "assess_many",
     "checkpoint",
     "fit",
     "fit_observed",

@@ -147,13 +147,14 @@ fn is_library_file(rel: &str) -> bool {
 /// `cargo xtask lint --self-check` so the two cannot drift.
 pub fn fixture_lint_config() -> LintConfig {
     LintConfig {
-        determinism_zone: vec!["det_".into(), "reactor_".into()],
+        determinism_zone: vec!["det_".into(), "reactor_".into(), "quant_".into()],
         key_determinism_zone: vec!["keys_".into()],
         panic_zone: vec!["panic_".into(), "reactor_".into()],
         concurrency_zone: vec![
             "lock_order_".into(),
             "guard_scope_".into(),
             "atomic_".into(),
+            "quant_".into(),
         ],
         exclude: Vec::new(),
         ..LintConfig::default()

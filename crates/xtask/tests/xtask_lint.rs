@@ -21,10 +21,10 @@ fn fixture_config() -> LintConfig {
 exclude = []
 
 [zones]
-determinism = ["det_", "reactor_"]
+determinism = ["det_", "reactor_", "quant_"]
 key_determinism = ["keys_"]
 panic_safety = ["panic_", "reactor_"]
-concurrency = ["lock_order_", "guard_scope_", "atomic_"]
+concurrency = ["lock_order_", "guard_scope_", "atomic_", "quant_"]
 "#,
         )
         .expect("fixture config parses");
@@ -70,6 +70,12 @@ fn bad_fixtures_fire_every_rule_at_the_expected_lines() {
         ("panic_bad.rs", "POLY-P001", 6),        // unwrap()
         ("panic_bad.rs", "POLY-P002", 7),        // expect(…)
         ("panic_bad.rs", "POLY-P003", 8),        // panic!
+        ("quant_bad.rs", "POLY-D001", 6),        // use HashMap in the kernel
+        ("quant_bad.rs", "POLY-D001", 8),        // HashMap return type
+        ("quant_bad.rs", "POLY-D002", 9),        // Instant::now() in compile
+        ("quant_bad.rs", "POLY-D001", 10),       // HashMap::new()
+        ("quant_bad.rs", "POLY-L002", 17),       // assess_many under slot.read()
+        ("quant_bad.rs", "POLY-L003", 21),       // epoch.store(…, Relaxed)
         ("reactor_bad.rs", "POLY-D002", 6),      // Instant::now() in the poll loop
         ("reactor_bad.rs", "POLY-P004", 7),      // events[0]
         ("reactor_bad.rs", "POLY-P001", 8),      // unwrap()
@@ -94,6 +100,7 @@ fn good_fixtures_are_clean() {
         "keys_good.rs",
         "lock_order_good.rs",
         "panic_good.rs",
+        "quant_good.rs",
         "src/pool_good.rs",
     ] {
         assert!(
@@ -237,7 +244,7 @@ fn dogfooding_allows_are_load_bearing() {
     let root = workspace_root();
     let full = workspace_config();
     let cases: &[(&str, &str, &[u32])] = &[
-        ("POLY-L002", "crates/service/src/server.rs", &[872, 1191]),
+        ("POLY-L002", "crates/service/src/server.rs", &[935, 1280]),
         ("POLY-L003", "crates/cache/src/lib.rs", &[105, 114, 156]),
         ("POLY-L003", "crates/ml/src/pool.rs", &[37, 101]),
     ];
