@@ -251,8 +251,31 @@ impl<V: Clone> VerdictCache<V> {
     }
 
     /// Number of resident entries (current and stale epochs alike).
+    ///
+    /// This counts slots still holding memory, including stale-epoch
+    /// entries that can never hit again and are merely awaiting CLOCK
+    /// eviction. For "how many entries can actually serve a hit right
+    /// now" use [`Self::current_occupancy`].
     pub fn occupancy(&self) -> usize {
         self.shards.iter().map(|s| s.read().slots.len()).sum()
+    }
+
+    /// Number of resident entries tagged with the *current* epoch — the
+    /// only ones a [`Self::lookup`] can hit. After [`Self::bump_epoch`]
+    /// this drops to zero immediately even though [`Self::occupancy`]
+    /// still reports the stale slots until CLOCK sweeps them.
+    pub fn current_occupancy(&self) -> usize {
+        let epoch = self.epoch();
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .slots
+                    .iter()
+                    .filter(|slot| slot.epoch == epoch)
+                    .count()
+            })
+            .sum()
     }
 }
 
@@ -312,6 +335,33 @@ mod tests {
         assert!(outcome.replaced);
         assert_eq!(cache.lookup(1), Lookup::Hit(20));
         assert_eq!(cache.occupancy(), 1);
+    }
+
+    #[test]
+    fn current_occupancy_drops_to_zero_across_a_bump_while_resident_holds() {
+        let cache: VerdictCache<u32> = VerdictCache::new(2, 16);
+        for key in 0..6u64 {
+            cache.insert(key, cache.epoch(), key as u32);
+        }
+        assert_eq!(cache.occupancy(), 6);
+        assert_eq!(cache.current_occupancy(), 6);
+
+        let new_epoch = cache.bump_epoch();
+        // The stale slots still hold memory…
+        assert_eq!(cache.occupancy(), 6, "resident count keeps stale slots");
+        // …but none of them can serve a hit any more.
+        assert_eq!(
+            cache.current_occupancy(),
+            0,
+            "current-epoch occupancy must drop to zero at the bump"
+        );
+
+        // Refreshing a subset at the new epoch is reflected immediately.
+        for key in 0..2u64 {
+            cache.insert(key, new_epoch, key as u32 + 100);
+        }
+        assert_eq!(cache.current_occupancy(), 2);
+        assert_eq!(cache.occupancy(), 6);
     }
 
     #[test]

@@ -57,6 +57,10 @@ pub mod metric_names {
     pub const STATS_FETCHES: &str = "client.stats_fetches";
     /// `STATS` fetches that failed after exhausting retries (counter).
     pub const STATS_ERRORS: &str = "client.stats_errors";
+    /// Backoff sleeps actually taken, in µs (histogram). `count ==
+    /// client.retries`; the recorded values pin the exponential schedule
+    /// (and its reset-on-success) in tests without timing a sleep.
+    pub const BACKOFF_MICROS: &str = "client.backoff_micros";
 }
 
 /// Resilience settings of a [`RiskClient`].
@@ -97,8 +101,16 @@ pub struct RiskClient {
     stream: Option<TcpStream>,
     rng: ChaCha8Rng,
     next_session: u64,
+    /// Failed exchanges since the last success, across requests. This —
+    /// not a per-request counter — scales the backoff, so a client
+    /// hammering a dead node keeps escalating toward `backoff_cap` even
+    /// with a small per-request retry budget; any successful exchange
+    /// resets it so the next transient blip starts back at
+    /// `backoff_base` instead of inheriting the old streak.
+    consecutive_failures: u32,
     registry: Arc<Registry>,
     round_trip: Arc<Histogram>,
+    backoff_taken: Arc<Histogram>,
     requests: Arc<Counter>,
     errors: Arc<Counter>,
     retries: Arc<Counter>,
@@ -148,7 +160,9 @@ impl RiskClient {
             config,
             stream: Some(stream),
             next_session: 1,
+            consecutive_failures: 0,
             round_trip: registry.histogram(metric_names::ROUND_TRIP_MICROS),
+            backoff_taken: registry.histogram(metric_names::BACKOFF_MICROS),
             requests: registry.counter(metric_names::REQUESTS),
             errors: registry.counter(metric_names::ERRORS),
             retries: registry.counter(metric_names::RETRIES),
@@ -171,6 +185,24 @@ impl RiskClient {
     /// The registry this client's latency metrics land in.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// The server address this client currently talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Points the client at a different server (a fleet router moving
+    /// this key range to another node). The current stream is dropped
+    /// without counting a poisoning — it is healthy, just no longer the
+    /// right peer — and the failure streak is cleared so the new node
+    /// starts from a clean backoff slate.
+    pub fn retarget(&mut self, addr: SocketAddr) {
+        if addr != self.addr {
+            self.addr = addr;
+            self.stream = None;
+            self.consecutive_failures = 0;
+        }
     }
 
     /// Whether the client currently holds a live (non-poisoned) stream.
@@ -197,6 +229,16 @@ impl RiskClient {
         self.stream
             .as_mut()
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "not connected"))
+    }
+
+    /// Sleeps the backoff for the current failure streak, recording the
+    /// chosen interval into `client.backoff_micros` so tests can pin the
+    /// schedule (including its reset-on-success) without timing a sleep.
+    fn sleep_backoff(&mut self) {
+        let delay = self.backoff(self.consecutive_failures);
+        let micros = delay.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.backoff_taken.record(micros);
+        thread::sleep(delay);
     }
 
     /// The jittered, capped exponential backoff before retry `attempt`
@@ -238,6 +280,10 @@ impl RiskClient {
             match self.try_verdict_exchange(&header, &frame) {
                 Ok(v) => {
                     span.finish();
+                    // A success ends the failure streak: the next blip
+                    // backs off from `backoff_base` again instead of
+                    // inheriting this connection's old escalation.
+                    self.consecutive_failures = 0;
                     return Ok(v);
                 }
                 Err(e) => {
@@ -245,13 +291,14 @@ impl RiskClient {
                     // histogram; the failure is counted, not timed.
                     span.cancel();
                     self.poison();
+                    self.consecutive_failures = self.consecutive_failures.saturating_add(1);
                     if attempt >= self.config.max_retries {
                         self.errors.inc();
                         return Err(e);
                     }
                     attempt += 1;
                     self.retries.inc();
-                    thread::sleep(self.backoff(attempt));
+                    self.sleep_backoff();
                 }
             }
         }
@@ -300,17 +347,19 @@ impl RiskClient {
             match self.try_stats_exchange(&header, &req) {
                 Ok(snap) => {
                     self.stats_fetches.inc();
+                    self.consecutive_failures = 0;
                     return Ok(snap);
                 }
                 Err(e) => {
                     self.poison();
+                    self.consecutive_failures = self.consecutive_failures.saturating_add(1);
                     if attempt >= self.config.max_retries {
                         self.stats_errors.inc();
                         return Err(e);
                     }
                     attempt += 1;
                     self.retries.inc();
-                    thread::sleep(self.backoff(attempt));
+                    self.sleep_backoff();
                 }
             }
         }
@@ -455,6 +504,39 @@ mod tests {
         // 4465, desyncing the stream. Now it is an input error.
         let e = frame_header(70_001).unwrap_err();
         assert_eq!(e.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak_and_retarget_clears_it() {
+        let server = start_risk_server("127.0.0.1:0", tiny_detector()).unwrap();
+        let mut client = RiskClient::connect(server.local_addr()).unwrap();
+        // Simulate a long failure streak inherited from a dead peer.
+        client.consecutive_failures = 9;
+        let sub = Submission {
+            session_id: [2u8; 16],
+            user_agent: UserAgent::new(Vendor::Chrome, 100).to_ua_string(),
+            values: vec![10, 10],
+        };
+        client.assess_submission(&sub).unwrap();
+        assert_eq!(
+            client.consecutive_failures, 0,
+            "a successful exchange must end the failure streak"
+        );
+
+        // Retargeting drops the (healthy) stream without a poison count
+        // and starts the new node from a clean backoff slate.
+        client.consecutive_failures = 3;
+        let other = start_risk_server("127.0.0.1:0", tiny_detector()).unwrap();
+        client.retarget(other.local_addr());
+        assert_eq!(client.addr(), other.local_addr());
+        assert!(!client.is_connected());
+        assert_eq!(client.consecutive_failures, 0);
+        let snap = client.registry().snapshot();
+        assert_eq!(snap.counters.get(metric_names::POISONED), Some(&0));
+        client.assess_submission(&sub).unwrap();
+        drop(client);
+        other.shutdown();
+        server.shutdown();
     }
 
     #[test]

@@ -24,6 +24,11 @@
 //!   publish and latest-model lookup.
 //! * [`orchestrator`] — the §6.6 loop: run drift checkpoints on fresh
 //!   traffic, retrain when a release shifts, validate, publish, swap.
+//! * [`fleet`] — web-scale horizontal layer: a consistent-hash
+//!   [`fleet::FleetRouter`] over N in-process risk servers, a
+//!   router-aware failover client, and a [`fleet::RolloutController`]
+//!   that promotes a registry-published model canary → 50% → full with
+//!   per-node verdict-divergence gates.
 //! * [`policy`] — mapping risk factors to authentication actions (allow /
 //!   step-up / deny), the "risk-based authentication" integration point.
 //! * [`chaos`] — deterministic fault injection: a seeded [`FaultPlan`]
@@ -51,6 +56,7 @@
 
 pub mod chaos;
 pub mod client;
+pub mod fleet;
 pub mod framing;
 pub mod orchestrator;
 pub mod policy;
@@ -61,7 +67,10 @@ pub mod server;
 
 pub use chaos::{start_chaos_proxy, ChaosProxy, FaultConfig, FaultPlan};
 pub use client::{RiskClient, RiskClientConfig};
-pub use orchestrator::{Orchestrator, OrchestratorConfig, RetrainOutcome};
+pub use fleet::{
+    FleetClient, FleetConfig, FleetRouter, RiskFleet, RolloutController, RolloutStage, RolloutStep,
+};
+pub use orchestrator::{Orchestrator, OrchestratorConfig, RetrainOutcome, SwapPolicy};
 pub use policy::{AuthAction, RiskPolicy};
 pub use proto::{Verdict, VerdictStatus};
 pub use registry::ModelRegistry;

@@ -36,6 +36,20 @@ pub mod metric_names {
     pub const FALLBACKS: &str = "orchestrator.drift.fallbacks";
 }
 
+/// How a validated candidate model reaches serving detectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SwapPolicy {
+    /// Publish to the registry *and* hot-swap this server immediately —
+    /// the single-server §6.6 loop.
+    #[default]
+    PublishAndSwap,
+    /// Publish to the registry only. Propagation to serving nodes is
+    /// owned by a fleet [`crate::fleet::RolloutController`], which rolls
+    /// the published version canary → 50% → full under its per-node
+    /// divergence gate; the orchestrator must not swap behind its back.
+    PublishOnly,
+}
+
 /// Orchestrator settings.
 #[derive(Debug, Clone, Copy)]
 pub struct OrchestratorConfig {
@@ -46,6 +60,9 @@ pub struct OrchestratorConfig {
     pub min_accuracy: f64,
     /// How many registry versions to retain after a publish.
     pub keep_versions: usize,
+    /// Whether a validated candidate is swapped into this server or only
+    /// published for a fleet rollout to distribute.
+    pub swap: SwapPolicy,
 }
 
 impl Default for OrchestratorConfig {
@@ -54,6 +71,7 @@ impl Default for OrchestratorConfig {
             train: TrainConfig::default(),
             min_accuracy: 0.98,
             keep_versions: 4,
+            swap: SwapPolicy::PublishAndSwap,
         }
     }
 }
@@ -218,7 +236,12 @@ impl<'s> Orchestrator<'s> {
                 obs.counter(metric_names::FALLBACKS).inc();
                 let version = match self.registry.load_latest_versioned()? {
                     Some((version, last_good)) => {
-                        self.server.publish_model(last_good);
+                        // Under `PublishOnly` the serving model belongs
+                        // to the fleet rollout — re-asserting last-good
+                        // here would swap behind its back.
+                        if self.config.swap == SwapPolicy::PublishAndSwap {
+                            self.server.publish_model(last_good);
+                        }
                         Some(version)
                     }
                     None => None,
@@ -239,7 +262,9 @@ impl<'s> Orchestrator<'s> {
         let version = self.registry.publish(&candidate)?;
         obs.counter(metric_names::REGISTRY_PUBLISHES).inc();
         self.registry.prune(self.config.keep_versions)?;
-        self.server.publish_model(candidate);
+        if self.config.swap == SwapPolicy::PublishAndSwap {
+            self.server.publish_model(candidate);
+        }
         obs.counter(metric_names::RETRAINS).inc();
         retrain_span.finish();
         Ok(RetrainOutcome::Retrained {
@@ -287,6 +312,7 @@ mod tests {
             },
             min_accuracy: 0.95,
             keep_versions: 2,
+            swap: SwapPolicy::PublishAndSwap,
         }
     }
 
@@ -374,6 +400,44 @@ mod tests {
             "a writer must be able to take the detector slot while a drift \
              measurement is running"
         );
+        server.shutdown();
+    }
+
+    /// Under `SwapPolicy::PublishOnly` a drift-triggered retrain still
+    /// validates and publishes, but the serving detector is left to the
+    /// fleet rollout: zero swaps, version in the registry.
+    #[test]
+    fn publish_only_checkpoint_publishes_without_swapping() {
+        let server = start_risk_server("127.0.0.1:0", Detector::new(serving_model())).unwrap();
+        let registry = temp_registry("publish-only");
+        let orch = Orchestrator::new(
+            &server,
+            registry,
+            OrchestratorConfig {
+                swap: SwapPolicy::PublishOnly,
+                ..config()
+            },
+        );
+        let mut fresh = training(0.0);
+        for j in 0..80 {
+            fresh
+                .push(
+                    vec![-0.5 + (j % 3) as f64 * 0.05, -0.5],
+                    ua(Vendor::Chrome, 111),
+                )
+                .unwrap();
+        }
+        let outcome = orch.checkpoint(&fresh, &[ua(Vendor::Chrome, 111)]).unwrap();
+        assert!(matches!(
+            outcome,
+            RetrainOutcome::Retrained { version: 1, .. }
+        ));
+        assert_eq!(
+            server.stats().swaps,
+            0,
+            "publish-only must not touch the serving detector"
+        );
+        assert_eq!(orch.registry().versions().unwrap(), vec![1]);
         server.shutdown();
     }
 

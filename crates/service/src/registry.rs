@@ -55,18 +55,29 @@ impl ModelRegistry {
     }
 
     /// Publishes a model as the next version and returns that version.
+    ///
+    /// Durability ordering: the version file's bytes are fsynced, its
+    /// rename into place is made durable (directory fsync), and only
+    /// *then* is the `latest` pointer rewritten — so a crash at any
+    /// point can leave a stale or absent pointer (which
+    /// [`Self::load_latest`] tolerates) but never a pointer naming a
+    /// version whose bytes are not fully on disk.
     pub fn publish(&self, model: &TrainedModel) -> io::Result<u64> {
         let version = self.latest_version()?.map_or(1, |v| v + 1);
         let json = serde_json::to_vec_pretty(model)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         let tmp = self.dir.join(format!(".model-v{version}.json.tmp"));
         let path = self.model_path(version);
-        fs::write(&tmp, &json)?;
+        write_sync(&tmp, &json)?;
         fs::rename(&tmp, &path)?;
+        // Make the rename itself durable before anything references the
+        // new version: the pointer must never get ahead of the data.
+        sync_dir(&self.dir)?;
         // Refresh the "latest" pointer the same way.
         let tmp = self.dir.join(".latest.tmp");
-        fs::write(&tmp, version.to_string())?;
+        write_sync(&tmp, version.to_string().as_bytes())?;
         fs::rename(&tmp, self.dir.join("latest"))?;
+        sync_dir(&self.dir)?;
         Ok(version)
     }
 
@@ -149,6 +160,33 @@ impl ModelRegistry {
 
     fn model_path(&self, version: u64) -> PathBuf {
         self.dir.join(format!("model-v{version}.json"))
+    }
+}
+
+/// Writes `bytes` to `path` and fsyncs the file before returning, so the
+/// bytes are on disk (not just in the page cache) when the caller moves
+/// on to publish a reference to them.
+fn write_sync(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut file = fs::File::create(path)?;
+    io::Write::write_all(&mut file, bytes)?;
+    file.sync_all()
+}
+
+/// Fsyncs a directory so renames inside it survive a crash. On platforms
+/// where directories cannot be opened or synced (e.g. Windows), the
+/// failure is swallowed: ordering there is best-effort, exactly as it
+/// was for the data files before this existed.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    match fs::File::open(dir) {
+        Ok(handle) => match handle.sync_all() {
+            Ok(()) => Ok(()),
+            // Syncing a directory handle is unsupported on some
+            // platforms/filesystems; that is a capability gap, not a
+            // publish failure.
+            Err(e) if e.kind() == io::ErrorKind::Unsupported => Ok(()),
+            Err(e) => Err(e),
+        },
+        Err(_) => Ok(()),
     }
 }
 
@@ -275,6 +313,45 @@ mod tests {
         // a garbage model and not an error.
         fs::write(reg.dir().join("model-v1.json"), "{oops").unwrap();
         assert!(reg.load_latest().unwrap().is_none());
+    }
+
+    /// Simulates the crash window the fsync ordering closes: a `latest`
+    /// pointer that got ahead of its data. Before the fix, publish
+    /// renamed the pointer without forcing the version file (or the
+    /// rename itself) to disk, so a crash could leave `latest` → v2
+    /// while `model-v2.json` is torn or missing. The reader must fall
+    /// back to the newest intact version in every such state.
+    #[test]
+    fn torn_write_behind_an_advanced_pointer_falls_back_to_intact_version() {
+        let reg = temp_registry("tornwrite");
+        let model = tiny_model(0.0);
+        reg.publish(&model).unwrap();
+
+        // Crash state A: pointer advanced, version file truncated
+        // mid-write (valid prefix, torn tail).
+        let v2_json = serde_json::to_vec_pretty(&tiny_model(5.0)).unwrap();
+        let torn = v2_json.get(..v2_json.len() / 2).unwrap();
+        fs::write(reg.dir().join("model-v2.json"), torn).unwrap();
+        fs::write(reg.dir().join("latest"), "2").unwrap();
+        let restored = reg.load_latest_versioned().unwrap().expect("v1 intact");
+        assert_eq!(restored.0, 1, "torn v2 must be skipped");
+        assert_eq!(restored.1.cluster_table(), model.cluster_table());
+
+        // Crash state B: pointer advanced, version file missing entirely
+        // (rename never made it to disk).
+        fs::remove_file(reg.dir().join("model-v2.json")).unwrap();
+        fs::write(reg.dir().join("latest"), "2").unwrap();
+        let restored = reg.load_latest_versioned().unwrap().expect("v1 intact");
+        assert_eq!(restored.0, 1, "missing v2 must be skipped");
+
+        // Recovery: the next publish overwrites the stale pointer and
+        // the registry is healthy again.
+        let v = reg.publish(&tiny_model(1.0)).unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(
+            reg.load_latest_versioned().unwrap().map(|(v, _)| v),
+            Some(2)
+        );
     }
 
     #[test]

@@ -73,7 +73,7 @@ use polygraph_obs::{Clock, Counter, Gauge, Histogram, MonotonicClock, Registry, 
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
@@ -142,7 +142,11 @@ pub mod metric_names {
     /// Backlog frames the shed path answered from the cache instead of
     /// answering `Degraded` (counter); a sub-count of `cache.hits`.
     pub const CACHE_SHED_EXEMPT: &str = "cache.shed_exempt";
-    /// Resident cache entries, current and stale epochs alike (gauge).
+    /// Cache entries at the *current* model epoch — the only ones a
+    /// lookup can hit (gauge). Drops to zero at a detector swap and
+    /// refills as the working set is re-assessed; stale slots awaiting
+    /// CLOCK eviction are deliberately excluded (they used to be
+    /// counted, overreporting live entries after every swap).
     pub const CACHE_OCCUPANCY: &str = "cache.occupancy";
     /// Per-hit cache lookup latency in µs (histogram).
     pub const CACHE_HIT_MICROS: &str = "cache.hit_micros";
@@ -462,7 +466,9 @@ impl CacheLayer {
     }
 
     fn publish_occupancy(&self) {
-        let occ = self.cache.occupancy().min(i64::MAX as usize) as i64;
+        // Current-epoch entries only: stale slots cannot serve a hit, so
+        // gauging them would overreport the live cache after every swap.
+        let occ = self.cache.current_occupancy().min(i64::MAX as usize) as i64;
         self.occupancy.set(occ);
     }
 }
@@ -500,6 +506,12 @@ pub struct RiskServerHandle {
     /// Whether published models are compiled onto the quantized fast
     /// path ([`RiskServerConfig::quantized`]).
     quantized: bool,
+    /// Registry version of the serving model; `0` while the server still
+    /// serves its boot detector (no versioned publish yet). Stored after
+    /// the swap, so a reader observing version `v` is guaranteed the
+    /// serving detector is at least `v` — fleet rollout relies on this
+    /// to prove a node has (or has not) been reached.
+    model_version: Arc<AtomicU64>,
     /// One self-pipe waker per reactor shard (empty for the threaded
     /// backend), fired at shutdown so every shard leaves its poll within
     /// one cycle instead of waiting out a tick.
@@ -588,6 +600,23 @@ impl RiskServerHandle {
             let _ = detector.quantize();
         }
         self.swap_detector(detector);
+    }
+
+    /// [`Self::publish_model`] tagged with the registry version the
+    /// model was published under, so fleet rollout (and its tests) can
+    /// ask which model a node is serving. The version is stored *after*
+    /// the swap: observing `active_model_version() == v` proves the
+    /// serving detector is at least version `v`.
+    pub fn publish_model_versioned(&self, model: TrainedModel, version: u64) {
+        self.publish_model(model);
+        self.model_version.store(version, Ordering::SeqCst);
+    }
+
+    /// The registry version stored by the last
+    /// [`Self::publish_model_versioned`], or `0` while the server still
+    /// serves its boot detector.
+    pub fn active_model_version(&self) -> u64 {
+        self.model_version.load(Ordering::SeqCst)
     }
 
     /// Stops the acceptor *and* every connection worker, then joins them.
@@ -693,6 +722,7 @@ pub fn start_risk_server_with(
         metrics,
         cache,
         quantized: config.quantized,
+        model_version: Arc::new(AtomicU64::new(0)),
         wakers,
         workers,
     })

@@ -148,6 +148,72 @@ fn cached_v1_verdict_never_survives_publish_and_swap_to_v2() {
     });
 }
 
+/// Regression: `cache.occupancy` must gauge *current-epoch* entries
+/// only. The old gauge counted every resident slot, so after a swap the
+/// stale v1 entries (which can never serve a hit, they await CLOCK
+/// eviction) were reported as live cache — here that would read 2 where
+/// the truth is 1.
+#[test]
+fn occupancy_gauge_excludes_stale_epoch_slots_across_a_swap() {
+    let occupancy = |server: &RiskServerHandle| -> i64 {
+        server
+            .snapshot()
+            .gauges
+            .get("cache.occupancy")
+            .copied()
+            .unwrap_or(-1)
+    };
+    let ask_honest_chrome100 = |addr: std::net::SocketAddr, tag: u8| {
+        let sub = Submission {
+            session_id: [tag; 16],
+            user_agent: UserAgent::new(Vendor::Chrome, 100).to_ua_string(),
+            values: vec![10, 10],
+        };
+        let frame = encode_submission(&sub).unwrap();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        stream
+            .write_all(&(frame.len() as u16).to_le_bytes())
+            .unwrap();
+        stream.write_all(&frame).unwrap();
+        let mut buf = [0u8; polygraph_service::proto::VERDICT_LEN];
+        stream.read_exact(&mut buf).unwrap();
+        Verdict::decode(&buf).unwrap()
+    };
+    for_each_backend(|config, backend| {
+        let server = cached_server(config);
+        let addr = server.local_addr();
+
+        // One key cached under v1 (a second session hits it): one live
+        // entry on the gauge.
+        ask(addr, 1);
+        ask(addr, 2);
+        assert_eq!(occupancy(&server), 1, "[{backend}] one v1 entry live");
+
+        // Swap to v2, then cache a *different* key. The v1 slot stays
+        // resident (stale, awaiting sweep) — only the v2 entry is live.
+        server.swap_detector(Detector::new(model_v2()));
+        ask_honest_chrome100(addr, 3);
+        assert_eq!(
+            occupancy(&server),
+            1,
+            "[{backend}] the stale v1 slot must not be gauged as occupancy"
+        );
+
+        // Re-asking the first key refreshes it at the new epoch: now two
+        // entries are genuinely live.
+        ask(addr, 4);
+        assert_eq!(
+            occupancy(&server),
+            2,
+            "[{backend}] refreshed entries count again"
+        );
+        let stats = server.stats();
+        assert_eq!(stats.cache_stale_epoch, 1, "[{backend}] v1 slot seen stale");
+        server.shutdown();
+    });
+}
+
 #[test]
 fn disabled_cache_reports_nothing_and_swap_is_unaffected() {
     for_each_backend(|config, backend| {

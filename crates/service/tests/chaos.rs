@@ -232,6 +232,79 @@ fn mid_verdict_reset_is_retried_on_a_fresh_connection() {
     server.join().unwrap();
 }
 
+/// The backoff-reset bugfix, pinned end-to-end: blip → success → blip.
+/// The failure streak must reset on the successful exchange, so the
+/// second blip's first-retry sleep is `backoff_base`-scaled again — not
+/// scaled by the streak the first blip started. The seeded jitter stream
+/// makes both sleeps exactly predictable, and `client.backoff_micros`
+/// records what was actually slept.
+#[test]
+fn backoff_streak_resets_after_a_successful_exchange() {
+    use rand::{RngCore, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = thread::spawn(move || {
+        // Connection 1: blip — read the request, close without answering.
+        let (mut c1, _) = listener.accept().unwrap();
+        let _ = read_request(&mut c1);
+        drop(c1);
+        // Connection 2: the retry succeeds (streak resets), then the
+        // next request on the same stream blips again.
+        let (mut c2, _) = listener.accept().unwrap();
+        let _ = read_request(&mut c2);
+        c2.write_all(&good_verdict().encode()).unwrap();
+        let _ = read_request(&mut c2);
+        drop(c2);
+        // Connection 3: the second retry succeeds.
+        let (mut c3, _) = listener.accept().unwrap();
+        let _ = read_request(&mut c3);
+        c3.write_all(&good_verdict().encode()).unwrap();
+    });
+
+    let mut client = RiskClient::connect_with_config(
+        addr,
+        Arc::new(Registry::monotonic()),
+        fast_retry_config(2, Duration::from_millis(500)),
+    )
+    .unwrap();
+    assert!(
+        !client
+            .assess_submission(&honest_submission(7))
+            .unwrap()
+            .flagged
+    );
+    assert!(
+        !client
+            .assess_submission(&honest_submission(8))
+            .unwrap()
+            .flagged
+    );
+
+    // Reproduce the client's seeded jitter stream: two draws, both over
+    // the *base* interval — first-retry sleeps both times.
+    let base_us = 5_000u64; // fast_retry_config's 5 ms backoff_base
+    let mut rng = ChaCha8Rng::seed_from_u64(CHAOS_SEED);
+    let mut draw = |full: u64| full / 2 + rng.next_u64() % (full - full / 2 + 1);
+    let expected = draw(base_us) + draw(base_us);
+
+    let snap = client.registry().snapshot();
+    let backoffs = snap.histograms.get(metric_names::BACKOFF_MICROS).unwrap();
+    assert_eq!(backoffs.count, 2, "one backoff sleep per blip");
+    assert_eq!(
+        backoffs.sum, expected,
+        "both sleeps must be backoff_base-scaled first-retry draws — the \
+         streak the first blip started must not survive the success \
+         (seed {CHAOS_SEED:#x})"
+    );
+    assert_eq!(counter(&client, metric_names::RETRIES), 2);
+    assert_eq!(counter(&client, metric_names::ERRORS), 0);
+    assert_eq!(round_trip_count(&client), 2);
+    drop(client);
+    server.join().unwrap();
+}
+
 /// A server that never answers: the client times out on every attempt,
 /// exhausts its retries, and reports an *accounted* error — the counter
 /// identity `round_trip.count + client.errors == client.requests` holds

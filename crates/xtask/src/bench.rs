@@ -33,6 +33,18 @@ pub struct BenchCheckConfig {
     /// Amdahl-diluted by the shared socket/framing/decode path and is
     /// guarded by the regression check instead.
     pub min_quant_assess_speedup: f64,
+    /// Per-step slack of the fleet scaling gate, in percent: leg `i+1`
+    /// may fall short of leg `i` by at most this much before the
+    /// "monotonic" claim is rejected. Absorbs runner jitter on the
+    /// individual steps while the overall floor below still demands
+    /// real scaling.
+    pub fleet_step_slack_pct: f64,
+    /// Minimum `fps(last leg) / fps(first leg)` of `BENCH_fleet.json` —
+    /// the fleet's aggregate-cache scaling claim. The committed run
+    /// records ~1.55x (1 → 4 nodes); the floor is deliberately lower so
+    /// the gate tests "adding nodes still pays", not one machine's
+    /// timings.
+    pub min_fleet_scaling: f64,
 }
 
 impl Default for BenchCheckConfig {
@@ -41,6 +53,8 @@ impl Default for BenchCheckConfig {
             max_regress_pct: 20.0,
             min_speedup: 1.5,
             min_quant_assess_speedup: 1.3,
+            fleet_step_slack_pct: 5.0,
+            min_fleet_scaling: 1.1,
         }
     }
 }
@@ -190,6 +204,118 @@ pub fn check_documents(
         pass: fps_ok && speedup_ok && identical && reactor_ok && quant_ok,
         text,
     })
+}
+
+/// Runs the fleet gate over an already-loaded `BENCH_fleet.json`
+/// document. Unlike [`check_documents`] there is no baseline: every
+/// check is an absolute claim the bench makes about itself — merged
+/// verdict streams identical at every node count, aggregate frames/sec
+/// scaling monotonically with node count (per-step slack, overall
+/// floor), and the mid-rollout node-kill leg keeping every node's books
+/// balanced with zero garbage verdicts and zero fleet-wide failures.
+pub fn check_fleet_document(
+    current: &Value,
+    config: BenchCheckConfig,
+) -> Result<BenchCheckReport, String> {
+    let schema = current
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("fleet bench json has no schema tag")?;
+    if schema != "polygraph.bench_fleet.v1" {
+        return Err(format!("unsupported fleet bench schema {schema:?}"));
+    }
+
+    let identical = current
+        .get("verdicts_identical")
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+    let legs: Vec<(u64, f64)> = current
+        .get("legs")
+        .and_then(Value::as_array)
+        .ok_or("fleet bench json has no legs array")?
+        .iter()
+        .map(|leg| {
+            let nodes = leg
+                .get("nodes")
+                .and_then(Value::as_u64)
+                .ok_or("fleet leg has no node count")?;
+            let fps = leg
+                .get("frames_per_sec")
+                .and_then(Value::as_f64)
+                .ok_or("fleet leg has no frames_per_sec")?;
+            Ok((nodes, fps))
+        })
+        .collect::<Result<_, String>>()?;
+    if legs.len() < 2 {
+        return Err("fleet bench json needs at least two scaling legs".to_string());
+    }
+
+    let mut text = String::new();
+    text.push_str(&format!(
+        "bench-check: fleet verdicts_identical .. {}\n",
+        if identical { "ok" } else { "FAILED" },
+    ));
+
+    let slack = 1.0 - config.fleet_step_slack_pct / 100.0;
+    let mut steps_ok = true;
+    for pair in legs.windows(2) {
+        let ((n_a, fps_a), (n_b, fps_b)) = (pair[0], pair[1]);
+        let ok = fps_b >= fps_a * slack;
+        steps_ok &= ok;
+        text.push_str(&format!(
+            "bench-check: fleet {n_a}->{n_b} nodes {:.0} -> {:.0} frames/s \
+             (slack -{:.1}%) .. {}\n",
+            fps_a,
+            fps_b,
+            config.fleet_step_slack_pct,
+            if ok { "ok" } else { "NOT MONOTONIC" },
+        ));
+    }
+    let first = legs[0].1.max(1e-9);
+    let scaling = legs[legs.len() - 1].1 / first;
+    let scaling_ok = scaling >= config.min_fleet_scaling;
+    text.push_str(&format!(
+        "bench-check: fleet scaling {}->{} nodes {:.2}x (floor {:.2}x) .. {}\n",
+        legs[0].0,
+        legs[legs.len() - 1].0,
+        scaling,
+        config.min_fleet_scaling,
+        if scaling_ok { "ok" } else { "BELOW FLOOR" },
+    ));
+
+    let chaos = current
+        .get("chaos")
+        .ok_or("fleet bench json has no chaos section")?;
+    let chaos_flag = |name: &str| chaos.get(name).and_then(Value::as_bool).unwrap_or(false);
+    let books = chaos_flag("books_balanced");
+    let chaos_verdicts = chaos_flag("verdicts_match");
+    let exhausted = chaos
+        .get("exhausted")
+        .and_then(Value::as_u64)
+        .unwrap_or(u64::MAX);
+    let chaos_ok = books && chaos_verdicts && exhausted == 0;
+    text.push_str(&format!(
+        "bench-check: fleet chaos books_balanced {books}, verdicts_match {chaos_verdicts}, \
+         exhausted {exhausted} .. {}\n",
+        if chaos_ok { "ok" } else { "FAILED" },
+    ));
+
+    Ok(BenchCheckReport {
+        pass: identical && steps_ok && scaling_ok && chaos_ok,
+        text,
+    })
+}
+
+/// File-path front end of [`check_fleet_document`].
+pub fn check_fleet_file(
+    current: &Path,
+    config: BenchCheckConfig,
+) -> Result<BenchCheckReport, String> {
+    let text = std::fs::read_to_string(current)
+        .map_err(|e| format!("cannot read {}: {e}", current.display()))?;
+    let doc = serde_json::parse_value(&text)
+        .map_err(|e| format!("cannot parse {}: {e}", current.display()))?;
+    check_fleet_document(&doc, config)
 }
 
 fn fps(doc: &Value, which: &str) -> Result<f64, String> {
@@ -406,6 +532,116 @@ mod tests {
         }
         let err = check_documents(&bad, &doc(1.0, 1.0, true), BenchCheckConfig::default());
         assert!(err.is_err());
+    }
+
+    fn fleet_doc(
+        fps: &[f64],
+        identical: bool,
+        books: bool,
+        matches: bool,
+        exhausted: u64,
+    ) -> Value {
+        let legs: Vec<String> = fps
+            .iter()
+            .zip([1u64, 2, 4])
+            .map(|(f, n)| format!(r#"{{"nodes": {n}, "frames_per_sec": {f}}}"#))
+            .collect();
+        serde_json::parse_value(&format!(
+            r#"{{
+                "schema": "polygraph.bench_fleet.v1",
+                "verdicts_identical": {identical},
+                "legs": [{}],
+                "chaos": {{
+                    "books_balanced": {books},
+                    "verdicts_match": {matches},
+                    "exhausted": {exhausted}
+                }}
+            }}"#,
+            legs.join(",")
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn fleet_monotonic_scaling_passes() {
+        let report = check_fleet_document(
+            &fleet_doc(&[500.0, 650.0, 800.0], true, true, true, 0),
+            BenchCheckConfig::default(),
+        )
+        .unwrap();
+        assert!(report.pass, "{}", report.text);
+        assert!(report.text.contains("fleet scaling 1->4 nodes 1.60x"));
+    }
+
+    #[test]
+    fn fleet_step_slack_absorbs_small_dips_only() {
+        // A 3% dip on one step rides inside the 5% slack as long as the
+        // overall floor holds…
+        let report = check_fleet_document(
+            &fleet_doc(&[500.0, 485.0, 800.0], true, true, true, 0),
+            BenchCheckConfig::default(),
+        )
+        .unwrap();
+        assert!(report.pass, "{}", report.text);
+        // …but a real step regression is rejected.
+        let report = check_fleet_document(
+            &fleet_doc(&[500.0, 400.0, 800.0], true, true, true, 0),
+            BenchCheckConfig::default(),
+        )
+        .unwrap();
+        assert!(!report.pass);
+        assert!(report.text.contains("NOT MONOTONIC"), "{}", report.text);
+    }
+
+    #[test]
+    fn fleet_scaling_below_floor_fails() {
+        let report = check_fleet_document(
+            &fleet_doc(&[500.0, 505.0, 510.0], true, true, true, 0),
+            BenchCheckConfig::default(),
+        )
+        .unwrap();
+        assert!(!report.pass);
+        assert!(report.text.contains("BELOW FLOOR"), "{}", report.text);
+    }
+
+    #[test]
+    fn fleet_divergent_verdicts_or_broken_chaos_fail() {
+        let config = BenchCheckConfig::default();
+        let divergent = fleet_doc(&[500.0, 650.0, 800.0], false, true, true, 0);
+        assert!(!check_fleet_document(&divergent, config).unwrap().pass);
+        let unbalanced = fleet_doc(&[500.0, 650.0, 800.0], true, false, true, 0);
+        assert!(!check_fleet_document(&unbalanced, config).unwrap().pass);
+        let garbage = fleet_doc(&[500.0, 650.0, 800.0], true, true, false, 0);
+        assert!(!check_fleet_document(&garbage, config).unwrap().pass);
+        let starved = fleet_doc(&[500.0, 650.0, 800.0], true, true, true, 3);
+        let report = check_fleet_document(&starved, config).unwrap();
+        assert!(!report.pass);
+        assert!(report.text.contains("exhausted 3"), "{}", report.text);
+    }
+
+    #[test]
+    fn fleet_wrong_schema_is_an_error() {
+        let mut bad = fleet_doc(&[1.0, 2.0, 3.0], true, true, true, 0);
+        if let Value::Object(map) = &mut bad {
+            map.insert(
+                "schema".to_string(),
+                Value::String("polygraph.bench_serving.v1".to_string()),
+            );
+        }
+        assert!(check_fleet_document(&bad, BenchCheckConfig::default()).is_err());
+    }
+
+    #[test]
+    fn committed_fleet_artifact_gates_itself() {
+        // The repo's committed fleet artifact must always pass its gate.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let artifact = root.join("results/BENCH_fleet.json");
+        let report =
+            check_fleet_file(&artifact, BenchCheckConfig::default()).expect("parse fleet artifact");
+        assert!(report.pass, "{}", report.text);
     }
 
     #[test]

@@ -147,7 +147,12 @@ fn is_library_file(rel: &str) -> bool {
 /// `cargo xtask lint --self-check` so the two cannot drift.
 pub fn fixture_lint_config() -> LintConfig {
     LintConfig {
-        determinism_zone: vec!["det_".into(), "reactor_".into(), "quant_".into()],
+        determinism_zone: vec![
+            "det_".into(),
+            "reactor_".into(),
+            "quant_".into(),
+            "fleet_".into(),
+        ],
         key_determinism_zone: vec!["keys_".into()],
         panic_zone: vec!["panic_".into(), "reactor_".into()],
         concurrency_zone: vec![
@@ -155,6 +160,7 @@ pub fn fixture_lint_config() -> LintConfig {
             "guard_scope_".into(),
             "atomic_".into(),
             "quant_".into(),
+            "fleet_".into(),
         ],
         exclude: Vec::new(),
         ..LintConfig::default()

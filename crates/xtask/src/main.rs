@@ -9,11 +9,16 @@
 //!   usage or I/O errors. `--self-check` instead lints the linter's own
 //!   fixture corpus and verifies every rule still fires where expected.
 //! * `bench-check [--current PATH] [--baseline PATH]
-//!   [--max-regress-pct N] [--min-speedup X] [--root PATH]` — the
+//!   [--max-regress-pct N] [--min-speedup X] [--fleet PATH]
+//!   [--fleet-only] [--min-fleet-scaling X] [--root PATH]` — the
 //!   performance gate: compare `results/BENCH_serving.json` (freshly
 //!   emitted by `bench_serving --smoke`) against the committed
-//!   `results/bench_baseline.json`. Exit 0 when within thresholds, 1 on
-//!   a regression, 2 on usage or I/O errors.
+//!   `results/bench_baseline.json`. When `results/BENCH_fleet.json`
+//!   exists (or `--fleet` names one), the fleet gate runs too: merged
+//!   verdict identity, monotonic node-count scaling, and the chaos
+//!   leg's invariants. `--fleet-only` skips the serving comparison —
+//!   the CI fleet job emits only the fleet artifact. Exit 0 when within
+//!   thresholds, 1 on a regression, 2 on usage or I/O errors.
 //!
 //! This is a binary target, so the console belongs to it (POLY-H002
 //! exempts `main.rs`); everything else lives in the `xtask` library so
@@ -44,12 +49,15 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage: cargo xtask lint [--format text|json|sarif] [--root PATH] \
                      [--config PATH] [--self-check]\n       \
                      cargo xtask bench-check [--current PATH] [--baseline PATH] \
-                     [--max-regress-pct N] [--min-speedup X] [--root PATH]";
+                     [--max-regress-pct N] [--min-speedup X] [--fleet PATH] [--fleet-only] \
+                     [--min-fleet-scaling X] [--root PATH]";
 
 fn bench_check_command(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut current: Option<PathBuf> = None;
     let mut baseline: Option<PathBuf> = None;
+    let mut fleet: Option<PathBuf> = None;
+    let mut fleet_only = false;
     let mut config = BenchCheckConfig::default();
     let mut i = 0;
     while i < args.len() {
@@ -87,6 +95,24 @@ fn bench_check_command(args: &[String]) -> ExitCode {
                 }
                 i += 2;
             }
+            Some("--fleet") if take_value(i).is_some() => {
+                fleet = args.get(i + 1).map(PathBuf::from);
+                i += 2;
+            }
+            Some("--fleet-only") => {
+                fleet_only = true;
+                i += 1;
+            }
+            Some("--min-fleet-scaling") if take_value(i).is_some() => {
+                match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    Some(v) => config.min_fleet_scaling = v,
+                    None => {
+                        let _ = writeln!(std::io::stderr(), "invalid --min-fleet-scaling\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
             Some(other) => {
                 let _ = writeln!(std::io::stderr(), "unknown argument {other:?}\n{USAGE}");
                 return ExitCode::from(2);
@@ -104,20 +130,40 @@ fn bench_check_command(args: &[String]) -> ExitCode {
     };
     let current = current.unwrap_or_else(|| root.join("results/BENCH_serving.json"));
     let baseline = baseline.unwrap_or_else(|| root.join("results/bench_baseline.json"));
+    let fleet_path = fleet.unwrap_or_else(|| root.join("results/BENCH_fleet.json"));
 
-    match xtask::bench::check_files(&current, &baseline, config) {
-        Ok(report) => {
-            let _ = write!(std::io::stdout(), "{}", report.text);
-            if report.pass {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::from(1)
+    let mut pass = true;
+    if !fleet_only {
+        match xtask::bench::check_files(&current, &baseline, config) {
+            Ok(report) => {
+                let _ = write!(std::io::stdout(), "{}", report.text);
+                pass &= report.pass;
+            }
+            Err(e) => {
+                let _ = writeln!(std::io::stderr(), "error: {e}");
+                return ExitCode::from(2);
             }
         }
-        Err(e) => {
-            let _ = writeln!(std::io::stderr(), "error: {e}");
-            ExitCode::from(2)
+    }
+    // The fleet gate runs whenever its artifact is around (and always
+    // under --fleet-only, where a missing artifact is an error, not a
+    // silent pass).
+    if fleet_only || fleet_path.exists() {
+        match xtask::bench::check_fleet_file(&fleet_path, config) {
+            Ok(report) => {
+                let _ = write!(std::io::stdout(), "{}", report.text);
+                pass &= report.pass;
+            }
+            Err(e) => {
+                let _ = writeln!(std::io::stderr(), "error: {e}");
+                return ExitCode::from(2);
+            }
         }
+    }
+    if pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
     }
 }
 

@@ -1,0 +1,25 @@
+//! Good twin of `fleet_bad.rs`: the same router, but ring placement
+//! uses an ordered map keyed by stable node tags, time comes from an
+//! injected clock, the socket write happens only after the ring guard
+//! is dropped, and the version publish uses SeqCst.
+use std::collections::BTreeMap;
+
+pub fn build_ring(nodes: usize, clock: &dyn Clock) -> BTreeMap<u64, usize> {
+    let started = clock.now();
+    let mut ring = BTreeMap::new();
+    ring.insert(started, nodes);
+    ring
+}
+
+pub fn failover_write(ring: &RwLock<Ring>, stream: &mut TcpStream, frame: &[u8]) {
+    let target = {
+        let guard = ring.read();
+        guard.route(0)
+    };
+    stream.write_all(frame);
+    let _ = target;
+}
+
+pub fn publish_node_version(version: &AtomicU64) {
+    version.store(2, Ordering::SeqCst);
+}

@@ -21,10 +21,10 @@ fn fixture_config() -> LintConfig {
 exclude = []
 
 [zones]
-determinism = ["det_", "reactor_", "quant_"]
+determinism = ["det_", "reactor_", "quant_", "fleet_"]
 key_determinism = ["keys_"]
 panic_safety = ["panic_", "reactor_"]
-concurrency = ["lock_order_", "guard_scope_", "atomic_", "quant_"]
+concurrency = ["lock_order_", "guard_scope_", "atomic_", "quant_", "fleet_"]
 "#,
         )
         .expect("fixture config parses");
@@ -54,6 +54,12 @@ fn bad_fixtures_fire_every_rule_at_the_expected_lines() {
         ("det_bad.rs", "POLY-D002", 10),         // thread_rng()
         ("det_bad.rs", "POLY-D002", 11),         // from_entropy
         ("det_bad.rs", "POLY-D003", 11),         // StdRng
+        ("fleet_bad.rs", "POLY-D001", 5),        // use HashMap in the router
+        ("fleet_bad.rs", "POLY-D001", 7),        // HashMap ring type
+        ("fleet_bad.rs", "POLY-D002", 8),        // Instant::now() on the routing path
+        ("fleet_bad.rs", "POLY-D001", 9),        // HashMap::new()
+        ("fleet_bad.rs", "POLY-L002", 16),       // write_all under ring.read()
+        ("fleet_bad.rs", "POLY-L003", 21),       // version.store(…, Relaxed)
         ("guard_scope_bad.rs", "POLY-L002", 6),  // write_all under state.read()
         ("guard_scope_bad.rs", "POLY-L002", 12), // pool.run under state.read()
         ("guard_scope_bad.rs", "POLY-L002", 17), // assess under slot.read()
@@ -96,6 +102,7 @@ fn good_fixtures_are_clean() {
     for clean in [
         "atomic_good.rs",
         "det_good.rs",
+        "fleet_good.rs",
         "guard_scope_good.rs",
         "keys_good.rs",
         "lock_order_good.rs",
@@ -244,7 +251,7 @@ fn dogfooding_allows_are_load_bearing() {
     let root = workspace_root();
     let full = workspace_config();
     let cases: &[(&str, &str, &[u32])] = &[
-        ("POLY-L002", "crates/service/src/server.rs", &[935, 1280]),
+        ("POLY-L002", "crates/service/src/server.rs", &[965, 1310]),
         ("POLY-L003", "crates/cache/src/lib.rs", &[105, 114, 156]),
         ("POLY-L003", "crates/ml/src/pool.rs", &[37, 101]),
     ];
