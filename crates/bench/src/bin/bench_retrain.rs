@@ -1,0 +1,376 @@
+//! `bench_retrain`: cost and fidelity of the streaming retrain pipeline —
+//! the `BENCH_retrain.json` artifact the CI retrain gate consumes.
+//!
+//! Methodology:
+//!
+//! 1. Train the paper model on one seeded traffic window (the serving
+//!    model), then generate a second, same-distribution window — the
+//!    retrain window a [`polygraph_core::DriftStream`] reservoir would
+//!    hand the orchestrator at a checkpoint.
+//! 2. Timing leg: fit a model on the retrain window from scratch
+//!    (`TrainedModel::fit` — scaler, isolation forest, PCA, k-means
+//!    restarts) and via the warm-started streaming path
+//!    (`refit_streaming` — reuse scaler/PCA, mini-batch k-means from the
+//!    serving centroids). Best of `reps` runs each. The gate asserts the
+//!    mini-batch checkpoint costs ≤ 0.5× the full refit
+//!    (`refit_speedup ≥ 2`).
+//! 3. Shadow leg: replay a seeded frame pool through a live risk server
+//!    three times — serving model alone (baseline stream + throughput),
+//!    with the candidate attached as a shadow scorer (shadow-path
+//!    throughput and the `compared`/`diverged` agreement counters), and
+//!    after a checkpoint promotes the candidate (the promoted verdict
+//!    stream). The gate asserts the live agreement rate stays above the
+//!    configured floor.
+//! 4. Fidelity leg: recompute the candidate from scratch with a second,
+//!    independent `refit_streaming` call on the same window, serve it
+//!    from a fresh server, and replay the same pool. Its verdict stream
+//!    must be byte-identical to the promoted shadow's — promotion through
+//!    the shadow path must be invisible in the verdicts.
+//!
+//! `--smoke` selects the small deterministic configuration CI runs.
+
+use polygraph_bench::{train_paper_model, ExpOptions};
+use polygraph_core::{Detector, TrainConfig, TrainedModel, TrainingSet};
+use polygraph_ml::ThreadPool;
+use polygraph_service::proto::VERDICT_LEN;
+use polygraph_service::{
+    start_risk_server_with, ModelRegistry, Orchestrator, OrchestratorConfig, RetrainOutcome,
+    RiskServerConfig, RiskServerHandle, ShadowConfig, SwapPolicy, MAX_BATCH_PER_GUARD,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+use traffic::TrafficConfig;
+
+#[derive(Debug, Clone)]
+struct Options {
+    seed: u64,
+    /// Sessions in the serving model's training window.
+    sessions: usize,
+    /// Sessions in the retrain window (the reservoir the checkpoint
+    /// hands the orchestrator).
+    window: usize,
+    /// Warm-start epochs for the streaming refit.
+    epochs: usize,
+    /// Timing repetitions per fit path (best-of).
+    reps: usize,
+    /// Frames in each serve-path replay.
+    frames: usize,
+    out: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            seed: TrafficConfig::paper_training().seed,
+            sessions: 20_000,
+            window: 8_000,
+            epochs: 4,
+            reps: 3,
+            frames: 20_000,
+            out: Some("results/BENCH_retrain.json".to_string()),
+        }
+    }
+}
+
+/// The CI smoke configuration: the same serving/window/replay structure,
+/// smaller everywhere. The speedup claim survives shrinking because both
+/// fit paths shrink with the window.
+fn smoke_options() -> Options {
+    Options {
+        sessions: 5_000,
+        window: 2_500,
+        reps: 1,
+        frames: 8_000,
+        ..Options::default()
+    }
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("bench_retrain: {msg}");
+    eprintln!(
+        "usage: bench_retrain [--smoke] [--seed S] [--sessions N] [--window N] [--epochs N] \
+         [--reps N] [--frames N] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options() -> Options {
+    let args: Vec<String> = std::env::args().collect();
+    let mut opts = if args.iter().any(|a| a == "--smoke") {
+        smoke_options()
+    } else {
+        Options::default()
+    };
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--smoke" {
+            i += 1;
+            continue;
+        }
+        let Some(value) = args.get(i + 1) else {
+            usage_error(&format!("{flag} needs a value"));
+        };
+        match flag {
+            "--seed" => opts.seed = parse(flag, value),
+            "--sessions" => opts.sessions = parse(flag, value),
+            "--window" => opts.window = parse(flag, value),
+            "--epochs" => opts.epochs = parse(flag, value),
+            "--reps" => opts.reps = parse(flag, value),
+            "--frames" => opts.frames = parse(flag, value),
+            "--out" => opts.out = Some(value.clone()),
+            other => usage_error(&format!("unknown argument {other:?}")),
+        }
+        i += 2;
+    }
+    if opts.window == 0 || opts.frames == 0 || opts.reps == 0 {
+        usage_error("--window, --frames and --reps must be positive");
+    }
+    opts
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: &str) -> T {
+    value
+        .parse()
+        .unwrap_or_else(|_| usage_error(&format!("invalid {flag} value {value:?}")))
+}
+
+/// Generates a same-distribution traffic window as a [`TrainingSet`].
+fn generate_window(sessions: usize, seed: u64) -> TrainingSet {
+    let feature_set = fingerprint::FeatureSet::table8();
+    let config = TrafficConfig::paper_training()
+        .with_sessions(sessions)
+        .with_seed(seed);
+    let data = traffic::generate(&feature_set, &config);
+    let (rows, uas) = data.rows_and_user_agents();
+    TrainingSet::from_rows(rows, uas).expect("generated window is well-formed")
+}
+
+/// Best-of-`reps` wall time of `f`, in seconds, plus the last product.
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let value = f();
+        best = best.min(started.elapsed().as_secs_f64());
+        out = Some(value);
+    }
+    (best, out.expect("reps is positive"))
+}
+
+/// Windows kept in flight per replay — under the server's shed limit so
+/// shedding can never perturb the verdict streams the fidelity leg
+/// compares.
+const PIPELINE_DEPTH: usize = 4;
+
+/// Replays the pool once through one server in pipelined
+/// [`MAX_BATCH_PER_GUARD`]-frame windows; returns the concatenated
+/// verdict bytes (pool order) and the frames/sec of the pass.
+fn replay(server: &RiskServerHandle, pool: &[Vec<u8>], sequence: &[usize]) -> (Vec<u8>, f64) {
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect to risk server");
+    stream.set_nodelay(true).expect("set nodelay");
+    let windows: Vec<&[usize]> = sequence.chunks(MAX_BATCH_PER_GUARD).collect();
+    let mut verdicts = vec![0u8; sequence.len() * VERDICT_LEN];
+    let mut wire = Vec::new();
+    let mut write_window = |stream: &mut TcpStream, window: &[usize]| {
+        wire.clear();
+        for &idx in window {
+            let frame = &pool[idx];
+            wire.extend_from_slice(&(frame.len() as u16).to_le_bytes());
+            wire.extend_from_slice(frame);
+        }
+        stream.write_all(&wire).expect("write window");
+    };
+    let started = Instant::now();
+    for window in windows.iter().take(PIPELINE_DEPTH) {
+        write_window(&mut stream, window);
+    }
+    let mut offset = 0;
+    for (r, window) in windows.iter().enumerate() {
+        let bytes = window.len() * VERDICT_LEN;
+        stream
+            .read_exact(&mut verdicts[offset..offset + bytes])
+            .expect("read window verdicts");
+        offset += bytes;
+        if let Some(next) = windows.get(r + PIPELINE_DEPTH) {
+            write_window(&mut stream, next);
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    (verdicts, sequence.len() as f64 / elapsed.max(1e-9))
+}
+
+fn main() {
+    let opts = parse_options();
+    println!(
+        "bench_retrain: seed {:#x}, {} training sessions, {} window sessions, {} epochs, \
+         best of {}, {} replay frames",
+        opts.seed, opts.sessions, opts.window, opts.epochs, opts.reps, opts.frames
+    );
+
+    let (serving, _data) = train_paper_model(ExpOptions {
+        sessions: opts.sessions,
+        seed: opts.seed,
+    });
+    let window = generate_window(opts.window, opts.seed.wrapping_add(1));
+
+    // Timing leg: the same retrain window through both fit paths.
+    let (full_secs, _full) = time_best(opts.reps, || {
+        TrainedModel::fit(
+            fingerprint::FeatureSet::table8(),
+            &window,
+            TrainConfig::default(),
+        )
+        .expect("full fit on the retrain window")
+    });
+    let (refit_secs, candidate) = time_best(opts.reps, || {
+        serving
+            .refit_streaming(&window, opts.epochs, &ThreadPool::serial())
+            .expect("streaming refit on the retrain window")
+    });
+    let refit_speedup = full_secs / refit_secs.max(1e-9);
+    println!(
+        "  full fit {:>8.3}s   streaming refit {:>8.3}s   speedup {:.1}x",
+        full_secs, refit_secs, refit_speedup
+    );
+
+    // The replay pool: same-distribution live traffic, a third seed.
+    let traffic_config = TrafficConfig::paper_training()
+        .with_sessions(opts.frames)
+        .with_seed(opts.seed.wrapping_add(2));
+    let replay_traffic = traffic::generate(&fingerprint::FeatureSet::table8(), &traffic_config);
+    let pool: Vec<Vec<u8>> = replay_traffic
+        .sessions
+        .iter()
+        .map(|s| {
+            let sub = fingerprint::Submission {
+                session_id: s.session_id,
+                user_agent: s.claimed.to_ua_string(),
+                values: s.values.clone(),
+            };
+            fingerprint::encode_submission(&sub)
+                .expect("generated submission encodes")
+                .to_vec()
+        })
+        .collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed ^ 0x5EED);
+    let sequence: Vec<usize> = (0..opts.frames)
+        .map(|_| rng.gen_range(0..pool.len()))
+        .collect();
+
+    // Shadow leg: no verdict cache, so every replay frame is assessed —
+    // and, while the shadow is attached, double-scored.
+    let server = start_risk_server_with(
+        "127.0.0.1:0",
+        Detector::new(serving.clone()),
+        RiskServerConfig::default(),
+    )
+    .expect("start risk server");
+    let registry_dir =
+        std::env::temp_dir().join(format!("polygraph-bench-retrain-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&registry_dir);
+    let mut orch = Orchestrator::new(
+        &server,
+        ModelRegistry::open(&registry_dir).expect("open bench registry"),
+        OrchestratorConfig {
+            train: TrainConfig::default(),
+            refit_epochs: opts.epochs,
+            swap: SwapPolicy::PublishAndSwap,
+            shadow: Some(ShadowConfig {
+                max_divergence: 1.0, // the bench *measures* agreement; the gate judges it
+                required_checkpoints: 1,
+                min_compared: 1,
+            }),
+            ..Default::default()
+        },
+    );
+
+    let (baseline_verdicts, baseline_fps) = replay(&server, &pool, &sequence);
+    orch.adopt_shadow(candidate);
+    let (shadow_verdicts, shadow_fps) = replay(&server, &pool, &sequence);
+    assert_eq!(
+        shadow_verdicts, baseline_verdicts,
+        "attaching a shadow changed the live verdict stream"
+    );
+    let (compared, diverged) = server.shadow_counts().expect("shadow attached");
+    let agreement = if compared > 0 {
+        1.0 - diverged as f64 / compared as f64
+    } else {
+        0.0
+    };
+    println!(
+        "  serve path: {:>9.0} frames/s alone, {:>9.0} frames/s shadowing \
+         ({} compared, {} diverged, agreement {:.4})",
+        baseline_fps, shadow_fps, compared, diverged, agreement
+    );
+
+    let outcome = orch
+        .checkpoint(&window, &[])
+        .expect("promotion checkpoint succeeds");
+    let promoted_version = match outcome {
+        RetrainOutcome::ShadowPromoted { version, .. } => version,
+        other => panic!("expected a promotion, got {other:?}"),
+    };
+    let (promoted_verdicts, _) = replay(&server, &pool, &sequence);
+    server.shutdown();
+
+    // Fidelity leg: an independent from-scratch streaming refit on the
+    // same window must serve the exact bytes the promoted shadow serves.
+    let rerun = serving
+        .refit_streaming(&window, opts.epochs, &ThreadPool::serial())
+        .expect("from-scratch streaming refit");
+    let control = start_risk_server_with(
+        "127.0.0.1:0",
+        Detector::new(rerun),
+        RiskServerConfig::default(),
+    )
+    .expect("start control server");
+    let (control_verdicts, _) = replay(&control, &pool, &sequence);
+    control.shutdown();
+    let _ = std::fs::remove_dir_all(&registry_dir);
+    let verdicts_identical = promoted_verdicts == control_verdicts;
+    println!(
+        "  promoted version {}: verdict stream identical to from-scratch refit: {}",
+        promoted_version, verdicts_identical
+    );
+    assert!(
+        verdicts_identical,
+        "promoted shadow and from-scratch refit verdict streams diverged"
+    );
+
+    let json = serde_json::json!({
+        "schema": "polygraph.bench_retrain.v1",
+        "seed": opts.seed,
+        "training_sessions": opts.sessions as u64,
+        "window_sessions": opts.window as u64,
+        "refit_epochs": opts.epochs as u64,
+        "reps": opts.reps as u64,
+        "full_fit_secs": full_secs,
+        "refit_secs": refit_secs,
+        "refit_speedup": refit_speedup,
+        "shadow": {
+            "frames": opts.frames as u64,
+            "baseline_frames_per_sec": baseline_fps,
+            "shadow_frames_per_sec": shadow_fps,
+            "compared": compared,
+            "diverged": diverged,
+            "agreement": agreement,
+            "promoted_version": promoted_version,
+        },
+        "verdicts_identical": verdicts_identical,
+    });
+    let rendered = serde_json::to_string_pretty(&json).expect("render bench json");
+    if let Some(path) = &opts.out {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+        std::fs::write(path, rendered + "\n").expect("write bench json");
+        println!("  wrote {path}");
+    } else {
+        println!("{rendered}");
+    }
+}

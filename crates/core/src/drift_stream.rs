@@ -7,8 +7,18 @@
 //! same checkpoint question — predominant cluster and accuracy per new
 //! release — from O(releases × clusters) state instead of O(sessions).
 
+//!
+//! [`DriftStream`] couples the accumulator with a seeded
+//! [`ReservoirWindow`] so the very same ingest path that measures drift
+//! also maintains the next retrain window. Checkpoints answer from the
+//! counters alone — the resident window is only copied out when a
+//! retrain actually triggers, which the no-allocation-on-stable
+//! regression test pins.
+
+use crate::dataset::TrainingSet;
 use crate::drift::{DriftDecision, DriftObservation};
 use crate::error::PolygraphError;
+use crate::sampling::ReservoirWindow;
 use crate::train::TrainedModel;
 use browser_engine::UserAgent;
 use serde::{Deserialize, Serialize};
@@ -128,6 +138,83 @@ impl DriftAccumulator {
     }
 }
 
+/// Drift counters plus the live training window, fed from one stream.
+///
+/// The serving loop calls [`DriftStream::ingest`] per session: the
+/// accumulator counts the session's (release, cluster) pair and the
+/// reservoir decides whether it joins the retrain window. Checkpoints
+/// ([`DriftStream::checkpoint`]) read only the counters — the window is
+/// neither cloned nor materialised on the stable path; a triggered
+/// retrain copies it out once via [`DriftStream::training_window`].
+#[derive(Debug, Clone)]
+pub struct DriftStream {
+    accumulator: DriftAccumulator,
+    window: ReservoirWindow,
+}
+
+impl DriftStream {
+    /// An empty stream whose reservoir holds at most `capacity` sessions
+    /// of `width` features each.
+    pub fn new(capacity: usize, width: usize, seed: u64) -> Result<Self, PolygraphError> {
+        Ok(Self {
+            accumulator: DriftAccumulator::new(),
+            window: ReservoirWindow::new(capacity, width, seed)?,
+        })
+    }
+
+    /// Ingests one session: counts it for drift measurement and offers
+    /// it to the reservoir window.
+    pub fn ingest(
+        &mut self,
+        model: &TrainedModel,
+        values: &[f64],
+        claimed: UserAgent,
+    ) -> Result<(), PolygraphError> {
+        self.accumulator.ingest(model, values, claimed)?;
+        self.window.offer(values.to_vec(), claimed)
+    }
+
+    /// Total sessions ingested since the last reset.
+    pub fn ingested(&self) -> usize {
+        self.accumulator.ingested()
+    }
+
+    /// The checkpoint decision, answered from the accumulated counters
+    /// alone — the resident window is borrowed by nobody and copied by
+    /// nothing on this path.
+    pub fn checkpoint(
+        &self,
+        model: &TrainedModel,
+        releases: &[UserAgent],
+    ) -> Result<(Vec<DriftObservation>, DriftDecision), PolygraphError> {
+        self.accumulator.checkpoint(model, releases)
+    }
+
+    /// The drift counters.
+    pub fn accumulator(&self) -> &DriftAccumulator {
+        &self.accumulator
+    }
+
+    /// The resident reservoir window (borrowed).
+    pub fn window(&self) -> &ReservoirWindow {
+        &self.window
+    }
+
+    /// Copies the resident window out as a retrain [`TrainingSet`] —
+    /// called only when a checkpoint actually triggered.
+    pub fn training_window(&self) -> Result<TrainingSet, PolygraphError> {
+        self.window.to_training_set()
+    }
+
+    /// Clears the drift counters after a promotion so the next window is
+    /// measured against the new model only. The reservoir keeps its
+    /// residents: the sample stays representative of the recent stream,
+    /// which is exactly what the *next* candidate should train on.
+    pub fn reset_counters(&mut self) {
+        self.accumulator.reset();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +301,82 @@ mod tests {
             matches!(decision, DriftDecision::Retrain { .. }),
             "era flip must trigger"
         );
+    }
+
+    #[test]
+    fn drift_stream_matches_plain_accumulator() {
+        let model = toy_model();
+        let mut stream = DriftStream::new(64, 2, 0xD1F7).unwrap();
+        let mut acc = DriftAccumulator::new();
+        for i in 0..50 {
+            let row = vec![10.0 + (i % 2) as f64 * 0.1, 10.0];
+            stream
+                .ingest(&model, &row, ua(Vendor::Chrome, 111))
+                .unwrap();
+            acc.ingest(&model, &row, ua(Vendor::Chrome, 111)).unwrap();
+        }
+        assert_eq!(stream.ingested(), 50);
+        let (obs, decision) = stream
+            .checkpoint(&model, &[ua(Vendor::Chrome, 111)])
+            .unwrap();
+        let (plain_obs, plain_decision) =
+            acc.checkpoint(&model, &[ua(Vendor::Chrome, 111)]).unwrap();
+        assert_eq!(obs, plain_obs);
+        assert_eq!(
+            matches!(decision, DriftDecision::Stable),
+            matches!(plain_decision, DriftDecision::Stable)
+        );
+    }
+
+    #[test]
+    fn stable_checkpoints_never_materialize_the_window() {
+        // The satellite-3 regression: checkpoints on a stable stream
+        // must answer from the counters alone — zero window copies.
+        let model = toy_model();
+        let mut stream = DriftStream::new(32, 2, 0xD1F7).unwrap();
+        for checkpoint in 0..10 {
+            for i in 0..20 {
+                stream
+                    .ingest(
+                        &model,
+                        &[10.0 + (i % 2) as f64 * 0.1, 10.0],
+                        ua(Vendor::Chrome, 111),
+                    )
+                    .unwrap();
+            }
+            let (_, decision) = stream
+                .checkpoint(&model, &[ua(Vendor::Chrome, 111)])
+                .unwrap();
+            assert!(
+                matches!(decision, DriftDecision::Stable),
+                "checkpoint {checkpoint} unexpectedly drifted"
+            );
+        }
+        assert_eq!(
+            stream.window().materializations(),
+            0,
+            "a stable checkpoint copied the window"
+        );
+        // The drift path pays exactly one copy per retrain.
+        let set = stream.training_window().unwrap();
+        assert_eq!(set.len(), 32);
+        assert_eq!(stream.window().materializations(), 1);
+    }
+
+    #[test]
+    fn reset_counters_keeps_the_reservoir() {
+        let model = toy_model();
+        let mut stream = DriftStream::new(16, 2, 1).unwrap();
+        for _ in 0..30 {
+            stream
+                .ingest(&model, &[10.0, 10.0], ua(Vendor::Chrome, 111))
+                .unwrap();
+        }
+        assert_eq!(stream.window().len(), 16);
+        stream.reset_counters();
+        assert_eq!(stream.ingested(), 0);
+        assert_eq!(stream.window().len(), 16, "residents survive the reset");
+        assert_eq!(stream.window().seen(), 30);
     }
 
     #[test]

@@ -43,9 +43,9 @@ pub mod train;
 pub use dataset::TrainingSet;
 pub use detect::{Assessment, Detector};
 pub use drift::{DriftDecision, DriftDetector, DriftObservation};
-pub use drift_stream::DriftAccumulator;
+pub use drift_stream::{DriftAccumulator, DriftStream};
 pub use error::PolygraphError;
 pub use preprocess::{preprocess, PreprocessConfig, PreprocessReport};
 pub use risk::{risk_factor, MAX_RISK};
-pub use sampling::{stratified_sample, StratifiedConfig};
+pub use sampling::{stratified_sample, ReservoirWindow, StratifiedConfig};
 pub use train::{fit_metric_names, ClusterTable, TrainConfig, TrainedModel};

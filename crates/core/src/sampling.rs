@@ -11,13 +11,19 @@
 //! sessions but never fewer than `min_per_stratum` (or the stratum's full
 //! size, if smaller) — so a 10× reduction of the bulk leaves the rare
 //! strata untouched.
+//!
+//! [`ReservoirWindow`] is the streaming counterpart: Vitter's Algorithm R
+//! over the live serving traffic, so the retrain window is a uniform
+//! sample of everything seen since the last promotion without ever
+//! holding more than `capacity` sessions.
 
 use crate::dataset::TrainingSet;
 use crate::error::PolygraphError;
 use browser_engine::UserAgent;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::cell::Cell;
 use std::collections::HashMap;
 
 /// Configuration for [`stratified_sample`].
@@ -73,6 +79,112 @@ pub fn stratified_sample(
     keep.sort_unstable();
     let keep_set: std::collections::HashSet<usize> = keep.into_iter().collect();
     Ok(data.filtered(|i| keep_set.contains(&i)))
+}
+
+/// A seeded uniform reservoir over streaming sessions (Algorithm R).
+///
+/// Every session ever offered has the same `capacity / seen` probability
+/// of being resident, so the retrain window stays an unbiased sample of
+/// the whole stream while memory stays bounded. All randomness comes
+/// from one ChaCha stream seeded at construction: the same seed and the
+/// same offer sequence reproduce the same window bit for bit.
+#[derive(Debug, Clone)]
+pub struct ReservoirWindow {
+    capacity: usize,
+    width: usize,
+    rng: ChaCha8Rng,
+    window: Vec<(Vec<f64>, UserAgent)>,
+    seen: u64,
+    /// Times the window was copied out into a [`TrainingSet`]. The
+    /// checkpoint loop must answer Stable decisions from counters alone;
+    /// the no-allocation-on-stable regression test pins this at zero
+    /// across stable checkpoints.
+    materializations: Cell<u64>,
+}
+
+impl ReservoirWindow {
+    /// An empty reservoir holding at most `capacity` sessions of `width`
+    /// features each.
+    pub fn new(capacity: usize, width: usize, seed: u64) -> Result<Self, PolygraphError> {
+        if capacity == 0 {
+            return Err(PolygraphError::BadTrainingSet(
+                "reservoir capacity must be at least 1".into(),
+            ));
+        }
+        Ok(Self {
+            capacity,
+            width,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            window: Vec::new(),
+            seen: 0,
+            materializations: Cell::new(0),
+        })
+    }
+
+    /// Offers one session to the reservoir. The first `capacity` offers
+    /// always land; offer `t` then replaces a uniformly chosen resident
+    /// with probability `capacity / t`.
+    pub fn offer(&mut self, values: Vec<f64>, claimed: UserAgent) -> Result<(), PolygraphError> {
+        if values.len() != self.width {
+            return Err(PolygraphError::FeatureWidthMismatch {
+                got: values.len(),
+                expected: self.width,
+            });
+        }
+        self.seen += 1;
+        if self.window.len() < self.capacity {
+            self.window.push((values, claimed));
+            return Ok(());
+        }
+        let j = self.rng.gen_range(0..self.seen);
+        if (j as usize) < self.capacity {
+            self.window[j as usize] = (values, claimed);
+        }
+        Ok(())
+    }
+
+    /// Sessions currently resident.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether no session has landed yet.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Maximum resident sessions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total sessions offered since construction.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Borrows the resident window — the stable-checkpoint path, which
+    /// must never copy.
+    pub fn window(&self) -> &[(Vec<f64>, UserAgent)] {
+        &self.window
+    }
+
+    /// Copies the resident window out into a [`TrainingSet`] — the
+    /// drift-triggered path only.
+    pub fn to_training_set(&self) -> Result<TrainingSet, PolygraphError> {
+        self.materializations.set(self.materializations.get() + 1);
+        let mut set = TrainingSet::new(self.width);
+        for (values, claimed) in &self.window {
+            set.push(values.clone(), *claimed)?;
+        }
+        Ok(set)
+    }
+
+    /// Times [`ReservoirWindow::to_training_set`] ran — the regression
+    /// hook for the no-allocation-on-stable test.
+    pub fn materializations(&self) -> u64 {
+        self.materializations.get()
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +274,76 @@ mod tests {
         let a = stratified_sample(&data, cfg).unwrap();
         let b = stratified_sample(&data, cfg).unwrap();
         assert_eq!(a.rows(), b.rows());
+    }
+
+    #[test]
+    fn reservoir_fills_then_stays_at_capacity() {
+        let mut r = ReservoirWindow::new(8, 1, 7).unwrap();
+        for i in 0..100u32 {
+            r.offer(vec![i as f64], ua(110)).unwrap();
+            assert!(r.len() <= 8);
+        }
+        assert_eq!(r.len(), 8);
+        assert_eq!(r.seen(), 100);
+        assert_eq!(r.capacity(), 8);
+    }
+
+    #[test]
+    fn reservoir_inclusion_frequency_is_uniform() {
+        // Algorithm R promises every item the same k/n residency
+        // probability. Replay 10 000 independently seeded streams of
+        // n = 50 items through a k = 10 reservoir and check each
+        // position's empirical inclusion frequency against k/n = 0.2.
+        const STREAMS: u64 = 10_000;
+        const N: usize = 50;
+        const K: usize = 10;
+        let mut included = [0u32; N];
+        for seed in 0..STREAMS {
+            let mut r = ReservoirWindow::new(K, 1, seed).unwrap();
+            for i in 0..N {
+                r.offer(vec![i as f64], ua(110)).unwrap();
+            }
+            for (values, _) in r.window() {
+                included[values[0] as usize] += 1;
+            }
+        }
+        let expected = K as f64 / N as f64;
+        // Binomial std-dev over 10k streams is ~0.004; 0.02 is 5 sigma.
+        for (i, &count) in included.iter().enumerate() {
+            let freq = count as f64 / STREAMS as f64;
+            assert!(
+                (freq - expected).abs() < 0.02,
+                "position {i}: inclusion frequency {freq} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn reservoir_deterministic_given_seed() {
+        let mut a = ReservoirWindow::new(16, 2, 0xDEED).unwrap();
+        let mut b = ReservoirWindow::new(16, 2, 0xDEED).unwrap();
+        for i in 0..500u32 {
+            let row = vec![i as f64, (i * 3) as f64];
+            a.offer(row.clone(), ua(100 + i % 4)).unwrap();
+            b.offer(row, ua(100 + i % 4)).unwrap();
+        }
+        assert_eq!(a.window(), b.window());
+        let sa = a.to_training_set().unwrap();
+        let sb = b.to_training_set().unwrap();
+        assert_eq!(sa.rows(), sb.rows());
+        assert_eq!(sa.user_agents(), sb.user_agents());
+    }
+
+    #[test]
+    fn reservoir_counts_materializations_and_rejects_bad_input() {
+        assert!(ReservoirWindow::new(0, 1, 1).is_err());
+        let mut r = ReservoirWindow::new(4, 2, 1).unwrap();
+        assert!(r.offer(vec![1.0], ua(110)).is_err());
+        r.offer(vec![1.0, 2.0], ua(110)).unwrap();
+        assert_eq!(r.materializations(), 0);
+        let set = r.to_training_set().unwrap();
+        assert_eq!(set.len(), 1);
+        assert_eq!(r.materializations(), 1);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::error::PolygraphError;
 use browser_engine::{BrowserInstance, UserAgent, Vendor};
 use fingerprint::FeatureSet;
 use polygraph_ml::iforest::IsolationForestConfig;
+use polygraph_ml::kmeans::minibatch::{MiniBatchConfig, MiniBatchKMeans};
 use polygraph_ml::kmeans::KMeansConfig;
 use polygraph_ml::metrics::majority_cluster_accuracy;
 use polygraph_ml::{IsolationForest, KMeans, Matrix, Pca, StandardScaler, ThreadPool};
@@ -311,45 +312,16 @@ impl TrainedModel {
 
         // Semi-supervised table + accuracy.
         let table_span = registry.span(fit_metric_names::TABLE_MICROS);
-        let accuracy = majority_cluster_accuracy(kept.user_agents(), &assignments)?;
-
-        // Manual alignment for sparse user-agents (§6.4.3): predict the
-        // genuine lab fingerprint instead of trusting a thin majority.
-        let mut counts: BTreeMap<UserAgent, usize> = BTreeMap::new();
-        for ua in kept.user_agents() {
-            *counts.entry(*ua).or_default() += 1;
-        }
-        let mut entries: Vec<(UserAgent, usize)> = Vec::new();
-        for (ua, cluster) in &accuracy.label_clusters {
-            let cluster = if config.lab_alignment && counts[ua] < config.min_samples_for_majority {
-                let lab = feature_set.extract(&BrowserInstance::genuine(*ua));
-                predict_cluster_inner(&scaler, &pca, &kmeans, &lab.as_f64()).unwrap_or(*cluster)
-            } else {
-                *cluster
-            };
-            entries.push((*ua, cluster));
-        }
-        // Sparse user-agents can lose *every* session to the outlier
-        // filter (the paper's Edge 17 / Chrome 81 problem, §6.4.3) and
-        // vanish from the majority vote entirely; align those from the
-        // genuine lab instance too, so the detector does not treat a
-        // merely-rare browser as an unknown claim.
-        if config.lab_alignment {
-            let seen: BTreeSet<UserAgent> = entries.iter().map(|(ua, _)| *ua).collect();
-            let mut observed: Vec<UserAgent> = data.user_agents().to_vec();
-            observed.sort();
-            observed.dedup();
-            for ua in observed {
-                if seen.contains(&ua) {
-                    continue;
-                }
-                let lab = feature_set.extract(&BrowserInstance::genuine(ua));
-                if let Ok(cluster) = predict_cluster_inner(&scaler, &pca, &kmeans, &lab.as_f64()) {
-                    entries.push((ua, cluster));
-                }
-            }
-        }
-        let cluster_table = ClusterTable::from_entries(config.k, entries);
+        let (cluster_table, train_accuracy) = build_cluster_table(
+            &feature_set,
+            &scaler,
+            &pca,
+            &kmeans,
+            &kept,
+            data,
+            &assignments,
+            &config,
+        )?;
         table_span.finish();
         total_span.finish();
         registry.counter(fit_metric_names::RUNS).inc();
@@ -363,9 +335,72 @@ impl TrainedModel {
             pca,
             kmeans,
             cluster_table,
-            train_accuracy: accuracy.accuracy,
+            train_accuracy,
             outliers_removed,
             config,
+        })
+    }
+
+    /// The streaming-checkpoint refit (§6.6 without the stop-the-world
+    /// snapshot): freezes this model's scaler and PCA stages, warm-starts
+    /// mini-batch k-means from the serving centroids, absorbs `epochs`
+    /// seeded epochs of `data`, and rebuilds the cluster table and
+    /// majority accuracy on the same window.
+    ///
+    /// Skipping the Isolation-Forest pass and the PCA eigensolve — plus
+    /// replacing `n_init` full Lloyd restarts with a few warm-started
+    /// mini-batch epochs — is what makes a per-checkpoint candidate cheap
+    /// enough to run continuously; `bench_retrain` gates the cost at
+    /// ≤ 0.5x a full-window [`TrainedModel::fit`].
+    pub fn refit_streaming(
+        &self,
+        data: &TrainingSet,
+        epochs: usize,
+        pool: &ThreadPool,
+    ) -> Result<Self, PolygraphError> {
+        if data.width() != self.feature_set.len() {
+            return Err(PolygraphError::FeatureWidthMismatch {
+                got: data.width(),
+                expected: self.feature_set.len(),
+            });
+        }
+        if data.len() <= self.config.k {
+            return Err(PolygraphError::BadTrainingSet(format!(
+                "{} rows cannot support k={}",
+                data.len(),
+                self.config.k
+            )));
+        }
+        let scaled = self.scaler.transform(&data.to_matrix()?)?;
+        let projected = self.pca.transform(&scaled)?;
+        let mut minibatch = MiniBatchKMeans::warm_start(
+            self.kmeans.centroids().clone(),
+            MiniBatchConfig::new(self.config.k).with_seed(self.config.seed),
+        )?;
+        for _ in 0..epochs {
+            minibatch.step_with_pool(&projected, pool)?;
+        }
+        let kmeans = minibatch.into_kmeans(&projected, pool)?;
+        let assignments = kmeans.predict(&projected)?;
+        let (cluster_table, train_accuracy) = build_cluster_table(
+            &self.feature_set,
+            &self.scaler,
+            &self.pca,
+            &kmeans,
+            data,
+            data,
+            &assignments,
+            &self.config,
+        )?;
+        Ok(Self {
+            feature_set: self.feature_set.clone(),
+            scaler: self.scaler.clone(),
+            pca: self.pca.clone(),
+            kmeans,
+            cluster_table,
+            train_accuracy,
+            outliers_removed: 0,
+            config: self.config,
         })
     }
 
@@ -470,6 +505,59 @@ impl TrainedModel {
         }
         best.map_or(cluster, |(c, _)| c)
     }
+}
+
+/// The semi-supervised table-building tail shared by the full fit and
+/// the streaming refit: majority vote per user-agent, then the §6.4.3
+/// manual alignments — sparse user-agents predicted from a genuine lab
+/// fingerprint instead of a thin majority, and user-agents that vanished
+/// from `kept` entirely (every session dropped as an outlier) aligned
+/// from the lab instance too.
+#[allow(clippy::too_many_arguments)] // the fitted stages travel together
+fn build_cluster_table(
+    feature_set: &FeatureSet,
+    scaler: &StandardScaler,
+    pca: &Pca,
+    kmeans: &KMeans,
+    kept: &TrainingSet,
+    observed: &TrainingSet,
+    assignments: &[usize],
+    config: &TrainConfig,
+) -> Result<(ClusterTable, f64), PolygraphError> {
+    let accuracy = majority_cluster_accuracy(kept.user_agents(), assignments)?;
+    let mut counts: BTreeMap<UserAgent, usize> = BTreeMap::new();
+    for ua in kept.user_agents() {
+        *counts.entry(*ua).or_default() += 1;
+    }
+    let mut entries: Vec<(UserAgent, usize)> = Vec::new();
+    for (ua, cluster) in &accuracy.label_clusters {
+        let cluster = if config.lab_alignment && counts[ua] < config.min_samples_for_majority {
+            let lab = feature_set.extract(&BrowserInstance::genuine(*ua));
+            predict_cluster_inner(scaler, pca, kmeans, &lab.as_f64()).unwrap_or(*cluster)
+        } else {
+            *cluster
+        };
+        entries.push((*ua, cluster));
+    }
+    if config.lab_alignment {
+        let seen: BTreeSet<UserAgent> = entries.iter().map(|(ua, _)| *ua).collect();
+        let mut observed_uas: Vec<UserAgent> = observed.user_agents().to_vec();
+        observed_uas.sort();
+        observed_uas.dedup();
+        for ua in observed_uas {
+            if seen.contains(&ua) {
+                continue;
+            }
+            let lab = feature_set.extract(&BrowserInstance::genuine(ua));
+            if let Ok(cluster) = predict_cluster_inner(scaler, pca, kmeans, &lab.as_f64()) {
+                entries.push((ua, cluster));
+            }
+        }
+    }
+    Ok((
+        ClusterTable::from_entries(config.k, entries),
+        accuracy.accuracy,
+    ))
 }
 
 fn predict_cluster_inner(
@@ -648,6 +736,61 @@ mod tests {
             ..Default::default()
         };
         assert!(TrainedModel::fit(fs, &set, config).is_err());
+    }
+
+    #[test]
+    fn refit_streaming_preserves_structure_on_a_stable_window() {
+        let set = toy_training_set();
+        let fs = fingerprint::FeatureSet::table8().subset(&[0, 1, 2]);
+        let config = TrainConfig {
+            k: 3,
+            n_components: 2,
+            min_samples_for_majority: 1,
+            ..Default::default()
+        };
+        let model = TrainedModel::fit(fs, &set, config).unwrap();
+        let refit = model
+            .refit_streaming(&set, 4, &ThreadPool::serial())
+            .unwrap();
+        // Warm-started on the very window the model was fit on, the
+        // candidate keeps the era structure and the accuracy bar.
+        assert!(refit.train_accuracy() > 0.99, "{}", refit.train_accuracy());
+        assert_eq!(
+            refit.cluster_table().cluster_of(ua(Vendor::Chrome, 100)),
+            refit.cluster_table().cluster_of(ua(Vendor::Edge, 100)),
+        );
+        assert_eq!(refit.outliers_removed(), 0);
+        // Deterministic: the same serving model + window give the same
+        // candidate.
+        let again = model
+            .refit_streaming(&set, 4, &ThreadPool::serial())
+            .unwrap();
+        assert_eq!(again.cluster_table(), refit.cluster_table());
+    }
+
+    #[test]
+    fn refit_streaming_rejects_bad_windows() {
+        let set = toy_training_set();
+        let fs = fingerprint::FeatureSet::table8().subset(&[0, 1, 2]);
+        let config = TrainConfig {
+            k: 3,
+            n_components: 2,
+            min_samples_for_majority: 1,
+            ..Default::default()
+        };
+        let model = TrainedModel::fit(fs, &set, config).unwrap();
+        let narrow = TrainingSet::new(2);
+        assert!(model
+            .refit_streaming(&narrow, 1, &ThreadPool::serial())
+            .is_err());
+        let mut tiny = TrainingSet::new(3);
+        for i in 0..3 {
+            tiny.push(vec![i as f64, 0.0, 0.0], ua(Vendor::Chrome, 100))
+                .unwrap();
+        }
+        assert!(model
+            .refit_streaming(&tiny, 1, &ThreadPool::serial())
+            .is_err());
     }
 
     #[test]

@@ -13,6 +13,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
+pub mod minibatch;
+
 /// A fitted k-means model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KMeans {

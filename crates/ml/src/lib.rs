@@ -45,6 +45,7 @@ pub mod scaler;
 pub use agglomerative::Agglomerative;
 pub use error::MlError;
 pub use iforest::IsolationForest;
+pub use kmeans::minibatch::{MiniBatchConfig, MiniBatchKMeans};
 pub use kmeans::{ElbowReport, KMeans};
 pub use matrix::Matrix;
 pub use pca::Pca;

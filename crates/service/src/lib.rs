@@ -70,7 +70,9 @@ pub use client::{RiskClient, RiskClientConfig};
 pub use fleet::{
     FleetClient, FleetConfig, FleetRouter, RiskFleet, RolloutController, RolloutStage, RolloutStep,
 };
-pub use orchestrator::{Orchestrator, OrchestratorConfig, RetrainOutcome, SwapPolicy};
+pub use orchestrator::{
+    Orchestrator, OrchestratorConfig, RetrainOutcome, ShadowConfig, SwapPolicy,
+};
 pub use policy::{AuthAction, RiskPolicy};
 pub use proto::{Verdict, VerdictStatus};
 pub use registry::ModelRegistry;

@@ -5,15 +5,40 @@
 //! happens. When one shifts, it retrains on the fresh window, *validates*
 //! the candidate model (a bad window must never replace a good model),
 //! publishes it to the registry, and hot-swaps the serving detector.
+//!
+//! ## Shadow deployment
+//!
+//! With [`OrchestratorConfig::shadow`] set, a validated candidate is not
+//! published immediately. It is attached to the live serve path as a
+//! *shadow scorer* ([`RiskServerHandle::attach_shadow`]): every decoded
+//! session is assessed by both the serving detector and the candidate,
+//! the candidate's verdict is compared and discarded, and only the
+//! `orchestrator.shadow.compared` / `orchestrator.shadow.diverged`
+//! counters move. The candidate is promoted — published versioned and
+//! (under [`SwapPolicy::PublishAndSwap`]) swapped in — only after its
+//! divergence rate stayed under [`ShadowConfig::max_divergence`] for
+//! [`ShadowConfig::required_checkpoints`] consecutive checkpoints;
+//! otherwise it is discarded without ever touching the registry or the
+//! serving slot. See DESIGN.md §5l for the full state machine.
+//!
+//! ## Streaming checkpoints
+//!
+//! [`Orchestrator::checkpoint_stream`] runs the same loop against a
+//! [`DriftStream`]: the drift decision is answered from the stream's
+//! counters alone (a stable checkpoint never copies the reservoir), and
+//! a drift-triggered retrain warm-starts from the serving model with
+//! [`TrainedModel::refit_streaming`] — mini-batch k-means over the
+//! reservoir window — instead of a full from-scratch fit.
 
 use crate::registry::ModelRegistry;
 use crate::server::RiskServerHandle;
 use browser_engine::UserAgent;
 use polygraph_core::{
-    DriftDecision, DriftDetector, DriftObservation, PolygraphError, TrainConfig, TrainedModel,
-    TrainingSet,
+    DriftDecision, DriftDetector, DriftObservation, DriftStream, PolygraphError, TrainConfig,
+    TrainedModel, TrainingSet,
 };
 use polygraph_ml::ThreadPool;
+use polygraph_obs::Span;
 use std::io;
 
 /// Metric names the orchestrator records into the risk server's registry,
@@ -34,6 +59,18 @@ pub mod metric_names {
     /// Checkpoints whose retrain *errored* (corrupt window) and fell back
     /// to the last-good registry model (counter).
     pub const FALLBACKS: &str = "orchestrator.drift.fallbacks";
+    /// Sessions double-scored by a shadow candidate on the live serve
+    /// path (counter; registered only once a shadow attaches).
+    pub const SHADOW_COMPARED: &str = "orchestrator.shadow.compared";
+    /// Double-scored sessions where the candidate's verdict disagreed
+    /// with the serving verdict (counter).
+    pub const SHADOW_DIVERGED: &str = "orchestrator.shadow.diverged";
+    /// Candidates attached to the serve path as shadow scorers (counter).
+    pub const SHADOW_STARTED: &str = "orchestrator.shadow.started";
+    /// Shadow candidates discarded for diverging past the gate (counter).
+    pub const SHADOW_REJECTED: &str = "orchestrator.shadow.rejected";
+    /// Shadow candidates promoted to the registry (counter).
+    pub const SHADOW_PROMOTED: &str = "orchestrator.shadow.promoted";
 }
 
 /// How a validated candidate model reaches serving detectors.
@@ -50,6 +87,40 @@ pub enum SwapPolicy {
     PublishOnly,
 }
 
+/// The shadow-deployment gate: how long and how cleanly a candidate
+/// must ride the live serve path before it may be promoted.
+///
+/// The divergence gate here and the fleet rollout's per-node divergence
+/// gate ([`crate::fleet::RolloutConfig`]) answer different questions:
+/// this one decides whether a candidate *becomes a version at all*
+/// (pre-publish, one server, live traffic); the fleet gate decides
+/// whether an already-published version *keeps spreading* (post-publish,
+/// per node, replayed probes). A candidate must pass both to reach a
+/// whole fleet.
+#[derive(Debug, Clone, Copy)]
+pub struct ShadowConfig {
+    /// Maximum tolerated divergence per checkpoint window, as a
+    /// fraction of comparisons (`diverged <= max_divergence * compared`
+    /// passes).
+    pub max_divergence: f64,
+    /// Consecutive clean checkpoints a candidate must survive before
+    /// promotion.
+    pub required_checkpoints: usize,
+    /// Minimum comparisons a checkpoint window must contain to count at
+    /// all — a quiet window is neither clean nor dirty, it just waits.
+    pub min_compared: u64,
+}
+
+impl Default for ShadowConfig {
+    fn default() -> Self {
+        Self {
+            max_divergence: 0.02,
+            required_checkpoints: 2,
+            min_compared: 1,
+        }
+    }
+}
+
 /// Orchestrator settings.
 #[derive(Debug, Clone, Copy)]
 pub struct OrchestratorConfig {
@@ -63,6 +134,15 @@ pub struct OrchestratorConfig {
     /// Whether a validated candidate is swapped into this server or only
     /// published for a fleet rollout to distribute.
     pub swap: SwapPolicy,
+    /// Mini-batch epochs a streaming checkpoint's candidate absorbs in
+    /// [`TrainedModel::refit_streaming`] (used by
+    /// [`Orchestrator::checkpoint_stream`] only).
+    pub refit_epochs: usize,
+    /// When set, validated candidates shadow the live serve path and
+    /// must pass the divergence gate before publishing; when `None`,
+    /// a validated candidate publishes immediately (the original §6.6
+    /// loop).
+    pub shadow: Option<ShadowConfig>,
 }
 
 impl Default for OrchestratorConfig {
@@ -72,6 +152,8 @@ impl Default for OrchestratorConfig {
             min_accuracy: 0.98,
             keep_versions: 4,
             swap: SwapPolicy::PublishAndSwap,
+            refit_epochs: 4,
+            shadow: None,
         }
     }
 }
@@ -117,6 +199,44 @@ pub enum RetrainOutcome {
         /// The retrain error, stringified for the operator.
         error: String,
     },
+    /// Drift detected and a candidate validated; instead of publishing,
+    /// it was attached to the serve path as a shadow scorer and now
+    /// rides live traffic.
+    ShadowStarted {
+        /// The releases that triggered the retrain.
+        triggers: Vec<UserAgent>,
+        /// The candidate's training accuracy.
+        accuracy: f64,
+    },
+    /// A shadow candidate is in flight and this checkpoint did not yet
+    /// decide its fate — either the window was too quiet
+    /// ([`ShadowConfig::min_compared`]) or more clean checkpoints are
+    /// still required.
+    ShadowPending {
+        /// Comparisons in this checkpoint's window.
+        compared: u64,
+        /// Divergences in this checkpoint's window.
+        diverged: u64,
+        /// Clean checkpoints accumulated so far.
+        clean_checkpoints: usize,
+    },
+    /// The shadow candidate held its agreement for the configured number
+    /// of checkpoints and was promoted: published versioned and (under
+    /// [`SwapPolicy::PublishAndSwap`]) swapped into this server.
+    ShadowPromoted {
+        /// The registry version of the promoted model.
+        version: u64,
+        /// Clean checkpoints the candidate survived.
+        checkpoints: usize,
+    },
+    /// The shadow candidate diverged past the gate and was discarded.
+    /// Nothing was published; the serving model never changed.
+    ShadowRejected {
+        /// Comparisons in the rejecting checkpoint's window.
+        compared: u64,
+        /// Divergences in the rejecting checkpoint's window.
+        diverged: u64,
+    },
 }
 
 /// Errors from a checkpoint run.
@@ -150,11 +270,29 @@ impl From<io::Error> for OrchestratorError {
     }
 }
 
+/// A candidate model riding the serve path as a shadow, plus the gate
+/// bookkeeping that decides its fate.
+struct ShadowCandidate {
+    /// The validated candidate, kept so promotion publishes exactly the
+    /// model that was shadow-scored — no refit, no mutation.
+    model: TrainedModel,
+    /// Clean checkpoints survived so far.
+    clean_checkpoints: usize,
+    /// `orchestrator.shadow.compared` total when this window started.
+    baseline_compared: u64,
+    /// `orchestrator.shadow.diverged` total when this window started.
+    baseline_diverged: u64,
+}
+
 /// Drives drift checkpoints against a serving risk server.
 pub struct Orchestrator<'s> {
     server: &'s RiskServerHandle,
     registry: ModelRegistry,
     config: OrchestratorConfig,
+    /// The shadow candidate in flight, if any. Present only between a
+    /// `ShadowStarted` outcome and the matching `ShadowPromoted` /
+    /// `ShadowRejected`.
+    shadow: Option<ShadowCandidate>,
 }
 
 impl<'s> Orchestrator<'s> {
@@ -169,6 +307,7 @@ impl<'s> Orchestrator<'s> {
             server,
             registry,
             config,
+            shadow: None,
         }
     }
 
@@ -177,15 +316,56 @@ impl<'s> Orchestrator<'s> {
         &self.registry
     }
 
+    /// Whether a shadow candidate is currently riding the serve path.
+    pub fn shadow_in_flight(&self) -> bool {
+        self.shadow.is_some()
+    }
+
+    /// The model of the shadow candidate in flight, if any — so an
+    /// operator (or a successor orchestrator, via
+    /// [`Self::adopt_shadow`]) can persist it across a restart.
+    pub fn shadow_candidate(&self) -> Option<&TrainedModel> {
+        self.shadow.as_ref().map(|c| &c.model)
+    }
+
+    /// Adopts `model` as the shadow candidate in flight — restart
+    /// recovery for an orchestrator that died (or was handed off) while
+    /// a candidate was riding the serve path. The candidate is
+    /// (re)attached to the server and the gate restarts from the current
+    /// counter totals with zero clean checkpoints, so an adopted
+    /// candidate earns the full [`ShadowConfig::required_checkpoints`]
+    /// again rather than inheriting unverifiable progress.
+    pub fn adopt_shadow(&mut self, model: TrainedModel) {
+        let obs = self.server.registry();
+        let baseline_compared = obs.counter(metric_names::SHADOW_COMPARED).get();
+        let baseline_diverged = obs.counter(metric_names::SHADOW_DIVERGED).get();
+        self.server.attach_shadow(model.clone());
+        self.shadow = Some(ShadowCandidate {
+            model,
+            clean_checkpoints: 0,
+            baseline_compared,
+            baseline_diverged,
+        });
+    }
+
     /// Runs one checkpoint: measure `releases` over `fresh` traffic; on
-    /// drift, retrain on `fresh`, validate, publish and swap.
+    /// drift, retrain on `fresh`, validate, then publish-and-swap — or,
+    /// with [`OrchestratorConfig::shadow`] set, attach the candidate as
+    /// a shadow scorer and let later checkpoints decide its fate.
     pub fn checkpoint(
-        &self,
+        &mut self,
         fresh: &TrainingSet,
         releases: &[UserAgent],
     ) -> Result<RetrainOutcome, OrchestratorError> {
         let obs = self.server.registry();
         obs.counter(metric_names::CHECKPOINTS).inc();
+
+        // A shadow in flight owns the checkpoint: its agreement window
+        // is judged before (instead of) looking for new drift, so one
+        // candidate at a time rides the serve path.
+        if let Some(outcome) = self.evaluate_shadow()? {
+            return Ok(outcome);
+        }
 
         // Measure against the *currently serving* model. The model is
         // cloned out of the detector slot so the read guard is released
@@ -227,36 +407,184 @@ impl<'s> Orchestrator<'s> {
         ) {
             Ok(candidate) => candidate,
             Err(err) => {
-                // A corrupt retrain window must not take the checkpoint
-                // loop down. Re-assert the last-good *published* model
-                // (which `load_latest_versioned` guarantees is intact)
-                // so serving state is reproducible from the registry,
-                // then surface the failure as an outcome, not an error.
                 retrain_span.cancel();
-                obs.counter(metric_names::FALLBACKS).inc();
-                let version = match self.registry.load_latest_versioned()? {
-                    Some((version, last_good)) => {
-                        // Under `PublishOnly` the serving model belongs
-                        // to the fleet rollout — re-asserting last-good
-                        // here would swap behind its back.
-                        if self.config.swap == SwapPolicy::PublishAndSwap {
-                            self.server.publish_model(last_good);
-                        }
-                        Some(version)
-                    }
-                    None => None,
-                };
-                return Ok(RetrainOutcome::Fallback {
-                    triggers,
-                    version,
-                    error: err.to_string(),
-                });
+                return self.fall_back_to_last_good(triggers, err);
             }
         };
+        self.review_candidate(candidate, triggers, retrain_span)
+    }
+
+    /// [`Self::checkpoint`] against a live [`DriftStream`]. The drift
+    /// decision is answered from the stream's counters alone — a stable
+    /// checkpoint never materializes the reservoir window (pinned by the
+    /// no-allocation regression test) — and a drift-triggered retrain
+    /// warm-starts from the serving model with
+    /// [`TrainedModel::refit_streaming`] on the reservoir window, at
+    /// mini-batch cost instead of a full from-scratch fit. Counters are
+    /// reset whenever a retrain consumed the window (the candidate
+    /// started shadowing or swapped in) and again at promotion, so the
+    /// next window is measured against the model that now serves.
+    pub fn checkpoint_stream(
+        &mut self,
+        stream: &mut DriftStream,
+        releases: &[UserAgent],
+    ) -> Result<RetrainOutcome, OrchestratorError> {
+        let obs = self.server.registry();
+        obs.counter(metric_names::CHECKPOINTS).inc();
+
+        if let Some(outcome) = self.evaluate_shadow()? {
+            if matches!(outcome, RetrainOutcome::ShadowPromoted { .. }) {
+                stream.reset_counters();
+            }
+            return Ok(outcome);
+        }
+
+        let serving_model = {
+            let slot = self.server.detector_slot();
+            let guard = slot.read();
+            guard.model().clone()
+        };
+        let (observations, decision) = stream.checkpoint(&serving_model, releases)?;
+        obs.counter(metric_names::DRIFT_EVALUATIONS)
+            .add(observations.len() as u64);
+
+        let triggers = match decision {
+            DriftDecision::Stable => return Ok(RetrainOutcome::Stable { observations }),
+            DriftDecision::Retrain { triggers } => triggers,
+        };
+
+        // Drift fired: now — and only now — copy the reservoir out and
+        // absorb it into a warm-started candidate.
+        let retrain_span = obs.span(metric_names::RETRAIN_MICROS);
+        let fresh = stream.training_window()?;
+        let candidate = match serving_model.refit_streaming(
+            &fresh,
+            self.config.refit_epochs,
+            &ThreadPool::serial(),
+        ) {
+            Ok(candidate) => candidate,
+            Err(err) => {
+                retrain_span.cancel();
+                return self.fall_back_to_last_good(triggers, err);
+            }
+        };
+        let outcome = self.review_candidate(candidate, triggers, retrain_span)?;
+        if matches!(
+            outcome,
+            RetrainOutcome::Retrained { .. } | RetrainOutcome::ShadowStarted { .. }
+        ) {
+            stream.reset_counters();
+        }
+        Ok(outcome)
+    }
+
+    /// Judges the shadow candidate in flight, if any: reads this
+    /// checkpoint's `(compared, diverged)` window off the shadow
+    /// counters, then rejects, promotes, or keeps waiting. `Ok(None)`
+    /// means no shadow is in flight and the checkpoint should proceed to
+    /// drift detection.
+    fn evaluate_shadow(&mut self) -> Result<Option<RetrainOutcome>, OrchestratorError> {
+        let Some(cfg) = self.config.shadow else {
+            return Ok(None);
+        };
+        let obs = self.server.registry();
+        let compared_total = obs.counter(metric_names::SHADOW_COMPARED).get();
+        let diverged_total = obs.counter(metric_names::SHADOW_DIVERGED).get();
+        let (compared, diverged, clean_so_far) = match self.shadow.as_ref() {
+            Some(c) => (
+                compared_total.saturating_sub(c.baseline_compared),
+                diverged_total.saturating_sub(c.baseline_diverged),
+                c.clean_checkpoints,
+            ),
+            None => return Ok(None),
+        };
+
+        // A quiet window proves nothing either way: keep shadowing.
+        if compared < cfg.min_compared {
+            return Ok(Some(RetrainOutcome::ShadowPending {
+                compared,
+                diverged,
+                clean_checkpoints: clean_so_far,
+            }));
+        }
+
+        if diverged as f64 > cfg.max_divergence * compared as f64 {
+            // Discard: detach first so double-scoring stops, and never
+            // touch the registry — a rejected candidate must leave no
+            // trace beyond its counters.
+            self.shadow = None;
+            self.server.detach_shadow();
+            obs.counter(metric_names::SHADOW_REJECTED).inc();
+            return Ok(Some(RetrainOutcome::ShadowRejected { compared, diverged }));
+        }
+
+        let clean = clean_so_far + 1;
+        if clean < cfg.required_checkpoints {
+            if let Some(c) = self.shadow.as_mut() {
+                c.clean_checkpoints = clean;
+                c.baseline_compared = compared_total;
+                c.baseline_diverged = diverged_total;
+            }
+            return Ok(Some(RetrainOutcome::ShadowPending {
+                compared,
+                diverged,
+                clean_checkpoints: clean,
+            }));
+        }
+
+        // Promotion: the candidate held its agreement for the full gate.
+        let Some(candidate) = self.shadow.take() else {
+            return Ok(None);
+        };
+        self.server.detach_shadow();
+        let version = self.registry.publish(&candidate.model)?;
+        obs.counter(metric_names::REGISTRY_PUBLISHES).inc();
+        self.registry.prune(self.config.keep_versions)?;
+        if self.config.swap == SwapPolicy::PublishAndSwap {
+            self.server
+                .publish_model_versioned(candidate.model, version);
+        }
+        obs.counter(metric_names::SHADOW_PROMOTED).inc();
+        obs.counter(metric_names::RETRAINS).inc();
+        Ok(Some(RetrainOutcome::ShadowPromoted {
+            version,
+            checkpoints: clean,
+        }))
+    }
+
+    /// Validates a freshly trained candidate and routes it: below the
+    /// accuracy bar it is rejected outright; with a shadow gate
+    /// configured it attaches to the serve path; otherwise it publishes
+    /// and (per [`SwapPolicy`]) swaps immediately.
+    fn review_candidate(
+        &mut self,
+        candidate: TrainedModel,
+        triggers: Vec<UserAgent>,
+        retrain_span: Span,
+    ) -> Result<RetrainOutcome, OrchestratorError> {
+        let obs = self.server.registry();
         let accuracy = candidate.train_accuracy();
         if accuracy < self.config.min_accuracy {
             obs.counter(metric_names::RETRAINS_REJECTED).inc();
             return Ok(RetrainOutcome::RetrainRejected { triggers, accuracy });
+        }
+
+        if self.config.shadow.is_some() {
+            // Baselines are read *before* attaching, so comparisons that
+            // land between attach and the next checkpoint all count
+            // toward the candidate's first window.
+            let baseline_compared = obs.counter(metric_names::SHADOW_COMPARED).get();
+            let baseline_diverged = obs.counter(metric_names::SHADOW_DIVERGED).get();
+            self.server.attach_shadow(candidate.clone());
+            self.shadow = Some(ShadowCandidate {
+                model: candidate,
+                clean_checkpoints: 0,
+                baseline_compared,
+                baseline_diverged,
+            });
+            obs.counter(metric_names::SHADOW_STARTED).inc();
+            retrain_span.finish();
+            return Ok(RetrainOutcome::ShadowStarted { triggers, accuracy });
         }
 
         let version = self.registry.publish(&candidate)?;
@@ -271,6 +599,37 @@ impl<'s> Orchestrator<'s> {
             triggers,
             version,
             accuracy,
+        })
+    }
+
+    /// A corrupt retrain window must not take the checkpoint loop down.
+    /// Re-assert the last-good *published* model (which
+    /// `load_latest_versioned` guarantees is intact) so serving state is
+    /// reproducible from the registry, and surface the failure as an
+    /// outcome, not an error.
+    fn fall_back_to_last_good(
+        &self,
+        triggers: Vec<UserAgent>,
+        err: PolygraphError,
+    ) -> Result<RetrainOutcome, OrchestratorError> {
+        let obs = self.server.registry();
+        obs.counter(metric_names::FALLBACKS).inc();
+        let version = match self.registry.load_latest_versioned()? {
+            Some((version, last_good)) => {
+                // Under `PublishOnly` the serving model belongs to the
+                // fleet rollout — re-asserting last-good here would swap
+                // behind its back.
+                if self.config.swap == SwapPolicy::PublishAndSwap {
+                    self.server.publish_model(last_good);
+                }
+                Some(version)
+            }
+            None => None,
+        };
+        Ok(RetrainOutcome::Fallback {
+            triggers,
+            version,
+            error: err.to_string(),
         })
     }
 }
@@ -313,6 +672,8 @@ mod tests {
             min_accuracy: 0.95,
             keep_versions: 2,
             swap: SwapPolicy::PublishAndSwap,
+            refit_epochs: 4,
+            shadow: None,
         }
     }
 
@@ -331,7 +692,7 @@ mod tests {
     #[test]
     fn stable_checkpoint_keeps_the_model() {
         let server = start_risk_server("127.0.0.1:0", Detector::new(serving_model())).unwrap();
-        let orch = Orchestrator::new(&server, temp_registry("stable"), config());
+        let mut orch = Orchestrator::new(&server, temp_registry("stable"), config());
         // Chrome 111 ships with era-B features: stable.
         let mut fresh = training(0.0);
         for _ in 0..60 {
@@ -357,7 +718,7 @@ mod tests {
         use std::sync::atomic::{AtomicBool, Ordering};
 
         let server = start_risk_server("127.0.0.1:0", Detector::new(serving_model())).unwrap();
-        let orch = Orchestrator::new(&server, temp_registry("guard-scope"), config());
+        let mut orch = Orchestrator::new(&server, temp_registry("guard-scope"), config());
         // A large stable window: the measurement runs long enough for
         // the main thread to probe the slot, and Stable means no swap
         // interferes with the probe.
@@ -410,7 +771,7 @@ mod tests {
     fn publish_only_checkpoint_publishes_without_swapping() {
         let server = start_risk_server("127.0.0.1:0", Detector::new(serving_model())).unwrap();
         let registry = temp_registry("publish-only");
-        let orch = Orchestrator::new(
+        let mut orch = Orchestrator::new(
             &server,
             registry,
             OrchestratorConfig {
@@ -445,7 +806,7 @@ mod tests {
     fn drift_triggers_retrain_publish_and_swap() {
         let server = start_risk_server("127.0.0.1:0", Detector::new(serving_model())).unwrap();
         let registry = temp_registry("retrain");
-        let orch = Orchestrator::new(&server, registry, config());
+        let mut orch = Orchestrator::new(&server, registry, config());
         // Chrome 111 ships with a shape back near era A: its sessions land
         // in Chrome 100's cluster instead of its predecessor's — drift.
         let mut fresh = training(0.0);
@@ -492,7 +853,7 @@ mod tests {
         let server = start_risk_server("127.0.0.1:0", Detector::new(serving_model())).unwrap();
         let mut cfg = config();
         cfg.min_accuracy = 1.1; // impossible bar
-        let orch = Orchestrator::new(&server, temp_registry("reject"), cfg);
+        let mut orch = Orchestrator::new(&server, temp_registry("reject"), cfg);
         let mut fresh = training(0.0);
         for _ in 0..80 {
             fresh
@@ -529,7 +890,7 @@ mod tests {
         let last_good = serving_model();
         registry.publish(&last_good).unwrap();
         let (fresh, cfg) = drifting_but_unfittable();
-        let orch = Orchestrator::new(&server, registry, cfg);
+        let mut orch = Orchestrator::new(&server, registry, cfg);
         let outcome = orch.checkpoint(&fresh, &[ua(Vendor::Chrome, 111)]).unwrap();
         match outcome {
             RetrainOutcome::Fallback {
@@ -559,13 +920,217 @@ mod tests {
     fn fallback_with_empty_registry_keeps_serving_in_memory_model() {
         let server = start_risk_server("127.0.0.1:0", Detector::new(serving_model())).unwrap();
         let (fresh, cfg) = drifting_but_unfittable();
-        let orch = Orchestrator::new(&server, temp_registry("fallback-empty"), cfg);
+        let mut orch = Orchestrator::new(&server, temp_registry("fallback-empty"), cfg);
         let outcome = orch.checkpoint(&fresh, &[ua(Vendor::Chrome, 111)]).unwrap();
         match outcome {
             RetrainOutcome::Fallback { version, .. } => assert_eq!(version, None),
             other => panic!("expected fallback, got {other:?}"),
         }
         assert_eq!(server.stats().swaps, 0, "nothing to fall back to: no swap");
+        server.shutdown();
+    }
+
+    /// `min_compared: 0` lets these unit tests drive the gate without
+    /// live traffic: an empty window counts as clean.
+    fn shadow_config() -> OrchestratorConfig {
+        OrchestratorConfig {
+            shadow: Some(ShadowConfig {
+                max_divergence: 0.05,
+                required_checkpoints: 2,
+                min_compared: 0,
+            }),
+            ..config()
+        }
+    }
+
+    fn drifting_window() -> TrainingSet {
+        let mut fresh = training(0.0);
+        for j in 0..80 {
+            fresh
+                .push(
+                    vec![-0.5 + (j % 3) as f64 * 0.05, -0.5],
+                    ua(Vendor::Chrome, 111),
+                )
+                .unwrap();
+        }
+        fresh
+    }
+
+    #[test]
+    fn shadow_gate_attaches_then_promotes_after_clean_checkpoints() {
+        let server = start_risk_server("127.0.0.1:0", Detector::new(serving_model())).unwrap();
+        let mut orch = Orchestrator::new(&server, temp_registry("shadow-promote"), shadow_config());
+        let fresh = drifting_window();
+
+        // Drift: the candidate attaches as a shadow instead of publishing.
+        let outcome = orch.checkpoint(&fresh, &[ua(Vendor::Chrome, 111)]).unwrap();
+        assert!(matches!(outcome, RetrainOutcome::ShadowStarted { .. }));
+        assert!(server.shadow_attached());
+        assert!(orch.shadow_in_flight());
+        assert_eq!(
+            orch.registry().versions().unwrap(),
+            Vec::<u64>::new(),
+            "a shadowing candidate must not be in the registry"
+        );
+        assert_eq!(server.stats().swaps, 0);
+        assert_eq!(server.active_model_version(), 0);
+
+        // First clean checkpoint: still pending.
+        let outcome = orch.checkpoint(&fresh, &[]).unwrap();
+        assert!(matches!(
+            outcome,
+            RetrainOutcome::ShadowPending {
+                clean_checkpoints: 1,
+                ..
+            }
+        ));
+        assert!(server.shadow_attached());
+
+        // Second clean checkpoint: promoted — versioned publish + swap.
+        let outcome = orch.checkpoint(&fresh, &[]).unwrap();
+        match outcome {
+            RetrainOutcome::ShadowPromoted {
+                version,
+                checkpoints,
+            } => {
+                assert_eq!(version, 1);
+                assert_eq!(checkpoints, 2);
+            }
+            other => panic!("expected promotion, got {other:?}"),
+        }
+        assert!(!server.shadow_attached());
+        assert!(!orch.shadow_in_flight());
+        assert_eq!(orch.registry().versions().unwrap(), vec![1]);
+        assert_eq!(server.stats().swaps, 1);
+        assert_eq!(server.active_model_version(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn diverging_shadow_is_rejected_without_publishing() {
+        let server = start_risk_server("127.0.0.1:0", Detector::new(serving_model())).unwrap();
+        let mut cfg = shadow_config();
+        cfg.shadow = Some(ShadowConfig {
+            max_divergence: 0.05,
+            required_checkpoints: 1,
+            min_compared: 1,
+        });
+        let mut orch = Orchestrator::new(&server, temp_registry("shadow-reject"), cfg);
+        let fresh = drifting_window();
+        let outcome = orch.checkpoint(&fresh, &[ua(Vendor::Chrome, 111)]).unwrap();
+        assert!(matches!(outcome, RetrainOutcome::ShadowStarted { .. }));
+
+        // Simulate a divergent traffic window by ticking the same
+        // counters the serve path's shadow comparison ticks.
+        let obs = server.registry();
+        obs.counter(metric_names::SHADOW_COMPARED).add(100);
+        obs.counter(metric_names::SHADOW_DIVERGED).add(50);
+
+        let outcome = orch.checkpoint(&fresh, &[]).unwrap();
+        match outcome {
+            RetrainOutcome::ShadowRejected { compared, diverged } => {
+                assert_eq!(compared, 100);
+                assert_eq!(diverged, 50);
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert!(!server.shadow_attached(), "rejected candidate detached");
+        assert!(!orch.shadow_in_flight());
+        assert_eq!(
+            orch.registry().versions().unwrap(),
+            Vec::<u64>::new(),
+            "a rejected candidate must never be published"
+        );
+        assert_eq!(server.stats().swaps, 0);
+        assert_eq!(obs.counter(metric_names::SHADOW_REJECTED).get(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn quiet_windows_keep_the_shadow_waiting() {
+        let server = start_risk_server("127.0.0.1:0", Detector::new(serving_model())).unwrap();
+        let mut cfg = shadow_config();
+        cfg.shadow = Some(ShadowConfig {
+            min_compared: 5,
+            ..ShadowConfig::default()
+        });
+        let mut orch = Orchestrator::new(&server, temp_registry("shadow-quiet"), cfg);
+        let fresh = drifting_window();
+        let outcome = orch.checkpoint(&fresh, &[ua(Vendor::Chrome, 111)]).unwrap();
+        assert!(matches!(outcome, RetrainOutcome::ShadowStarted { .. }));
+
+        // No traffic at all: the gate neither advances nor rejects.
+        for _ in 0..3 {
+            let outcome = orch.checkpoint(&fresh, &[]).unwrap();
+            assert!(matches!(
+                outcome,
+                RetrainOutcome::ShadowPending {
+                    compared: 0,
+                    clean_checkpoints: 0,
+                    ..
+                }
+            ));
+            assert!(server.shadow_attached());
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn streaming_checkpoint_retrains_from_the_reservoir() {
+        let serving = serving_model();
+        let server = start_risk_server("127.0.0.1:0", Detector::new(serving.clone())).unwrap();
+        let mut orch = Orchestrator::new(&server, temp_registry("stream"), config());
+        let mut stream = DriftStream::new(512, 2, 7).unwrap();
+
+        // Stable era: the training window plus Chrome 111 shipping with
+        // era-B features — it lands in its predecessor's cluster.
+        let stable = training(0.0);
+        for (row, u) in stable.rows().iter().zip(stable.user_agents()) {
+            stream.ingest(&serving, row, *u).unwrap();
+        }
+        for _ in 0..60 {
+            stream
+                .ingest(&serving, &[10.0, 10.0], ua(Vendor::Chrome, 111))
+                .unwrap();
+        }
+        let outcome = orch
+            .checkpoint_stream(&mut stream, &[ua(Vendor::Chrome, 111)])
+            .unwrap();
+        assert!(matches!(outcome, RetrainOutcome::Stable { .. }));
+        assert_eq!(
+            stream.window().materializations(),
+            0,
+            "a stable checkpoint must not copy the reservoir"
+        );
+
+        // Chrome 112 arrives with a drifted shape, back near era A.
+        for j in 0..80 {
+            stream
+                .ingest(
+                    &serving,
+                    &[-0.5 + (j % 3) as f64 * 0.05, -0.5],
+                    ua(Vendor::Chrome, 112),
+                )
+                .unwrap();
+        }
+        let outcome = orch
+            .checkpoint_stream(&mut stream, &[ua(Vendor::Chrome, 112)])
+            .unwrap();
+        assert!(
+            matches!(outcome, RetrainOutcome::Retrained { version: 1, .. }),
+            "got {outcome:?}"
+        );
+        assert_eq!(server.stats().swaps, 1);
+        assert_eq!(
+            stream.window().materializations(),
+            1,
+            "exactly one reservoir copy, for the retrain itself"
+        );
+        assert_eq!(
+            stream.accumulator().ingested(),
+            0,
+            "drift counters reset after the swap"
+        );
         server.shutdown();
     }
 }

@@ -503,6 +503,10 @@ pub struct RiskServerHandle {
     detector: Arc<RwLock<Detector>>,
     metrics: Arc<ServerMetrics>,
     cache: Option<Arc<CacheLayer>>,
+    /// The shadow-candidate slot shared with every connection worker;
+    /// `None` (the common case) costs one uncontended read-guard check
+    /// per batch.
+    shadow: Arc<RwLock<Option<ShadowScorer>>>,
     /// Whether published models are compiled onto the quantized fast
     /// path ([`RiskServerConfig::quantized`]).
     quantized: bool,
@@ -619,6 +623,52 @@ impl RiskServerHandle {
         self.model_version.load(Ordering::SeqCst)
     }
 
+    /// Attaches `model` as a shadow candidate on the live serve path.
+    /// From the next batch on, every decoded session is scored by both
+    /// the serving detector and the candidate; the candidate's verdicts
+    /// are discarded after comparison, so nothing the client observes
+    /// changes — only the `orchestrator.shadow.compared` /
+    /// `orchestrator.shadow.diverged` counters move. On a
+    /// [`RiskServerConfig::quantized`] server the candidate is compiled
+    /// onto the same fast path (best-effort, exactly as
+    /// [`Self::publish_model`] does), so the comparison exercises the
+    /// code path the candidate would serve on if promoted.
+    pub fn attach_shadow(&self, model: TrainedModel) {
+        let mut detector = Detector::new(model);
+        if self.quantized {
+            let _ = detector.quantize();
+        }
+        let registry = self.metrics.registry();
+        let scorer = ShadowScorer {
+            detector: Arc::new(detector),
+            compared: registry.counter(crate::orchestrator::metric_names::SHADOW_COMPARED),
+            diverged: registry.counter(crate::orchestrator::metric_names::SHADOW_DIVERGED),
+        };
+        *self.shadow.write() = Some(scorer);
+    }
+
+    /// Detaches the shadow candidate, if any; double-scoring stops with
+    /// the next batch. The shadow counters stay registered and keep
+    /// their totals — callers track a candidate's window by delta from
+    /// the values read at attach time.
+    pub fn detach_shadow(&self) {
+        *self.shadow.write() = None;
+    }
+
+    /// Whether a shadow candidate is currently attached.
+    pub fn shadow_attached(&self) -> bool {
+        self.shadow.read().is_some()
+    }
+
+    /// Cumulative `(compared, diverged)` shadow counters, or `None`
+    /// when no candidate is attached.
+    pub fn shadow_counts(&self) -> Option<(u64, u64)> {
+        self.shadow
+            .read()
+            .as_ref()
+            .map(|s| (s.compared.get(), s.diverged.get()))
+    }
+
     /// Stops the acceptor *and* every connection worker, then joins them.
     /// Threaded workers check the stop flag on every loop, so this
     /// returns within roughly one read-timeout tick even with
@@ -635,12 +685,30 @@ impl RiskServerHandle {
     }
 }
 
+/// A retrain candidate riding the live serve path. The candidate
+/// assesses the same decoded sessions as the serving detector; its
+/// verdicts are compared and then discarded — a shadow verdict never
+/// reaches the wire. Both counters are resolved at attach time, so a
+/// server that never shadows registers nothing and its metrics
+/// exposition is byte-identical to a build without this feature.
+struct ShadowScorer {
+    /// Behind an `Arc` so the batch path can clone the handle out of
+    /// the slot and assess with no lock held.
+    detector: Arc<Detector>,
+    /// `orchestrator.shadow.compared` — sessions double-scored.
+    compared: Arc<Counter>,
+    /// `orchestrator.shadow.diverged` — double-scored sessions where
+    /// the candidate disagreed with the serving verdict.
+    diverged: Arc<Counter>,
+}
+
 /// Everything a connection worker needs, cloned per accept.
 #[derive(Clone)]
 struct ConnContext {
     detector: Arc<RwLock<Detector>>,
     metrics: Arc<ServerMetrics>,
     cache: Option<Arc<CacheLayer>>,
+    shadow: Arc<RwLock<Option<ShadowScorer>>>,
     stop: Arc<AtomicBool>,
     read_timeout: Duration,
     shed_limit: usize,
@@ -683,11 +751,13 @@ pub fn start_risk_server_with(
         ))
     });
     let metrics = Arc::new(ServerMetrics::new(registry));
+    let shadow: Arc<RwLock<Option<ShadowScorer>>> = Arc::new(RwLock::new(None));
 
     let ctx = ConnContext {
         detector: Arc::clone(&detector),
         metrics: Arc::clone(&metrics),
         cache: cache.clone(),
+        shadow: Arc::clone(&shadow),
         stop: Arc::clone(&stop),
         read_timeout: config.read_timeout,
         shed_limit: config.shed_limit,
@@ -721,6 +791,7 @@ pub fn start_risk_server_with(
         detector,
         metrics,
         cache,
+        shadow,
         quantized: config.quantized,
         model_version: Arc::new(AtomicU64::new(0)),
         wakers,
@@ -964,6 +1035,7 @@ fn process_buffered(
                 let guard = ctx.detector.read();
                 guard.assess_many(&sessions)
             };
+            shadow_compare(ctx, &sessions, &assessments);
             // Fill the miss slots in frame order, charging exactly the
             // counters the single-frame path charges.
             let mut results = assessments.into_iter();
@@ -1066,6 +1138,59 @@ fn process_buffered(
         return BatchOutcome { out, close: true };
     }
     BatchOutcome { out, close: false }
+}
+
+/// Double-scores one batch's decoded sessions against the shadow
+/// candidate, if one is attached. The slot guard is released before the
+/// candidate assesses (the detector handle is cloned out), so shadow
+/// scoring never holds a lock and can never extend a pending model
+/// swap's wait. Shadow verdicts are discarded after comparison — only
+/// the agreement counters survive.
+fn shadow_compare(
+    ctx: &ConnContext,
+    sessions: &[(Vec<f64>, UserAgent)],
+    live: &[Result<Assessment, PolygraphError>],
+) {
+    if sessions.is_empty() {
+        return;
+    }
+    let Some((detector, compared, diverged)) = ({
+        let slot = ctx.shadow.read();
+        slot.as_ref().map(|s| {
+            (
+                Arc::clone(&s.detector),
+                Arc::clone(&s.compared),
+                Arc::clone(&s.diverged),
+            )
+        })
+    }) else {
+        return;
+    };
+    let shadow = detector.assess_many(sessions);
+    let disagreements = live
+        .iter()
+        .zip(&shadow)
+        .filter(|(a, b)| !verdicts_agree(a, b))
+        .count();
+    compared.add(sessions.len() as u64);
+    if disagreements > 0 {
+        diverged.add(disagreements as u64);
+    }
+}
+
+/// Whether a live and a shadow assessment would encode the same wire
+/// verdict — the same comparison shape the fleet rollout divergence
+/// probe uses, so shadow agreement and rollout agreement measure one
+/// thing.
+fn verdicts_agree(
+    live: &Result<Assessment, PolygraphError>,
+    shadow: &Result<Assessment, PolygraphError>,
+) -> bool {
+    match (live, shadow) {
+        (Ok(a), Ok(b)) => a.flagged == b.flagged && a.risk_factor == b.risk_factor,
+        (Err(_), Err(_)) => true,
+        _ => false,
+    }
 }
 
 /// Poll granularity of a reactor shard: bounds accept latency and the

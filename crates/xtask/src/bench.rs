@@ -45,6 +45,19 @@ pub struct BenchCheckConfig {
     /// the gate tests "adding nodes still pays", not one machine's
     /// timings.
     pub min_fleet_scaling: f64,
+    /// Minimum `refit_speedup` of `BENCH_retrain.json` — full-window
+    /// fit cost over warm-started streaming refit cost on the same
+    /// window. 2.0 is the ISSUE's "a mini-batch checkpoint costs at
+    /// most half a full refit" claim; the committed run records far
+    /// more, but the gate asserts the operational promise, not one
+    /// machine's timings.
+    pub min_retrain_speedup: f64,
+    /// Minimum live-traffic agreement rate (`1 - diverged/compared`)
+    /// of the shadow leg in `BENCH_retrain.json`. A same-distribution
+    /// candidate that disagrees with the serving model on more than 2%
+    /// of real frames would never survive the orchestrator's own
+    /// divergence gate, so the bench must not either.
+    pub min_shadow_agreement: f64,
 }
 
 impl Default for BenchCheckConfig {
@@ -55,6 +68,8 @@ impl Default for BenchCheckConfig {
             min_quant_assess_speedup: 1.3,
             fleet_step_slack_pct: 5.0,
             min_fleet_scaling: 1.1,
+            min_retrain_speedup: 2.0,
+            min_shadow_agreement: 0.98,
         }
     }
 }
@@ -316,6 +331,82 @@ pub fn check_fleet_file(
     let doc = serde_json::parse_value(&text)
         .map_err(|e| format!("cannot parse {}: {e}", current.display()))?;
     check_fleet_document(&doc, config)
+}
+
+/// Runs the retrain gate over an already-loaded `BENCH_retrain.json`
+/// document. Like the fleet gate there is no baseline: every check is
+/// an absolute claim the streaming retrain pipeline makes about itself —
+/// the warm-started mini-batch refit costs at most `1/min_retrain_speedup`
+/// of a full-window fit, the shadow leg's live agreement rate clears the
+/// floor, and the promoted candidate's verdict stream is byte-identical
+/// to a from-scratch refit on the same window.
+pub fn check_retrain_document(
+    current: &Value,
+    config: BenchCheckConfig,
+) -> Result<BenchCheckReport, String> {
+    let schema = current
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("retrain bench json has no schema tag")?;
+    if schema != "polygraph.bench_retrain.v1" {
+        return Err(format!("unsupported retrain bench schema {schema:?}"));
+    }
+
+    let speedup = current
+        .get("refit_speedup")
+        .and_then(Value::as_f64)
+        .ok_or("retrain bench json has no refit_speedup")?;
+    let shadow = current
+        .get("shadow")
+        .ok_or("retrain bench json has no shadow section")?;
+    let agreement = shadow
+        .get("agreement")
+        .and_then(Value::as_f64)
+        .ok_or("retrain shadow section has no agreement")?;
+    let compared = shadow.get("compared").and_then(Value::as_u64).unwrap_or(0);
+    let identical = current
+        .get("verdicts_identical")
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+
+    let speedup_ok = speedup >= config.min_retrain_speedup;
+    // An agreement rate over zero comparisons is vacuous, not passing.
+    let agreement_ok = compared > 0 && agreement >= config.min_shadow_agreement;
+    let mut text = String::new();
+    text.push_str(&format!(
+        "bench-check: retrain refit_speedup {:.2}x (floor {:.2}x) .. {}\n",
+        speedup,
+        config.min_retrain_speedup,
+        if speedup_ok { "ok" } else { "BELOW FLOOR" },
+    ));
+    text.push_str(&format!(
+        "bench-check: retrain shadow agreement {:.4} over {} frames (floor {:.4}) .. {}\n",
+        agreement,
+        compared,
+        config.min_shadow_agreement,
+        if agreement_ok { "ok" } else { "BELOW FLOOR" },
+    ));
+    text.push_str(&format!(
+        "bench-check: retrain verdicts_identical .. {}\n",
+        if identical { "ok" } else { "FAILED" },
+    ));
+
+    Ok(BenchCheckReport {
+        pass: speedup_ok && agreement_ok && identical,
+        text,
+    })
+}
+
+/// File-path front end of [`check_retrain_document`].
+pub fn check_retrain_file(
+    current: &Path,
+    config: BenchCheckConfig,
+) -> Result<BenchCheckReport, String> {
+    let text = std::fs::read_to_string(current)
+        .map_err(|e| format!("cannot read {}: {e}", current.display()))?;
+    let doc = serde_json::parse_value(&text)
+        .map_err(|e| format!("cannot parse {}: {e}", current.display()))?;
+    check_retrain_document(&doc, config)
 }
 
 fn fps(doc: &Value, which: &str) -> Result<f64, String> {
@@ -641,6 +732,90 @@ mod tests {
         let artifact = root.join("results/BENCH_fleet.json");
         let report =
             check_fleet_file(&artifact, BenchCheckConfig::default()).expect("parse fleet artifact");
+        assert!(report.pass, "{}", report.text);
+    }
+
+    fn retrain_doc(speedup: f64, agreement: f64, compared: u64, identical: bool) -> Value {
+        serde_json::parse_value(&format!(
+            r#"{{
+                "schema": "polygraph.bench_retrain.v1",
+                "refit_speedup": {speedup},
+                "verdicts_identical": {identical},
+                "shadow": {{
+                    "compared": {compared},
+                    "diverged": 0,
+                    "agreement": {agreement}
+                }}
+            }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn retrain_within_floors_passes() {
+        let report = check_retrain_document(
+            &retrain_doc(8.0, 0.999, 8000, true),
+            BenchCheckConfig::default(),
+        )
+        .unwrap();
+        assert!(report.pass, "{}", report.text);
+        assert!(report.text.contains("refit_speedup 8.00x"));
+    }
+
+    #[test]
+    fn retrain_slow_refit_or_low_agreement_fails() {
+        let config = BenchCheckConfig::default();
+        let slow = check_retrain_document(&retrain_doc(1.4, 0.999, 8000, true), config).unwrap();
+        assert!(!slow.pass);
+        assert!(slow.text.contains("BELOW FLOOR"), "{}", slow.text);
+        let noisy = check_retrain_document(&retrain_doc(8.0, 0.90, 8000, true), config).unwrap();
+        assert!(!noisy.pass);
+        assert!(noisy.text.contains("BELOW FLOOR"), "{}", noisy.text);
+    }
+
+    #[test]
+    fn retrain_vacuous_agreement_fails() {
+        // A perfect agreement rate over zero compared frames means the
+        // shadow never saw traffic — the bench leg failed, not passed.
+        let report =
+            check_retrain_document(&retrain_doc(8.0, 1.0, 0, true), BenchCheckConfig::default())
+                .unwrap();
+        assert!(!report.pass, "{}", report.text);
+    }
+
+    #[test]
+    fn retrain_divergent_verdicts_fail() {
+        let report = check_retrain_document(
+            &retrain_doc(8.0, 0.999, 8000, false),
+            BenchCheckConfig::default(),
+        )
+        .unwrap();
+        assert!(!report.pass);
+        assert!(report.text.contains("FAILED"), "{}", report.text);
+    }
+
+    #[test]
+    fn retrain_wrong_schema_is_an_error() {
+        let mut bad = retrain_doc(8.0, 0.999, 8000, true);
+        if let Value::Object(map) = &mut bad {
+            map.insert(
+                "schema".to_string(),
+                Value::String("polygraph.bench_fleet.v1".to_string()),
+            );
+        }
+        assert!(check_retrain_document(&bad, BenchCheckConfig::default()).is_err());
+    }
+
+    #[test]
+    fn committed_retrain_artifact_gates_itself() {
+        // The repo's committed retrain artifact must always pass its gate.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let artifact = root.join("results/BENCH_retrain.json");
+        let report = check_retrain_file(&artifact, BenchCheckConfig::default())
+            .expect("parse retrain artifact");
         assert!(report.pass, "{}", report.text);
     }
 

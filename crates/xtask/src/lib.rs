@@ -152,6 +152,7 @@ pub fn fixture_lint_config() -> LintConfig {
             "reactor_".into(),
             "quant_".into(),
             "fleet_".into(),
+            "minibatch_".into(),
         ],
         key_determinism_zone: vec!["keys_".into()],
         panic_zone: vec!["panic_".into(), "reactor_".into()],
@@ -161,6 +162,7 @@ pub fn fixture_lint_config() -> LintConfig {
             "atomic_".into(),
             "quant_".into(),
             "fleet_".into(),
+            "minibatch_".into(),
         ],
         exclude: Vec::new(),
         ..LintConfig::default()

@@ -10,15 +10,21 @@
 //!   fixture corpus and verifies every rule still fires where expected.
 //! * `bench-check [--current PATH] [--baseline PATH]
 //!   [--max-regress-pct N] [--min-speedup X] [--fleet PATH]
-//!   [--fleet-only] [--min-fleet-scaling X] [--root PATH]` — the
+//!   [--fleet-only] [--min-fleet-scaling X] [--retrain PATH]
+//!   [--retrain-only] [--min-retrain-speedup X]
+//!   [--min-shadow-agreement X] [--root PATH]` — the
 //!   performance gate: compare `results/BENCH_serving.json` (freshly
 //!   emitted by `bench_serving --smoke`) against the committed
 //!   `results/bench_baseline.json`. When `results/BENCH_fleet.json`
 //!   exists (or `--fleet` names one), the fleet gate runs too: merged
 //!   verdict identity, monotonic node-count scaling, and the chaos
-//!   leg's invariants. `--fleet-only` skips the serving comparison —
-//!   the CI fleet job emits only the fleet artifact. Exit 0 when within
-//!   thresholds, 1 on a regression, 2 on usage or I/O errors.
+//!   leg's invariants. Likewise `results/BENCH_retrain.json` (or
+//!   `--retrain`) adds the streaming-retrain gate: mini-batch refit
+//!   speedup, shadow-leg agreement, and promoted-verdict byte identity.
+//!   `--fleet-only` / `--retrain-only` skip the serving comparison —
+//!   the CI fleet and retrain jobs emit only their own artifact. Exit 0
+//!   when within thresholds, 1 on a regression, 2 on usage or I/O
+//!   errors.
 //!
 //! This is a binary target, so the console belongs to it (POLY-H002
 //! exempts `main.rs`); everything else lives in the `xtask` library so
@@ -50,7 +56,8 @@ const USAGE: &str = "usage: cargo xtask lint [--format text|json|sarif] [--root 
                      [--config PATH] [--self-check]\n       \
                      cargo xtask bench-check [--current PATH] [--baseline PATH] \
                      [--max-regress-pct N] [--min-speedup X] [--fleet PATH] [--fleet-only] \
-                     [--min-fleet-scaling X] [--root PATH]";
+                     [--min-fleet-scaling X] [--retrain PATH] [--retrain-only] \
+                     [--min-retrain-speedup X] [--min-shadow-agreement X] [--root PATH]";
 
 fn bench_check_command(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
@@ -58,6 +65,8 @@ fn bench_check_command(args: &[String]) -> ExitCode {
     let mut baseline: Option<PathBuf> = None;
     let mut fleet: Option<PathBuf> = None;
     let mut fleet_only = false;
+    let mut retrain: Option<PathBuf> = None;
+    let mut retrain_only = false;
     let mut config = BenchCheckConfig::default();
     let mut i = 0;
     while i < args.len() {
@@ -113,6 +122,36 @@ fn bench_check_command(args: &[String]) -> ExitCode {
                 }
                 i += 2;
             }
+            Some("--retrain") if take_value(i).is_some() => {
+                retrain = args.get(i + 1).map(PathBuf::from);
+                i += 2;
+            }
+            Some("--retrain-only") => {
+                retrain_only = true;
+                i += 1;
+            }
+            Some("--min-retrain-speedup") if take_value(i).is_some() => {
+                match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    Some(v) => config.min_retrain_speedup = v,
+                    None => {
+                        let _ =
+                            writeln!(std::io::stderr(), "invalid --min-retrain-speedup\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            Some("--min-shadow-agreement") if take_value(i).is_some() => {
+                match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    Some(v) => config.min_shadow_agreement = v,
+                    None => {
+                        let _ =
+                            writeln!(std::io::stderr(), "invalid --min-shadow-agreement\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
             Some(other) => {
                 let _ = writeln!(std::io::stderr(), "unknown argument {other:?}\n{USAGE}");
                 return ExitCode::from(2);
@@ -131,9 +170,10 @@ fn bench_check_command(args: &[String]) -> ExitCode {
     let current = current.unwrap_or_else(|| root.join("results/BENCH_serving.json"));
     let baseline = baseline.unwrap_or_else(|| root.join("results/bench_baseline.json"));
     let fleet_path = fleet.unwrap_or_else(|| root.join("results/BENCH_fleet.json"));
+    let retrain_path = retrain.unwrap_or_else(|| root.join("results/BENCH_retrain.json"));
 
     let mut pass = true;
-    if !fleet_only {
+    if !fleet_only && !retrain_only {
         match xtask::bench::check_files(&current, &baseline, config) {
             Ok(report) => {
                 let _ = write!(std::io::stdout(), "{}", report.text);
@@ -145,11 +185,24 @@ fn bench_check_command(args: &[String]) -> ExitCode {
             }
         }
     }
-    // The fleet gate runs whenever its artifact is around (and always
-    // under --fleet-only, where a missing artifact is an error, not a
-    // silent pass).
-    if fleet_only || fleet_path.exists() {
+    // Each artifact gate runs whenever its artifact is around (and
+    // always under its `--*-only` flag, where a missing artifact is an
+    // error, not a silent pass). An `--*-only` flag narrows the run to
+    // that single gate.
+    if fleet_only || (!retrain_only && fleet_path.exists()) {
         match xtask::bench::check_fleet_file(&fleet_path, config) {
+            Ok(report) => {
+                let _ = write!(std::io::stdout(), "{}", report.text);
+                pass &= report.pass;
+            }
+            Err(e) => {
+                let _ = writeln!(std::io::stderr(), "error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if retrain_only || (!fleet_only && retrain_path.exists()) {
+        match xtask::bench::check_retrain_file(&retrain_path, config) {
             Ok(report) => {
                 let _ = write!(std::io::stdout(), "{}", report.text);
                 pass &= report.pass;

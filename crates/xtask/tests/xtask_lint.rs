@@ -21,10 +21,10 @@ fn fixture_config() -> LintConfig {
 exclude = []
 
 [zones]
-determinism = ["det_", "reactor_", "quant_", "fleet_"]
+determinism = ["det_", "reactor_", "quant_", "fleet_", "minibatch_"]
 key_determinism = ["keys_"]
 panic_safety = ["panic_", "reactor_"]
-concurrency = ["lock_order_", "guard_scope_", "atomic_", "quant_", "fleet_"]
+concurrency = ["lock_order_", "guard_scope_", "atomic_", "quant_", "fleet_", "minibatch_"]
 "#,
         )
         .expect("fixture config parses");
@@ -72,6 +72,11 @@ fn bad_fixtures_fire_every_rule_at_the_expected_lines() {
         ("lock_order_bad.rs", "POLY-L001", 17),  // index → ledger
         ("lock_order_bad.rs", "POLY-L001", 24),  // ledger → audit via grab_audit
         ("lock_order_bad.rs", "POLY-L001", 35),  // audit → ledger
+        ("minibatch_bad.rs", "POLY-D001", 5),    // use HashMap in the refit
+        ("minibatch_bad.rs", "POLY-D001", 7),    // HashMap batch-order type
+        ("minibatch_bad.rs", "POLY-D002", 8),    // Instant::now() batch cut
+        ("minibatch_bad.rs", "POLY-D001", 9),    // HashMap::new()
+        ("minibatch_bad.rs", "POLY-L002", 16),   // refit_streaming under slot.read()
         ("panic_bad.rs", "POLY-P004", 5),        // frame[0]
         ("panic_bad.rs", "POLY-P001", 6),        // unwrap()
         ("panic_bad.rs", "POLY-P002", 7),        // expect(…)
@@ -106,6 +111,7 @@ fn good_fixtures_are_clean() {
         "guard_scope_good.rs",
         "keys_good.rs",
         "lock_order_good.rs",
+        "minibatch_good.rs",
         "panic_good.rs",
         "quant_good.rs",
         "src/pool_good.rs",
@@ -251,7 +257,7 @@ fn dogfooding_allows_are_load_bearing() {
     let root = workspace_root();
     let full = workspace_config();
     let cases: &[(&str, &str, &[u32])] = &[
-        ("POLY-L002", "crates/service/src/server.rs", &[965, 1310]),
+        ("POLY-L002", "crates/service/src/server.rs", &[1036, 1435]),
         ("POLY-L003", "crates/cache/src/lib.rs", &[105, 114, 156]),
         ("POLY-L003", "crates/ml/src/pool.rs", &[37, 101]),
     ];

@@ -82,7 +82,7 @@ fn main() {
     );
     let (rows, uas) = autumn.rows_and_user_agents();
     let fresh = TrainingSet::from_rows(rows, uas).expect("well-formed");
-    let orchestrator = Orchestrator::new(&server, registry, OrchestratorConfig::default());
+    let mut orchestrator = Orchestrator::new(&server, registry, OrchestratorConfig::default());
     let releases = [
         UserAgent::new(Vendor::Chrome, 119),
         UserAgent::new(Vendor::Firefox, 119),
